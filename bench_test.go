@@ -1,0 +1,328 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating its rows/series each iteration and reporting
+// the headline metric), plus micro-benchmarks for the pipeline stages.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-experiment custom metrics (recall_pct, reduction_pct, ...) are
+// the values recorded in EXPERIMENTS.md next to the paper's numbers.
+package prefix2org_test
+
+import (
+	"context"
+	"net/netip"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/experiments"
+	"github.com/prefix2org/prefix2org/internal/radix"
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+	benchDir  string
+)
+
+// env builds one paper-scale environment shared by all benchmarks.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDir, benchErr = os.MkdirTemp("", "p2o-bench")
+		if benchErr != nil {
+			return
+		}
+		benchEnv, benchErr = experiments.Setup(synth.DefaultConfig(), benchDir)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1AllocationMapping regenerates the 22-type DO/DC mapping.
+func BenchmarkTable1AllocationMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// BenchmarkTable2StringCleaning regenerates the cleaning-step counts and
+// reports the name-reduction percentage (paper: ~12%).
+func BenchmarkTable2StringCleaning(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Table2() == nil {
+			b.Fatal("nil table")
+		}
+	}
+	b.ReportMetric(e.Table2Reduction(), "reduction_pct")
+}
+
+// BenchmarkTable3Excerpt regenerates the aggregation excerpt.
+func BenchmarkTable3Excerpt(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Table3() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// BenchmarkTable4DatasetMetrics regenerates the key-metric table and
+// reports the multi-name space share (paper: 36.9% of IPv4 space).
+func BenchmarkTable4DatasetMetrics(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.Table4() == nil {
+			b.Fatal("nil table")
+		}
+	}
+	b.ReportMetric(e.DS.Stats.PctV4SpaceInMultiName, "multiname_space_pct")
+	b.ReportMetric(e.DS.Stats.PctV4DistinctDC, "v4_distinct_dc_pct")
+	b.ReportMetric(e.DS.Stats.PctV4InRPKI, "v4_rpki_pct")
+}
+
+// BenchmarkTable5ValidationIPv4 regenerates the IPv4 validation and
+// reports overall recall (paper: 99.03%) and precision (paper: 66.55%,
+// depressed by non-exhaustive lists).
+func BenchmarkTable5ValidationIPv4(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var recall, precision float64
+	for i := 0; i < b.N; i++ {
+		_, rep, err := e.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall, precision = rep.Total.Recall(), rep.Total.Precision()
+	}
+	b.ReportMetric(recall, "recall_pct")
+	b.ReportMetric(precision, "precision_pct")
+}
+
+// BenchmarkTable6ValidationIPv6 regenerates the IPv6 validation (paper
+// recall: 99.31%).
+func BenchmarkTable6ValidationIPv6(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var recall float64
+	for i := 0; i < b.N; i++ {
+		_, rep, err := e.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recall = rep.Total.Recall()
+	}
+	b.ReportMetric(recall, "recall_pct")
+}
+
+// BenchmarkTable7ROADisparity regenerates the AS-centric vs
+// prefix-centric ROA comparison and reports how many ASNs show a >30pp
+// disparity.
+func BenchmarkTable7ROADisparity(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	disparate := 0
+	for i := 0; i < b.N; i++ {
+		_, rows, err := e.Table7(3, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		disparate = 0
+		for _, r := range rows {
+			if r.Disparity() > 30 {
+				disparate++
+			}
+		}
+	}
+	b.ReportMetric(float64(disparate), "asns_over_30pp")
+}
+
+// BenchmarkTables8to12Rights regenerates the per-RIR rights matrices.
+func BenchmarkTables8to12Rights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Tables8to12()) != 5 {
+			b.Fatal("wrong table count")
+		}
+	}
+}
+
+// BenchmarkFigure4TopClustersSpace regenerates the cumulative-space
+// series and reports the top-100 fractions for the three methods (paper:
+// P2O 6.2pp above WHOIS-name clustering).
+func BenchmarkFigure4TopClustersSpace(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var fd *experiments.FigureData
+	for i := 0; i < b.N; i++ {
+		fd = e.Figure4(100)
+	}
+	b.ReportMetric(100*fd.P2O, "p2o_top100_pct")
+	b.ReportMetric(100*fd.Whois, "whois_top100_pct")
+	b.ReportMetric(100*fd.AS2Org, "as2org_top100_pct")
+}
+
+// BenchmarkFigure5TopClustersNames regenerates the cumulative-names
+// series (paper: >600 names in P2O's top-100 vs exactly 100 for
+// WHOIS-name clusters).
+func BenchmarkFigure5TopClustersNames(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var fd *experiments.FigureData
+	for i := 0; i < b.N; i++ {
+		fd = e.Figure5(100)
+	}
+	b.ReportMetric(fd.P2O, "p2o_top100_names")
+	b.ReportMetric(fd.Whois, "whois_top100_names")
+}
+
+// BenchmarkCaseStudyOrgsWithoutASN regenerates §8.1 and reports the share
+// of organizations without an ASN (paper: 21.41%).
+func BenchmarkCaseStudyOrgsWithoutASN(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		_, rep, err := e.Case81(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = rep.PctClusters()
+	}
+	b.ReportMetric(pct, "no_asn_org_pct")
+}
+
+// --- pipeline-stage micro-benchmarks ----------------------------------------
+
+// BenchmarkPipelineBuild measures the full pipeline over the paper-scale
+// world's serialized data directory (parse + resolve + clean + cluster).
+func BenchmarkPipelineBuild(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := prefix2org.BuildFromDir(context.Background(), e.Dir, prefix2org.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.Stats.IPv4Prefixes == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkWorldGeneration measures synthetic-world generation.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := synth.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookup measures dataset point queries.
+func BenchmarkLookup(b *testing.B) {
+	e := env(b)
+	prefixes := make([]netip.Prefix, 0, 1024)
+	for i := range e.DS.Records {
+		prefixes = append(prefixes, e.DS.Records[i].Prefix)
+		if len(prefixes) == cap(prefixes) {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.DS.Lookup(prefixes[i%len(prefixes)]); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+// BenchmarkRadixCoveringChain measures the delegation-tree primitive.
+func BenchmarkRadixCoveringChain(b *testing.B) {
+	tr := radix.New[int]()
+	base := netip.MustParsePrefix("10.0.0.0/8")
+	tr.Insert(base, 0)
+	p := base
+	// A 16-level nested chain plus fan-out siblings.
+	for bits := 9; bits <= 24; bits++ {
+		p = netip.PrefixFrom(p.Addr(), bits)
+		tr.Insert(p, bits)
+	}
+	for i := 0; i < 4096; i++ {
+		a := netip.AddrFrom4([4]byte{10, byte(i >> 4), byte(i << 4), 0})
+		tr.Insert(netip.PrefixFrom(a, 24), i)
+	}
+	q := netip.MustParsePrefix("10.0.0.0/26")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tr.CoveringChain(q)) == 0 {
+			b.Fatal("no chain")
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the §6 component analysis (each
+// clustering signal disabled in turn) and reports the cluster counts.
+func BenchmarkAblation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	var results []experiments.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, results, err = e.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(results[0].Stats.FinalClusters), "full_clusters")
+	b.ReportMetric(float64(results[3].Stats.FinalClusters), "w_only_clusters")
+}
+
+// BenchmarkLeasingInference regenerates the §9 leasing-detection
+// extension and reports the candidate count.
+func BenchmarkLeasingInference(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		_, cands, err := e.Leasing(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(cands)
+	}
+	b.ReportMetric(float64(n), "candidates")
+}
+
+// BenchmarkSnapshotSaveLoad measures dataset snapshot serialization.
+func BenchmarkSnapshotSaveLoad(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := e.DS.Save(&sb); err != nil {
+			b.Fatal(err)
+		}
+		back, err := prefix2org.Load(strings.NewReader(sb.String()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(back.Records) != len(e.DS.Records) {
+			b.Fatal("lossy roundtrip")
+		}
+	}
+}

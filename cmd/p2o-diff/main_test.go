@@ -1,0 +1,54 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+func TestRunDiff(t *testing.T) {
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir1 := t.TempDir()
+	if err := w.WriteDir(dir1); err != nil {
+		t.Fatal(err)
+	}
+	ds1, err := prefix2org.BuildFromDir(context.Background(), dir1, prefix2org.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := filepath.Join(t.TempDir(), "old.jsonl")
+	if err := ds1.SaveFile(old); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := w.Evolve(synth.EvolveOptions{Seed: 9, Transfers: 5, NewDelegations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	if err := w2.WriteDir(dir2); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := prefix2org.BuildFromDir(context.Background(), dir2, prefix2org.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := filepath.Join(t.TempDir(), "new.jsonl")
+	if err := ds2.SaveFile(cur); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(old, cur, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("/nonexistent/old.jsonl", cur, 5); err == nil {
+		t.Error("missing old snapshot accepted")
+	}
+	if err := run(old, "/nonexistent/new.jsonl", 5); err == nil {
+		t.Error("missing new snapshot accepted")
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// One pass of every experiment at test scale; output goes to the test's
+// stdout and the run must simply succeed.
+func TestRunAllExperimentsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pass is slow")
+	}
+	if err := run("", 220, 7, "", 50, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run("", 220, 7, "4", 50, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Command p2o-rtrd serves a data directory's RPKI ROA set to routers over
+// the RPKI-to-Router protocol (RFC 8210) — the operational counterpart of
+// the §8.2 case study: what a router validating against this world's ROAs
+// would load.
+//
+// Usage:
+//
+//	p2o-rtrd -data DIR [-listen ADDR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/prefix2org/prefix2org/internal/rpki"
+	"github.com/prefix2org/prefix2org/internal/rtr"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", "", "data directory containing rpki/snapshot.jsonl (required)")
+		listen  = flag.String("listen", "127.0.0.1:8282", "address to serve RTR on")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "p2o-rtrd: -data is required")
+		os.Exit(2)
+	}
+	if err := run(*dataDir, *listen); err != nil {
+		fmt.Fprintln(os.Stderr, "p2o-rtrd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataDir, listen string) error {
+	repo, err := rpki.LoadDir(dataDir)
+	if err != nil {
+		return err
+	}
+	srv := rtr.NewServer(repo)
+	addr, err := srv.Start(listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("serving %d VRPs on %s (RTR v1, serial %d)\n",
+		len(rtr.VRPsFromRepository(repo)), addr, srv.Serial())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGeneratesDataDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "world")
+	if err := run(dir, 220, 7, 2, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"whois/arin.db", "bgp/rib.mrt", "rpki/snapshot.jsonl", "as2org/as2org.jsonl", "truth/groundtruth.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+	if err := run(dir, 5, 1, 1, 1, ""); err == nil {
+		t.Error("tiny world accepted")
+	}
+}
+
+func TestRunEpochSeries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "series")
+	if err := run(dir, 220, 7, 2, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		p := filepath.Join(dir, "t"+string(rune('0'+e)), "bgp", "rib.mrt")
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("epoch %d missing RIB: %v", e, err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command p2o-whoisd serves a Prefix2Org dataset over the WHOIS protocol
+// (RFC 3912): query a prefix, an IP address, or an organization name.
+//
+// Usage:
+//
+//	p2o-whoisd -data DIR [-listen ADDR]
+//	p2o-whoisd -snapshot FILE.jsonl [-listen ADDR]
+//
+// Then:  whois -h 127.0.0.1 -p 4343 63.80.52.0/24
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/whoisd"
+)
+
+func main() {
+	var (
+		dataDir  = flag.String("data", "", "data directory to build the dataset from")
+		snapshot = flag.String("snapshot", "", "pre-built dataset snapshot (alternative to -data)")
+		listen   = flag.String("listen", "127.0.0.1:4343", "address to serve WHOIS on")
+	)
+	flag.Parse()
+	if (*dataDir == "") == (*snapshot == "") {
+		fmt.Fprintln(os.Stderr, "p2o-whoisd: exactly one of -data or -snapshot is required")
+		os.Exit(2)
+	}
+	if err := run(*dataDir, *snapshot, *listen); err != nil {
+		fmt.Fprintln(os.Stderr, "p2o-whoisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataDir, snapshot, listen string) error {
+	var (
+		ds  *prefix2org.Dataset
+		err error
+	)
+	if snapshot != "" {
+		ds, err = prefix2org.LoadFile(snapshot)
+	} else {
+		ds, err = prefix2org.BuildFromDir(context.Background(), dataDir, prefix2org.Options{})
+	}
+	if err != nil {
+		return err
+	}
+	srv := whoisd.New(ds)
+	addr, err := srv.Start(listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("serving %d records / %d clusters on %s (whois -h HOST -p PORT QUERY)\n",
+		len(ds.Records), len(ds.Clusters), addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+func dataDir(t *testing.T) string {
+	t.Helper()
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunStats(t *testing.T) {
+	if err := run(dataDir(t), "", []string{"stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLookupAndCluster(t *testing.T) {
+	dir := dataDir(t)
+	// Find a routed prefix by exporting a snapshot first.
+	snap := filepath.Join(t.TempDir(), "snap.jsonl")
+	if err := run(dir, "", []string{"export-snapshot", snap}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if err := run(dir, "", []string{"lookup", "1.0.0.0/16"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "", []string{"lookup", "banana"}); err == nil {
+		t.Error("bad prefix accepted")
+	}
+	if err := run(dir, "", []string{"cluster", "No Such Org"}); err == nil {
+		t.Error("unknown org accepted")
+	}
+	if err := run(dir, "", []string{"wat"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(dir, "", []string{"lookup"}); err == nil {
+		t.Error("lookup without args accepted")
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	// An empty directory has no BGP snapshot: the pipeline must error.
+	if err := run(t.TempDir(), "", []string{"stats"}); err == nil {
+		t.Error("empty data dir accepted")
+	}
+}

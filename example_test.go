@@ -1,0 +1,76 @@
+package prefix2org_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+// Example demonstrates the end-to-end flow: materialize input snapshots
+// (here from the synthetic-world generator), build the mapping, and query
+// one routed prefix.
+func Example() {
+	dir, err := os.MkdirTemp("", "p2o-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	world, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := world.WriteDir(dir); err != nil {
+		log.Fatal(err)
+	}
+
+	ds, err := prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Every routed prefix resolves to a Direct Owner record.
+	first := ds.Records[0].Prefix
+	rec, ok := ds.Lookup(first)
+	fmt.Println("found:", ok, "has owner:", rec.DirectOwner != "", "has cluster:", rec.FinalCluster != "")
+	// Output: found: true has owner: true has cluster: true
+}
+
+// ExampleDataset_ClusterOfOwner shows cluster queries by organization
+// name: any of the organization's WHOIS name variants reaches the same
+// final cluster.
+func ExampleDataset_ClusterOfOwner() {
+	dir, err := os.MkdirTemp("", "p2o-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	world, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := world.WriteDir(dir); err != nil {
+		log.Fatal(err)
+	}
+	ds, err := prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Find a multi-name organization and query it by each of its names.
+	for _, c := range ds.Clusters {
+		if !c.MultiName() {
+			continue
+		}
+		same := true
+		for _, name := range c.OwnerNames {
+			got, ok := ds.ClusterOfOwner(name)
+			if !ok || got.ID != c.ID {
+				same = false
+			}
+		}
+		fmt.Println("all name variants reach one cluster:", same)
+		return
+	}
+}

@@ -1,0 +1,93 @@
+// Longitudinal demonstrates the periodic-snapshot workflow the paper
+// proposes (§10): build the Prefix2Org dataset at time T, evolve the
+// Internet (address transfers, fresh delegations, acquisitions, RPKI
+// adoption growth), rebuild at T+3 months, and diff the two snapshots to
+// surface the dynamics.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/diff"
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("longitudinal: ")
+
+	build := func(w *synth.World) *prefix2org.Dataset {
+		dir, err := os.MkdirTemp("", "p2o-longitudinal")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		if err := w.WriteDir(dir); err != nil {
+			log.Fatal(err)
+		}
+		ds, err := prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ds
+	}
+
+	world, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	september := build(world)
+	fmt.Printf("T0 snapshot: %d routed prefixes, %d clusters\n",
+		len(september.Records), len(september.Clusters))
+
+	evolved, err := world.Evolve(synth.EvolveOptions{
+		Seed:           1207,
+		Transfers:      10,
+		NewDelegations: 12,
+		NewAdopters:    15,
+		Acquisitions:   4,
+		MonthsLater:    3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	december := build(evolved)
+	fmt.Printf("T+3mo snapshot: %d routed prefixes, %d clusters\n\n",
+		len(december.Records), len(december.Clusters))
+
+	rep, err := diff.Compare(september, december)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("diff:", rep.Summary())
+	fmt.Println()
+	if len(rep.Transfers) > 0 {
+		fmt.Println("address transfers observed:")
+		for i, ch := range rep.Transfers {
+			if i >= 5 {
+				fmt.Printf("  ... and %d more\n", len(rep.Transfers)-5)
+				break
+			}
+			fmt.Printf("  %-18s %q -> %q\n", ch.Prefix, ch.OldOwner, ch.NewOwner)
+		}
+		fmt.Println()
+	}
+	if len(rep.OriginChanges) > 0 {
+		fmt.Println("origin migrations (acquisition fingerprints):")
+		for i, oc := range rep.OriginChanges {
+			if i >= 5 {
+				fmt.Printf("  ... and %d more\n", len(rep.OriginChanges)-5)
+				break
+			}
+			fmt.Printf("  %-18s %q moved AS%d -> AS%d\n", oc.Prefix, oc.Owner, oc.OldOrigin, oc.NewOrigin)
+		}
+		fmt.Println()
+	}
+	if len(rep.Added) > 0 {
+		fmt.Printf("%d prefixes newly routed (fresh delegations)\n", len(rep.Added))
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/prefix2org/prefix2org
+
+go 1.22

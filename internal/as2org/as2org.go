@@ -1,0 +1,309 @@
+// Package as2org models AS-to-organization data and sibling inference.
+//
+// Prefix2Org consumes three related datasets (§4.4 of the paper): CAIDA's
+// AS2Org mapping (ASN → organization), and the sibling inferences of
+// as2org+ (Arturi et al.) and IIL-AS2Org (Chen et al.), which identify
+// additional ASNs operated by the same organization. The pipeline reduces
+// all three to one equivalence relation — the *ASN Cluster* — computed
+// here with a disjoint-set union: ASNs sharing a CAIDA organization ID
+// are siblings, and every sibling set from the enrichment datasets is
+// unioned in on top.
+//
+// The on-disk format is line-oriented JSON in the shape of CAIDA's
+// published as2org files, extended with a SiblingSet record type for the
+// enrichment datasets.
+package as2org
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"github.com/prefix2org/prefix2org/internal/dsu"
+)
+
+// ASInfo is one AS registration in the AS2Org dataset.
+type ASInfo struct {
+	ASN     uint32
+	OrgID   string
+	OrgName string
+	Country string
+}
+
+// SiblingSet is a group of ASNs inferred to belong to one organization by
+// an enrichment dataset.
+type SiblingSet struct {
+	ASNs   []uint32
+	Source string // "as2org+", "IIL-AS2Org", ...
+}
+
+// Dataset is the merged AS2Org view.
+type Dataset struct {
+	// ASes indexes registrations by ASN.
+	ASes map[uint32]ASInfo
+	// Orgs indexes organization names by CAIDA org ID.
+	Orgs map[string]string
+	// Siblings are the enrichment sibling sets.
+	Siblings []SiblingSet
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{ASes: map[uint32]ASInfo{}, Orgs: map[string]string{}}
+}
+
+// AddAS registers an ASN under a CAIDA organization.
+func (d *Dataset) AddAS(asn uint32, orgID, orgName, country string) {
+	d.ASes[asn] = ASInfo{ASN: asn, OrgID: orgID, OrgName: orgName, Country: country}
+	if orgID != "" && orgName != "" {
+		d.Orgs[orgID] = orgName
+	}
+}
+
+// AddSiblings appends an enrichment sibling set.
+func (d *Dataset) AddSiblings(source string, asns ...uint32) {
+	d.Siblings = append(d.Siblings, SiblingSet{ASNs: asns, Source: source})
+}
+
+// OrgName returns the organization name operating asn, if known.
+func (d *Dataset) OrgName(asn uint32) (string, bool) {
+	info, ok := d.ASes[asn]
+	if !ok {
+		return "", false
+	}
+	if info.OrgName != "" {
+		return info.OrgName, true
+	}
+	if name, ok := d.Orgs[info.OrgID]; ok {
+		return name, true
+	}
+	return "", false
+}
+
+// Clusters is the ASN-cluster equivalence relation: ASNs owned by the
+// same organization map to the same cluster ID.
+type Clusters struct {
+	d *dsu.DSU
+	// id caches the canonical cluster ID per representative.
+	members map[string][]uint32
+}
+
+// BuildClusters computes ASN clusters from the dataset: union by shared
+// CAIDA org ID, then union every sibling set.
+func (d *Dataset) BuildClusters() *Clusters {
+	u := dsu.New()
+	byOrg := map[string]uint32{}
+	asns := make([]uint32, 0, len(d.ASes))
+	for asn := range d.ASes {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		info := d.ASes[asn]
+		u.Add(key(asn))
+		if info.OrgID == "" {
+			continue
+		}
+		if first, ok := byOrg[info.OrgID]; ok {
+			u.Union(key(first), key(asn))
+		} else {
+			byOrg[info.OrgID] = asn
+		}
+	}
+	for _, s := range d.Siblings {
+		for i := 1; i < len(s.ASNs); i++ {
+			u.Union(key(s.ASNs[0]), key(s.ASNs[i]))
+		}
+	}
+	c := &Clusters{d: u, members: map[string][]uint32{}}
+	for _, set := range u.Sets() {
+		rep := u.Find(set[0])
+		ms := make([]uint32, 0, len(set))
+		for _, k := range set {
+			asn, err := strconv.ParseUint(k, 10, 32)
+			if err != nil {
+				continue // unreachable: keys are produced by key()
+			}
+			ms = append(ms, uint32(asn))
+		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		c.members[rep] = ms
+	}
+	return c
+}
+
+func key(asn uint32) string { return strconv.FormatUint(uint64(asn), 10) }
+
+// ClusterID returns the canonical cluster identifier for asn: the lowest
+// ASN in its cluster, as a decimal string. ASNs never seen in the dataset
+// form singleton clusters.
+func (c *Clusters) ClusterID(asn uint32) string {
+	rep := c.d.Find(key(asn))
+	ms, ok := c.members[rep]
+	if !ok || len(ms) == 0 {
+		return key(asn)
+	}
+	return key(ms[0])
+}
+
+// Same reports whether two ASNs are in the same cluster.
+func (c *Clusters) Same(a, b uint32) bool { return c.d.Same(key(a), key(b)) }
+
+// Members returns the sorted ASNs in asn's cluster (at least asn itself).
+func (c *Clusters) Members(asn uint32) []uint32 {
+	rep := c.d.Find(key(asn))
+	ms, ok := c.members[rep]
+	if !ok || len(ms) == 0 {
+		return []uint32{asn}
+	}
+	return ms
+}
+
+// --- serialization -------------------------------------------------------
+
+type orgJSON struct {
+	Type    string `json:"type"` // "Organization"
+	OrgID   string `json:"organizationId"`
+	Name    string `json:"name"`
+	Country string `json:"country,omitempty"`
+}
+
+type asnJSON struct {
+	Type  string `json:"type"` // "ASN"
+	ASN   uint32 `json:"asn"`
+	OrgID string `json:"organizationId"`
+}
+
+type siblingJSON struct {
+	Type   string   `json:"type"` // "SiblingSet"
+	ASNs   []uint32 `json:"asns"`
+	Source string   `json:"source"`
+}
+
+// Write serializes the dataset as line-oriented JSON in deterministic
+// order: organizations, then ASNs, then sibling sets.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	orgIDs := make([]string, 0, len(d.Orgs))
+	for id := range d.Orgs {
+		orgIDs = append(orgIDs, id)
+	}
+	sort.Strings(orgIDs)
+	for _, id := range orgIDs {
+		if err := enc.Encode(orgJSON{Type: "Organization", OrgID: id, Name: d.Orgs[id]}); err != nil {
+			return fmt.Errorf("as2org: encode org %s: %w", id, err)
+		}
+	}
+	asns := make([]uint32, 0, len(d.ASes))
+	for asn := range d.ASes {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		if err := enc.Encode(asnJSON{Type: "ASN", ASN: asn, OrgID: d.ASes[asn].OrgID}); err != nil {
+			return fmt.Errorf("as2org: encode AS%d: %w", asn, err)
+		}
+	}
+	for _, s := range d.Siblings {
+		if err := enc.Encode(siblingJSON{Type: "SiblingSet", ASNs: s.ASNs, Source: s.Source}); err != nil {
+			return fmt.Errorf("as2org: encode sibling set: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a dataset written by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	d := NewDataset()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return nil, fmt.Errorf("as2org: line %d: %w", lineNo, err)
+		}
+		switch kind.Type {
+		case "Organization":
+			var o orgJSON
+			if err := json.Unmarshal(line, &o); err != nil {
+				return nil, fmt.Errorf("as2org: line %d: %w", lineNo, err)
+			}
+			d.Orgs[o.OrgID] = o.Name
+		case "ASN":
+			var a asnJSON
+			if err := json.Unmarshal(line, &a); err != nil {
+				return nil, fmt.Errorf("as2org: line %d: %w", lineNo, err)
+			}
+			d.ASes[a.ASN] = ASInfo{ASN: a.ASN, OrgID: a.OrgID, OrgName: d.Orgs[a.OrgID]}
+		case "SiblingSet":
+			var s siblingJSON
+			if err := json.Unmarshal(line, &s); err != nil {
+				return nil, fmt.Errorf("as2org: line %d: %w", lineNo, err)
+			}
+			d.Siblings = append(d.Siblings, SiblingSet{ASNs: s.ASNs, Source: s.Source})
+		default:
+			return nil, fmt.Errorf("as2org: line %d: unknown record type %q", lineNo, kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("as2org: scan: %w", err)
+	}
+	// Backfill org names onto AS records parsed before their org line.
+	for asn, info := range d.ASes {
+		if info.OrgName == "" {
+			info.OrgName = d.Orgs[info.OrgID]
+			d.ASes[asn] = info
+		}
+	}
+	return d, nil
+}
+
+// DatasetFile is the dataset's location inside a data directory.
+const DatasetFile = "as2org/as2org.jsonl"
+
+// WriteDir writes the dataset under dir.
+func (d *Dataset) WriteDir(dir string) error {
+	path := filepath.Join(dir, DatasetFile)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("as2org: mkdir: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("as2org: create %s: %w", path, err)
+	}
+	werr := d.Write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// LoadDir reads the dataset under dir. A missing file yields an empty
+// dataset (every origin ASN becomes a singleton cluster).
+func LoadDir(dir string) (*Dataset, error) {
+	path := filepath.Join(dir, DatasetFile)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return NewDataset(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("as2org: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

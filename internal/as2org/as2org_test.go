@@ -1,0 +1,149 @@
+package as2org
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildDataset() *Dataset {
+	d := NewDataset()
+	d.AddAS(701, "ORG-VZ", "Verizon Business", "US")
+	d.AddAS(18692, "ORG-VZ", "Verizon Business", "US") // same org ID: sibling
+	d.AddAS(395753, "ORG-VZHK", "Verizon Hong Kong", "HK")
+	d.AddAS(54113, "ORG-FSTLY", "Fastly, Inc.", "US")
+	d.AddAS(63739, "ORG-FVN", "Fastly Network Solution", "VN")
+	// Enrichment: as2org+ finds the HK entity is a Verizon sibling.
+	d.AddSiblings("as2org+", 701, 395753)
+	return d
+}
+
+func TestClustersFromOrgIDsAndSiblings(t *testing.T) {
+	c := buildDataset().BuildClusters()
+	if !c.Same(701, 18692) {
+		t.Error("same-org-ID ASNs not clustered")
+	}
+	if !c.Same(701, 395753) {
+		t.Error("sibling-set ASNs not clustered")
+	}
+	if !c.Same(18692, 395753) {
+		t.Error("transitive clustering failed")
+	}
+	if c.Same(54113, 63739) {
+		t.Error("unrelated Fastlys clustered")
+	}
+	if c.Same(701, 54113) {
+		t.Error("Verizon and Fastly clustered")
+	}
+}
+
+func TestClusterIDCanonical(t *testing.T) {
+	c := buildDataset().BuildClusters()
+	// Lowest ASN in the Verizon cluster is 701.
+	for _, asn := range []uint32{701, 18692, 395753} {
+		if got := c.ClusterID(asn); got != "701" {
+			t.Errorf("ClusterID(%d) = %s, want 701", asn, got)
+		}
+	}
+	ms := c.Members(18692)
+	if len(ms) != 3 || ms[0] != 701 || ms[2] != 395753 {
+		t.Errorf("Members = %v", ms)
+	}
+	// Unknown ASN: singleton.
+	if got := c.ClusterID(99999); got != "99999" {
+		t.Errorf("ClusterID(unknown) = %s", got)
+	}
+	if ms := c.Members(99999); len(ms) != 1 || ms[0] != 99999 {
+		t.Errorf("Members(unknown) = %v", ms)
+	}
+}
+
+func TestOrgName(t *testing.T) {
+	d := buildDataset()
+	if name, ok := d.OrgName(701); !ok || name != "Verizon Business" {
+		t.Errorf("OrgName(701) = %q,%v", name, ok)
+	}
+	if _, ok := d.OrgName(42); ok {
+		t.Error("unknown ASN has a name")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	d := buildDataset()
+	var sb strings.Builder
+	if err := d.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ASes) != len(d.ASes) || len(back.Siblings) != len(d.Siblings) {
+		t.Fatalf("roundtrip sizes: %d ASes, %d siblings", len(back.ASes), len(back.Siblings))
+	}
+	if name, ok := back.OrgName(18692); !ok || name != "Verizon Business" {
+		t.Errorf("org name after roundtrip = %q,%v", name, ok)
+	}
+	// Cluster structure preserved.
+	c := back.BuildClusters()
+	if !c.Same(701, 395753) || c.Same(54113, 63739) {
+		t.Error("clusters diverged after roundtrip")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"not json\n",
+		`{"type":"Mystery"}` + "\n",
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read accepted %q", in)
+		}
+	}
+}
+
+func TestReadOrgAfterASN(t *testing.T) {
+	in := `{"type":"ASN","asn":100,"organizationId":"O1"}
+{"type":"Organization","organizationId":"O1","name":"Late Org"}
+`
+	d, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, ok := d.OrgName(100); !ok || name != "Late Org" {
+		t.Errorf("backfill failed: %q,%v", name, ok)
+	}
+}
+
+func TestWriteDirLoadDir(t *testing.T) {
+	d := buildDataset()
+	dir := t.TempDir()
+	if err := d.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.ASes) != len(d.ASes) {
+		t.Errorf("ASes = %d", len(back.ASes))
+	}
+	// Missing dir: empty dataset, singleton clusters.
+	empty, err := LoadDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := empty.BuildClusters()
+	if c.ClusterID(5) != "5" {
+		t.Error("empty dataset clusters wrong")
+	}
+}
+
+func TestEmptyOrgIDNotUnioned(t *testing.T) {
+	d := NewDataset()
+	d.AddAS(1, "", "Nameless 1", "")
+	d.AddAS(2, "", "Nameless 2", "")
+	c := d.BuildClusters()
+	if c.Same(1, 2) {
+		t.Error("ASNs with empty org ID were clustered together")
+	}
+}

@@ -1,0 +1,420 @@
+package bgp
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+func mp(s string) netip.Prefix { return netx.MustParse(s) }
+
+func TestUpdateMarshalParseRoundTrip(t *testing.T) {
+	u := &Update{
+		Withdrawn: []netip.Prefix{mp("198.51.100.0/24")},
+		ASPath:    []uint32{64500, 64501, 4200000001},
+		NLRI:      []netip.Prefix{mp("203.0.113.0/24"), mp("10.0.0.0/8"), mp("2001:db8::/32")},
+	}
+	msg, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseUpdate(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.ASPath, u.ASPath) {
+		t.Errorf("ASPath = %v, want %v", back.ASPath, u.ASPath)
+	}
+	if !reflect.DeepEqual(back.Withdrawn, u.Withdrawn) {
+		t.Errorf("Withdrawn = %v, want %v", back.Withdrawn, u.Withdrawn)
+	}
+	if len(back.NLRI) != 3 {
+		t.Fatalf("NLRI = %v", back.NLRI)
+	}
+	want := map[string]bool{"203.0.113.0/24": true, "10.0.0.0/8": true, "2001:db8::/32": true}
+	for _, p := range back.NLRI {
+		if !want[p.String()] {
+			t.Errorf("unexpected NLRI %s", p)
+		}
+	}
+	if origin, ok := back.Origin(); !ok || origin != 4200000001 {
+		t.Errorf("Origin = %d,%v", origin, ok)
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	u := &Update{Withdrawn: []netip.Prefix{mp("10.0.0.0/8")}}
+	msg, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseUpdate(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.NLRI) != 0 || len(back.Withdrawn) != 1 {
+		t.Errorf("roundtrip = %+v", back)
+	}
+	if _, ok := back.Origin(); ok {
+		t.Error("withdraw-only update has an origin")
+	}
+}
+
+func TestMarshalRejectsBadUpdates(t *testing.T) {
+	if _, err := (&Update{NLRI: []netip.Prefix{mp("10.0.0.0/8")}}).Marshal(); err == nil {
+		t.Error("announcement without AS path accepted")
+	}
+	if _, err := (&Update{Withdrawn: []netip.Prefix{mp("2001:db8::/32")}}).Marshal(); err == nil {
+		t.Error("IPv6 withdrawal accepted by v4-only withdrawal codec")
+	}
+}
+
+func TestParseUpdateRejectsGarbage(t *testing.T) {
+	good, _ := (&Update{ASPath: []uint32{1}, NLRI: []netip.Prefix{mp("10.0.0.0/8")}}).Marshal()
+	cases := map[string][]byte{
+		"short":      good[:10],
+		"bad marker": append([]byte{0}, good[1:]...),
+		"bad length": func() []byte { b := append([]byte{}, good...); b[16] = 0xFF; return b }(),
+		"not update": func() []byte { b := append([]byte{}, good...); b[18] = 1; return b }(),
+		"truncated":  func() []byte { b := append([]byte{}, good...); b = b[:len(b)-1]; b[17]--; return b }(),
+	}
+	for name, msg := range cases {
+		if _, err := ParseUpdate(msg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// Property: random updates survive the wire round trip.
+func TestUpdateRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := &Update{}
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			u.ASPath = append(u.ASPath, rng.Uint32())
+		}
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			if rng.Intn(3) == 0 {
+				var a [16]byte
+				a[0], a[1] = 0x20, 0x01
+				rng.Read(a[2:8])
+				u.NLRI = append(u.NLRI, netip.PrefixFrom(netip.AddrFrom16(a), 16+rng.Intn(49)).Masked())
+			} else {
+				var a [4]byte
+				rng.Read(a[:])
+				u.NLRI = append(u.NLRI, netip.PrefixFrom(netip.AddrFrom4(a), 8+rng.Intn(25)).Masked())
+			}
+		}
+		msg, err := u.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := ParseUpdate(msg)
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(back.ASPath, u.ASPath) {
+			return false
+		}
+		got := map[netip.Prefix]bool{}
+		for _, p := range back.NLRI {
+			got[p] = true
+		}
+		for _, p := range u.NLRI {
+			if !got[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectorApplyAndWithdraw(t *testing.T) {
+	c := NewCollector("rv-test")
+	ann := &Update{ASPath: []uint32{100, 200}, NLRI: []netip.Prefix{mp("10.0.0.0/8"), mp("11.0.0.0/8")}}
+	if err := c.Apply(100, ann); err != nil {
+		t.Fatal(err)
+	}
+	wd := &Update{Withdrawn: []netip.Prefix{mp("11.0.0.0/8")}}
+	if err := c.Apply(100, wd); err != nil {
+		t.Fatal(err)
+	}
+	dump := c.Dump()
+	if len(dump) != 1 || dump[0].Prefix != mp("10.0.0.0/8") {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if o, _ := dump[0].Origin(); o != 200 {
+		t.Errorf("origin = %d", o)
+	}
+	// Wire path.
+	raw, err := (&Update{ASPath: []uint32{300, 400}, NLRI: []netip.Prefix{mp("12.0.0.0/8")}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyRaw(300, raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Dump()) != 2 {
+		t.Errorf("dump after raw apply = %d entries", len(c.Dump()))
+	}
+}
+
+func TestCollectorLatestPathWins(t *testing.T) {
+	c := NewCollector("rv")
+	c.Apply(1, &Update{ASPath: []uint32{1, 2}, NLRI: []netip.Prefix{mp("10.0.0.0/8")}})
+	c.Apply(1, &Update{ASPath: []uint32{1, 3}, NLRI: []netip.Prefix{mp("10.0.0.0/8")}})
+	dump := c.Dump()
+	if len(dump) != 1 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if o, _ := dump[0].Origin(); o != 3 {
+		t.Errorf("origin = %d, want 3 (implicit withdraw)", o)
+	}
+}
+
+func TestTableAggregation(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(mp("10.0.0.0/8"), 100)
+	tbl.Add(mp("10.0.0.0/8"), 50) // MOAS
+	tbl.Add(mp("2001:db8::/32"), 200)
+	tbl.Add(mp("0.0.0.0/0"), 1) // filtered: coarser than /8
+	tbl.Add(mp("2000::/12"), 2) // filtered: coarser than /16
+	if got := tbl.Origins(mp("10.0.0.0/8")); len(got) != 2 || got[0] != 50 || got[1] != 100 {
+		t.Errorf("Origins = %v", got)
+	}
+	if o, ok := tbl.Origin(mp("10.0.0.0/8")); !ok || o != 50 {
+		t.Errorf("Origin = %d,%v", o, ok)
+	}
+	if _, ok := tbl.Origin(mp("99.0.0.0/8")); ok {
+		t.Error("missing prefix has origin")
+	}
+	ps := tbl.Prefixes()
+	if len(ps) != 2 {
+		t.Fatalf("Prefixes = %v (default route and 2000::/12 must be filtered)", ps)
+	}
+	if tbl.OriginCount() != 3 {
+		t.Errorf("OriginCount = %d", tbl.OriginCount())
+	}
+	if tbl.Len() != 4 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestMRTRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Collector: "route-views2", PeerASN: 3356, Prefix: mp("10.0.0.0/8"), ASPath: []uint32{3356, 100}},
+		{Collector: "route-views2", PeerASN: 3356, Prefix: mp("2001:db8::/32"), ASPath: []uint32{3356, 200}},
+		{Collector: "rrc00", PeerASN: 1299, Prefix: mp("10.0.0.0/8"), ASPath: []uint32{1299, 2914, 100}},
+	}
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, entries) {
+		t.Errorf("roundtrip:\n got %+v\nwant %+v", back, entries)
+	}
+}
+
+func TestMRTEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("roundtrip of empty dump = %v", back)
+	}
+}
+
+func TestMRTRejectsGarbage(t *testing.T) {
+	if _, err := ReadMRT(bytes.NewReader([]byte("NOTMRT!!"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	WriteMRT(&buf, []Entry{{Collector: "c", PeerASN: 1, Prefix: mp("10.0.0.0/8"), ASPath: []uint32{1}}})
+	b := buf.Bytes()
+	if _, err := ReadMRT(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Error("truncated dump accepted")
+	}
+}
+
+func TestMRTRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var entries []Entry
+	colls := []string{"route-views2", "route-views6", "rrc00", "rrc01"}
+	for i := 0; i < 500; i++ {
+		var p netip.Prefix
+		if rng.Intn(4) == 0 {
+			var a [16]byte
+			a[0], a[1] = 0x20, 0x01
+			rng.Read(a[2:6])
+			p = netip.PrefixFrom(netip.AddrFrom16(a), 16+rng.Intn(49)).Masked()
+		} else {
+			var a [4]byte
+			rng.Read(a[:])
+			p = netip.PrefixFrom(netip.AddrFrom4(a), 8+rng.Intn(25)).Masked()
+		}
+		path := make([]uint32, 1+rng.Intn(6))
+		for j := range path {
+			path[j] = rng.Uint32() % 400000
+		}
+		entries = append(entries, Entry{
+			Collector: colls[rng.Intn(len(colls))],
+			PeerASN:   rng.Uint32() % 65000,
+			Prefix:    p,
+			ASPath:    path,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, entries) {
+		t.Error("random roundtrip mismatch")
+	}
+}
+
+func TestWriteDirLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	entries := []Entry{
+		{Collector: "rv", PeerASN: 1, Prefix: mp("10.0.0.0/8"), ASPath: []uint32{1, 100}},
+		{Collector: "rv", PeerASN: 1, Prefix: mp("10.1.0.0/16"), ASPath: []uint32{1, 100, 200}},
+	}
+	if err := WriteDir(dir, entries); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("table len = %d", tbl.Len())
+	}
+	if o, _ := tbl.Origin(mp("10.1.0.0/16")); o != 200 {
+		t.Errorf("origin = %d", o)
+	}
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+}
+
+// Full path integration: synthesize updates, run them through the wire
+// format into collectors, dump via MRT, aggregate.
+func TestEndToEndCollectorPath(t *testing.T) {
+	c1 := NewCollector("route-views2")
+	c2 := NewCollector("rrc00")
+	mustApply := func(c *Collector, peer uint32, u *Update) {
+		t.Helper()
+		raw, err := u.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.ApplyRaw(peer, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustApply(c1, 3356, &Update{ASPath: []uint32{3356, 100}, NLRI: []netip.Prefix{mp("10.0.0.0/8")}})
+	mustApply(c2, 1299, &Update{ASPath: []uint32{1299, 2914, 100}, NLRI: []netip.Prefix{mp("10.0.0.0/8")}})
+	mustApply(c2, 1299, &Update{ASPath: []uint32{1299, 200}, NLRI: []netip.Prefix{mp("2001:db8::/32")}})
+
+	var buf bytes.Buffer
+	if err := WriteMRT(&buf, append(c1.Dump(), c2.Dump()...)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadMRT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable()
+	tbl.AddEntries(entries)
+	if o, _ := tbl.Origin(mp("10.0.0.0/8")); o != 100 {
+		t.Errorf("origin = %d", o)
+	}
+	if got := tbl.Prefixes(); len(got) != 2 {
+		t.Errorf("prefixes = %v", got)
+	}
+}
+
+// Extended-length path attributes: an AS path longer than 63 hops encodes
+// to more than 255 bytes and must use the extended-length attribute form.
+func TestUpdateExtendedLengthASPath(t *testing.T) {
+	u := &Update{NLRI: []netip.Prefix{mp("10.0.0.0/8")}}
+	for i := 0; i < 80; i++ {
+		u.ASPath = append(u.ASPath, uint32(1000+i))
+	}
+	msg, err := u.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseUpdate(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.ASPath, u.ASPath) {
+		t.Errorf("extended-length AS path corrupted: %d hops back", len(back.ASPath))
+	}
+}
+
+// An AS_PATH segment can hold at most 255 ASNs; the encoder currently
+// emits a single AS_SEQUENCE, so reject paths beyond that rather than
+// silently truncating.
+func TestCollectorPathIsolation(t *testing.T) {
+	c := NewCollector("rv")
+	path := []uint32{1, 2, 3}
+	c.Apply(1, &Update{ASPath: path, NLRI: []netip.Prefix{mp("10.0.0.0/8")}})
+	path[2] = 999 // caller mutates its slice after Apply
+	dump := c.Dump()
+	if o, _ := dump[0].Origin(); o != 3 {
+		t.Errorf("collector aliased caller's path slice: origin %d", o)
+	}
+}
+
+func TestTablePrefixesSorted(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(mp("11.0.0.0/8"), 1)
+	tbl.Add(mp("10.0.0.0/8"), 1)
+	tbl.Add(mp("10.0.0.0/16"), 1)
+	tbl.Add(mp("2001:db8::/32"), 1)
+	ps := tbl.Prefixes()
+	for i := 1; i < len(ps); i++ {
+		if netx.Compare(ps[i-1], ps[i]) >= 0 {
+			t.Fatalf("Prefixes not sorted: %v", ps)
+		}
+	}
+}
+
+func TestMRTLongPathRejected(t *testing.T) {
+	path := make([]uint32, 300)
+	var buf bytes.Buffer
+	err := WriteMRT(&buf, []Entry{{Collector: "c", PeerASN: 1, Prefix: mp("10.0.0.0/8"), ASPath: path}})
+	if err == nil {
+		t.Error("300-hop path accepted by MRT writer")
+	}
+}
+
+func TestMarshalRejectsOverlongPath(t *testing.T) {
+	u := &Update{NLRI: []netip.Prefix{mp("10.0.0.0/8")}, ASPath: make([]uint32, 300)}
+	if _, err := u.Marshal(); err == nil {
+		t.Error("300-hop AS path accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package bgp
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// Fuzz targets double as robustness tests: `go test` runs the seed corpus;
+// `go test -fuzz=FuzzX` explores further. The invariant under fuzzing is
+// "no panic, and anything that parses re-encodes consistently".
+
+func FuzzParseUpdate(f *testing.F) {
+	seed, _ := (&Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")},
+		ASPath:    []uint32{64500, 4200000001},
+		NLRI:      []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8"), netip.MustParsePrefix("2001:db8::/32")},
+	}).Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 19))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := ParseUpdate(data)
+		if err != nil {
+			return
+		}
+		// A parsed update must re-marshal unless it exceeds structural
+		// limits (no AS path with NLRI, oversize, v6 withdrawals).
+		if len(u.NLRI) > 0 && len(u.ASPath) > 0 && len(u.ASPath) <= 255 {
+			if _, err := u.Marshal(); err != nil {
+				// Oversize re-encodings are acceptable; panics are not.
+				t.Logf("re-marshal: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzReadMRT(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteMRT(&buf, []Entry{
+		{Collector: "rv", PeerASN: 1, Prefix: netip.MustParsePrefix("10.0.0.0/8"), ASPath: []uint32{1, 2}},
+		{Collector: "rrc", PeerASN: 2, Prefix: netip.MustParsePrefix("2001:db8::/32"), ASPath: []uint32{2}},
+	})
+	f.Add(buf.Bytes())
+	f.Add([]byte("P2OMRT1\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ReadMRT(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Round trip what parsed.
+		var out bytes.Buffer
+		if err := WriteMRT(&out, entries); err != nil {
+			return
+		}
+		back, err := ReadMRT(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("rewrite unparseable: %v", err)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("roundtrip lost entries: %d vs %d", len(back), len(entries))
+		}
+	})
+}

@@ -1,0 +1,294 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Minimal BGP-4 session layer (RFC 4271 subset with the RFC 6793
+// four-octet-AS capability): enough for a synthetic peer to feed a
+// collector over a real TCP connection, the way RouteViews and RIS
+// collectors receive their routes. The FSM is reduced to
+// connect → OPEN exchange → KEEPALIVE exchange → established.
+
+// Message type codes.
+const (
+	msgOpen      = 1
+	msgUpdate    = 2
+	msgKeepalive = 4
+)
+
+// readMessage reads one framed BGP message (header + body) from r.
+func readMessage(r io.Reader) (msgType byte, body []byte, err error) {
+	var hdr [19]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	for i := 0; i < 16; i++ {
+		if hdr[i] != 0xFF {
+			return 0, nil, fmt.Errorf("bgp: bad marker in message header")
+		}
+	}
+	total := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if total < 19 || total > 4096 {
+		return 0, nil, fmt.Errorf("bgp: bad message length %d", total)
+	}
+	body = make([]byte, total-19)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[18], body, nil
+}
+
+func writeMessage(w io.Writer, msgType byte, body []byte) error {
+	total := 19 + len(body)
+	if total > 4096 {
+		return fmt.Errorf("bgp: message exceeds 4096 bytes")
+	}
+	hdr := make([]byte, 19, total)
+	for i := 0; i < 16; i++ {
+		hdr[i] = 0xFF
+	}
+	binary.BigEndian.PutUint16(hdr[16:18], uint16(total))
+	hdr[18] = msgType
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+// openMessage encodes a BGP OPEN with the 4-octet-AS capability.
+func openMessage(asn uint32, holdTime uint16, routerID [4]byte) []byte {
+	// Legacy AS field: AS_TRANS (23456) when the ASN needs four octets.
+	legacy := uint16(23456)
+	if asn <= 0xFFFF {
+		legacy = uint16(asn)
+	}
+	capa := []byte{65, 4, byte(asn >> 24), byte(asn >> 16), byte(asn >> 8), byte(asn)} // cap 65: 4-octet AS
+	opt := append([]byte{2, byte(len(capa))}, capa...)                                 // param 2: capabilities
+	body := []byte{4, byte(legacy >> 8), byte(legacy)}
+	body = append(body, byte(holdTime>>8), byte(holdTime))
+	body = append(body, routerID[:]...)
+	body = append(body, byte(len(opt)))
+	return append(body, opt...)
+}
+
+// parseOpen extracts the peer ASN (preferring the 4-octet capability).
+func parseOpen(body []byte) (asn uint32, holdTime uint16, err error) {
+	if len(body) < 10 {
+		return 0, 0, fmt.Errorf("bgp: truncated OPEN")
+	}
+	if body[0] != 4 {
+		return 0, 0, fmt.Errorf("bgp: unsupported BGP version %d", body[0])
+	}
+	asn = uint32(binary.BigEndian.Uint16(body[1:3]))
+	holdTime = binary.BigEndian.Uint16(body[3:5])
+	optLen := int(body[9])
+	opts := body[10:]
+	if len(opts) < optLen {
+		return 0, 0, fmt.Errorf("bgp: truncated OPEN parameters")
+	}
+	opts = opts[:optLen]
+	for len(opts) >= 2 {
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return 0, 0, fmt.Errorf("bgp: truncated OPEN parameter")
+		}
+		val := opts[2 : 2+plen]
+		if ptype == 2 { // capabilities
+			for len(val) >= 2 {
+				code, clen := val[0], int(val[1])
+				if len(val) < 2+clen {
+					return 0, 0, fmt.Errorf("bgp: truncated capability")
+				}
+				if code == 65 && clen == 4 { // 4-octet AS
+					asn = binary.BigEndian.Uint32(val[2:6])
+				}
+				val = val[2+clen:]
+			}
+		}
+		opts = opts[2+plen:]
+	}
+	return asn, holdTime, nil
+}
+
+// Session is an established BGP session over a net.Conn.
+type Session struct {
+	conn    net.Conn
+	PeerASN uint32
+	mu      sync.Mutex
+}
+
+// Handshake performs the OPEN/KEEPALIVE exchange on conn and returns the
+// established session. Both sides call it (the protocol is symmetric at
+// this reduced fidelity).
+func Handshake(conn net.Conn, localASN uint32, timeout time.Duration) (*Session, error) {
+	if timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+		defer conn.SetDeadline(time.Time{})
+	}
+	// Writes run concurrently with reads: both ends of a BGP session send
+	// their OPEN (then KEEPALIVE) without waiting for the peer's, and
+	// fully synchronous transports (net.Pipe) would deadlock otherwise.
+	routerID := [4]byte{192, 0, 2, byte(localASN)}
+	sendErr := make(chan error, 1)
+	go func() {
+		if err := writeMessage(conn, msgOpen, openMessage(localASN, 180, routerID)); err != nil {
+			sendErr <- fmt.Errorf("bgp: send OPEN: %w", err)
+			return
+		}
+		sendErr <- writeMessage(conn, msgKeepalive, nil)
+	}()
+	mt, body, err := readMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: read OPEN: %w", err)
+	}
+	if mt != msgOpen {
+		return nil, fmt.Errorf("bgp: expected OPEN, got type %d", mt)
+	}
+	peerASN, _, err := parseOpen(body)
+	if err != nil {
+		return nil, err
+	}
+	mt, _, err = readMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: read KEEPALIVE: %w", err)
+	}
+	if mt != msgKeepalive {
+		return nil, fmt.Errorf("bgp: expected KEEPALIVE, got type %d", mt)
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
+	}
+	return &Session{conn: conn, PeerASN: peerASN}, nil
+}
+
+// Send transmits one UPDATE.
+func (s *Session) Send(u *Update) error {
+	msg, err := u.Marshal()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err = s.conn.Write(msg)
+	return err
+}
+
+// SendKeepalive transmits a KEEPALIVE.
+func (s *Session) SendKeepalive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return writeMessage(s.conn, msgKeepalive, nil)
+}
+
+// Recv reads messages until the next UPDATE (skipping KEEPALIVEs) and
+// decodes it. io.EOF signals a clean remote close.
+func (s *Session) Recv() (*Update, error) {
+	for {
+		mt, body, err := readMessage(s.conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, io.EOF
+			}
+			return nil, err
+		}
+		switch mt {
+		case msgKeepalive:
+			continue
+		case msgUpdate:
+			// Re-frame: ParseUpdate expects the full message.
+			full := make([]byte, 19+len(body))
+			for i := 0; i < 16; i++ {
+				full[i] = 0xFF
+			}
+			binary.BigEndian.PutUint16(full[16:18], uint16(len(full)))
+			full[18] = msgUpdate
+			copy(full[19:], body)
+			return ParseUpdate(full)
+		default:
+			return nil, fmt.Errorf("bgp: unexpected message type %d in established state", mt)
+		}
+	}
+}
+
+// Close terminates the session's transport.
+func (s *Session) Close() error { return s.conn.Close() }
+
+// CollectorServer accepts BGP peers over TCP and feeds their UPDATEs to a
+// Collector — the RouteViews deployment shape.
+type CollectorServer struct {
+	Collector *Collector
+	LocalASN  uint32
+
+	lis  net.Listener
+	done chan struct{}
+	wg   sync.WaitGroup
+	mu   sync.Mutex // serializes Collector.Apply
+}
+
+// NewCollectorServer wraps a collector for serving.
+func NewCollectorServer(c *Collector, localASN uint32) *CollectorServer {
+	return &CollectorServer{Collector: c, LocalASN: localASN, done: make(chan struct{})}
+}
+
+// Start listens on addr and returns the bound address.
+func (cs *CollectorServer) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("bgp: listen %s: %w", addr, err)
+	}
+	cs.lis = lis
+	cs.wg.Add(1)
+	go cs.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+// Close stops the listener and waits for peer goroutines.
+func (cs *CollectorServer) Close() error {
+	close(cs.done)
+	var err error
+	if cs.lis != nil {
+		err = cs.lis.Close()
+	}
+	cs.wg.Wait()
+	return err
+}
+
+func (cs *CollectorServer) acceptLoop() {
+	defer cs.wg.Done()
+	for {
+		conn, err := cs.lis.Accept()
+		if err != nil {
+			select {
+			case <-cs.done:
+				return
+			default:
+				continue
+			}
+		}
+		cs.wg.Add(1)
+		go func() {
+			defer cs.wg.Done()
+			defer conn.Close()
+			sess, err := Handshake(conn, cs.LocalASN, 10*time.Second)
+			if err != nil {
+				return
+			}
+			for {
+				u, err := sess.Recv()
+				if err != nil {
+					return
+				}
+				cs.mu.Lock()
+				_ = cs.Collector.Apply(sess.PeerASN, u)
+				cs.mu.Unlock()
+			}
+		}()
+	}
+}

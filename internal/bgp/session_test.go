@@ -1,0 +1,189 @@
+package bgp
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestHandshakeOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Handshake(b, 65001, 5*time.Second)
+		ch <- res{s, err}
+	}()
+	sa, err := Handshake(a, 4200000000, 5*time.Second) // 4-octet ASN
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := <-ch
+	if rb.err != nil {
+		t.Fatal(rb.err)
+	}
+	if sa.PeerASN != 65001 {
+		t.Errorf("side A peer = %d", sa.PeerASN)
+	}
+	if rb.s.PeerASN != 4200000000 {
+		t.Errorf("side B peer = %d (4-octet capability lost)", rb.s.PeerASN)
+	}
+}
+
+func TestSessionUpdateExchange(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ch := make(chan *Session, 1)
+	go func() {
+		s, err := Handshake(b, 65002, 5*time.Second)
+		if err != nil {
+			t.Error(err)
+			ch <- nil
+			return
+		}
+		ch <- s
+	}()
+	sa, err := Handshake(a, 65001, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := <-ch
+	if sb == nil {
+		t.FailNow()
+	}
+	want := &Update{ASPath: []uint32{65001, 100}, NLRI: []netip.Prefix{mp("10.0.0.0/8"), mp("2001:db8::/32")}}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := sa.SendKeepalive(); err != nil { // must be skipped by Recv
+			errCh <- err
+			return
+		}
+		errCh <- sa.Send(want)
+	}()
+	got, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if len(got.NLRI) != 2 || got.ASPath[1] != 100 {
+		t.Errorf("received update = %+v", got)
+	}
+}
+
+// Full deployment shape: a synthetic peer dials a collector server over
+// real TCP, announces routes, withdraws one; the collector's RIB and the
+// aggregated table reflect it.
+func TestCollectorServerEndToEnd(t *testing.T) {
+	coll := NewCollector("route-views-test")
+	srv := NewCollectorServer(coll, 64512)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Handshake(conn, 65010, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.PeerASN != 64512 {
+		t.Errorf("collector ASN = %d", sess.PeerASN)
+	}
+	updates := []*Update{
+		{ASPath: []uint32{65010, 100}, NLRI: []netip.Prefix{mp("10.0.0.0/8")}},
+		{ASPath: []uint32{65010, 200}, NLRI: []netip.Prefix{mp("11.0.0.0/8"), mp("2001:db8::/32")}},
+		{Withdrawn: []netip.Prefix{mp("10.0.0.0/8")}},
+	}
+	for _, u := range updates {
+		if err := sess.Send(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the server goroutine to drain the connection.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		n := len(coll.Dump())
+		srv.mu.Unlock()
+		if n == 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv.mu.Lock()
+	dump := coll.Dump()
+	srv.mu.Unlock()
+	if len(dump) != 2 {
+		t.Fatalf("RIB = %+v, want 2 entries (one withdrawn)", dump)
+	}
+	tbl := NewTable()
+	tbl.AddEntries(dump)
+	if o, ok := tbl.Origin(mp("11.0.0.0/8")); !ok || o != 200 {
+		t.Errorf("origin = %d,%v", o, ok)
+	}
+	if _, ok := tbl.Origin(mp("10.0.0.0/8")); ok {
+		t.Error("withdrawn prefix still in table")
+	}
+}
+
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		b.Write([]byte("definitely not a bgp open message padding padding"))
+	}()
+	if _, err := Handshake(a, 65001, 1*time.Second); err == nil {
+		t.Error("garbage handshake accepted")
+	}
+}
+
+func TestParseOpenErrors(t *testing.T) {
+	if _, _, err := parseOpen([]byte{1, 2}); err == nil {
+		t.Error("truncated OPEN accepted")
+	}
+	bad := openMessage(65001, 180, [4]byte{1, 2, 3, 4})
+	bad[0] = 3 // wrong version
+	if _, _, err := parseOpen(bad); err == nil {
+		t.Error("BGP version 3 accepted")
+	}
+}
+
+func TestOpenRoundTripLegacyASN(t *testing.T) {
+	body := openMessage(65001, 180, [4]byte{1, 2, 3, 4})
+	asn, hold, err := parseOpen(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asn != 65001 || hold != 180 {
+		t.Errorf("parseOpen = AS%d hold %d", asn, hold)
+	}
+	// 4-octet ASN uses AS_TRANS in the legacy field.
+	body = openMessage(4200000000, 90, [4]byte{1, 2, 3, 4})
+	if legacy := uint32(body[1])<<8 | uint32(body[2]); legacy != 23456 {
+		t.Errorf("legacy AS field = %d, want AS_TRANS", legacy)
+	}
+	asn, _, err = parseOpen(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asn != 4200000000 {
+		t.Errorf("capability ASN = %d", asn)
+	}
+}

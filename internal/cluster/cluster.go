@@ -1,0 +1,214 @@
+// Package cluster implements Prefix2Org's prefix aggregation (§5.3.2 and
+// §5.3.3 of the paper).
+//
+// Input: one row per routed prefix carrying the prefix's exact Direct
+// Owner name, the cleaned base name, the child-most RPKI Resource
+// Certificate identity (if any), and the origin ASN cluster (if any).
+//
+// Three families of clusters are formed:
+//
+//	W — Default Clusters: prefixes grouped by the exact Direct Owner
+//	    name (after basic string processing).
+//	R — prefixes sharing a base name AND listed in the same Resource
+//	    Certificate (shared management).
+//	A — prefixes sharing a base name AND originated by ASNs of the same
+//	    ASN cluster (shared operation).
+//
+// Finally, W clusters that share membership in any R or A group are
+// merged (Figure 3): the result is the connected-component fixpoint of
+// the bipartite membership graph, computed with a disjoint-set union.
+// Because R and A groups are keyed by base name, only same-base-name W
+// clusters can ever merge — organizations with similar names but disjoint
+// routing and RPKI management (Fastly, Inc. vs Fastly Network Solution)
+// stay separate.
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"github.com/prefix2org/prefix2org/internal/dsu"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+// PrefixInfo is one routed prefix's clustering inputs.
+type PrefixInfo struct {
+	Prefix netip.Prefix
+	// OwnerName is the exact Direct Owner name (basic-cleaned), the W
+	// cluster key.
+	OwnerName string
+	// BaseName is the cleaned base name from the names pipeline.
+	BaseName string
+	// CertSKI identifies the child-most RPKI Resource Certificate
+	// covering the prefix; empty when the prefix is not in any RC.
+	CertSKI string
+	// ASNCluster identifies the origin ASN's cluster; empty when the
+	// prefix is not routed or the origin is unknown.
+	ASNCluster string
+}
+
+// Cluster is one final prefix cluster: the prefixes of one inferred
+// organization.
+type Cluster struct {
+	// ID is a stable identifier, "<basename>-<hash>" (e.g.
+	// "verizon-076541").
+	ID string
+	// BaseName is the shared base name of the cluster's Direct Owners.
+	BaseName string
+	// OwnerNames are the distinct exact Direct Owner names merged into
+	// this cluster, sorted.
+	OwnerNames []string
+	// Prefixes are the member prefixes in canonical order.
+	Prefixes []netip.Prefix
+}
+
+// MultiName reports whether the cluster aggregates more than one exact
+// WHOIS organization name (the paper's "multi-org-name cluster").
+func (c *Cluster) MultiName() bool { return len(c.OwnerNames) > 1 }
+
+// Result is the outcome of Build.
+type Result struct {
+	// Final are the merged clusters, sorted by ID.
+	Final []*Cluster
+	// WCount is the number of Default (exact-name) clusters.
+	WCount int
+	// RGroups / AGroups count the distinct non-trivial R and A groups.
+	RGroups, AGroups int
+	// RMultiName / AMultiName count R and A groups spanning more than
+	// one exact owner name (the groups that caused aggregation).
+	RMultiName, AMultiName int
+
+	byOwner  map[string]*Cluster
+	byPrefix map[netip.Prefix]*Cluster
+}
+
+// ClusterOfOwner returns the final cluster containing the exact owner
+// name.
+func (r *Result) ClusterOfOwner(owner string) (*Cluster, bool) {
+	c, ok := r.byOwner[owner]
+	return c, ok
+}
+
+// ClusterOfPrefix returns the final cluster containing the prefix.
+func (r *Result) ClusterOfPrefix(p netip.Prefix) (*Cluster, bool) {
+	c, ok := r.byPrefix[p.Masked()]
+	return c, ok
+}
+
+// Build runs the full W/R/A construction and the Figure 3 merge.
+func Build(infos []PrefixInfo) *Result {
+	u := dsu.New()
+	// W clusters: one DSU element per exact owner name.
+	owners := map[string]bool{}
+	for _, in := range infos {
+		if in.OwnerName == "" {
+			continue
+		}
+		owners[in.OwnerName] = true
+		u.Add(in.OwnerName)
+	}
+
+	// R and A groups: base name × shared certificate / ASN cluster. Each
+	// group unions the W clusters of its members.
+	type groupKey struct{ base, id string }
+	rGroups := map[groupKey][]string{} // owner names per group
+	aGroups := map[groupKey][]string{}
+	for _, in := range infos {
+		if in.OwnerName == "" || in.BaseName == "" {
+			continue
+		}
+		if in.CertSKI != "" {
+			k := groupKey{in.BaseName, in.CertSKI}
+			rGroups[k] = append(rGroups[k], in.OwnerName)
+		}
+		if in.ASNCluster != "" {
+			k := groupKey{in.BaseName, in.ASNCluster}
+			aGroups[k] = append(aGroups[k], in.OwnerName)
+		}
+	}
+	countMulti := func(groups map[groupKey][]string) int {
+		n := 0
+		for _, members := range groups {
+			distinct := map[string]bool{}
+			for _, o := range members {
+				distinct[o] = true
+			}
+			if len(distinct) > 1 {
+				n++
+			}
+		}
+		return n
+	}
+	res := &Result{
+		WCount:     len(owners),
+		RGroups:    len(rGroups),
+		AGroups:    len(aGroups),
+		RMultiName: countMulti(rGroups),
+		AMultiName: countMulti(aGroups),
+		byOwner:    map[string]*Cluster{},
+		byPrefix:   map[netip.Prefix]*Cluster{},
+	}
+	for _, members := range rGroups {
+		for i := 1; i < len(members); i++ {
+			u.Union(members[0], members[i])
+		}
+	}
+	for _, members := range aGroups {
+		for i := 1; i < len(members); i++ {
+			u.Union(members[0], members[i])
+		}
+	}
+
+	// Materialize final clusters from the DSU components.
+	compOwners := map[string][]string{}
+	for owner := range owners {
+		rep := u.Find(owner)
+		compOwners[rep] = append(compOwners[rep], owner)
+	}
+	baseOf := map[string]string{}
+	prefixesOf := map[string][]netip.Prefix{}
+	for _, in := range infos {
+		if in.OwnerName == "" {
+			continue
+		}
+		rep := u.Find(in.OwnerName)
+		prefixesOf[rep] = append(prefixesOf[rep], in.Prefix.Masked())
+		if baseOf[rep] == "" && in.BaseName != "" {
+			baseOf[rep] = in.BaseName
+		}
+	}
+	for rep, members := range compOwners {
+		sort.Strings(members)
+		c := &Cluster{
+			BaseName:   baseOf[rep],
+			OwnerNames: members,
+			Prefixes:   netx.Dedup(prefixesOf[rep]),
+		}
+		c.ID = clusterID(c.BaseName, members)
+		res.Final = append(res.Final, c)
+		for _, o := range members {
+			res.byOwner[o] = c
+		}
+		for _, p := range c.Prefixes {
+			res.byPrefix[p] = c
+		}
+	}
+	sort.Slice(res.Final, func(i, j int) bool { return res.Final[i].ID < res.Final[j].ID })
+	return res
+}
+
+// clusterID derives the stable "<basename>-<hash>" identifier from the
+// sorted member names.
+func clusterID(base string, owners []string) string {
+	h := sha256.New()
+	for _, o := range owners {
+		fmt.Fprintf(h, "%s|", o)
+	}
+	sum := h.Sum(nil)
+	if base == "" {
+		base = "unnamed"
+	}
+	return fmt.Sprintf("%s-%02x%02x%02x", base, sum[0], sum[1], sum[2])
+}

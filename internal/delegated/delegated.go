@@ -1,0 +1,269 @@
+// Package delegated implements the NRO "extended delegated statistics"
+// file format — the daily per-RIR file listing the status of every
+// resource the registry manages.
+//
+// The paper uses these files in footnote 2: before filtering BGP data it
+// verifies against the delegation files that no RIR has ever delegated a
+// block larger than /8 (IPv4) or /16 (IPv6), which justifies dropping
+// less-specific routes. This package provides the parser/writer pair,
+// the summary bookkeeping, and that verification.
+//
+// Format (pipe-separated, RFC-less but documented by the NRO):
+//
+//	2|arin|20240901|3|19700101|20240901|+0000          <- version header
+//	arin|*|ipv4|*|2|summary                            <- summary lines
+//	arin|*|asn|*|1|summary
+//	arin|US|ipv4|206.238.0.0|65536|20240501|allocated|acct-1
+//	arin|US|ipv6|2600::|32|20110101|allocated|acct-1
+//	arin|US|asn|701|1|19910101|assigned|acct-2
+//
+// IPv4 records carry an address *count*; IPv6 records carry a prefix
+// *length*; ASN records carry a count of consecutive ASNs.
+package delegated
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+// Type is the resource type of one record.
+type Type string
+
+// Resource types.
+const (
+	TypeIPv4 Type = "ipv4"
+	TypeIPv6 Type = "ipv6"
+	TypeASN  Type = "asn"
+)
+
+// Record is one delegated resource.
+type Record struct {
+	Registry alloc.Registry
+	Country  string
+	Type     Type
+	// Start is the first address (ipv4/ipv6) in string form, or the
+	// first ASN rendered in decimal.
+	Start string
+	// Value is the address count (ipv4), the prefix length (ipv6), or
+	// the ASN count (asn).
+	Value int
+	Date  time.Time
+	// Status is allocated/assigned/available/reserved.
+	Status string
+	// OpaqueID links records of the same registry account.
+	OpaqueID string
+}
+
+// Prefixes converts an address record to canonical CIDRs. IPv4 counts
+// that are not a power of two expand to several blocks; ASN records
+// return nil.
+func (r *Record) Prefixes() ([]netip.Prefix, error) {
+	switch r.Type {
+	case TypeIPv4:
+		first, err := netip.ParseAddr(r.Start)
+		if err != nil || !first.Is4() {
+			return nil, fmt.Errorf("delegated: bad ipv4 start %q", r.Start)
+		}
+		if r.Value <= 0 {
+			return nil, fmt.Errorf("delegated: bad ipv4 count %d", r.Value)
+		}
+		f4 := first.As4()
+		u := uint32(f4[0])<<24 | uint32(f4[1])<<16 | uint32(f4[2])<<8 | uint32(f4[3])
+		lastU := uint64(u) + uint64(r.Value) - 1
+		if lastU > 0xFFFFFFFF {
+			return nil, fmt.Errorf("delegated: ipv4 range overflows address space")
+		}
+		last := netip.AddrFrom4([4]byte{byte(lastU >> 24), byte(lastU >> 16), byte(lastU >> 8), byte(lastU)})
+		return netx.ParseRange(first, last)
+	case TypeIPv6:
+		first, err := netip.ParseAddr(r.Start)
+		if err != nil || first.Is4() {
+			return nil, fmt.Errorf("delegated: bad ipv6 start %q", r.Start)
+		}
+		if r.Value < 0 || r.Value > 128 {
+			return nil, fmt.Errorf("delegated: bad ipv6 length %d", r.Value)
+		}
+		return []netip.Prefix{netip.PrefixFrom(first, r.Value).Masked()}, nil
+	default:
+		return nil, nil
+	}
+}
+
+// File is one registry's delegated-extended file.
+type File struct {
+	Registry alloc.Registry
+	Serial   string // the file date, YYYYMMDD
+	Records  []Record
+}
+
+// Parse reads a delegated-extended file.
+func Parse(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	f := &File{}
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if !sawHeader {
+			if len(fields) < 6 || fields[0] != "2" {
+				return nil, fmt.Errorf("delegated: line %d: bad version header", lineNo)
+			}
+			f.Registry = alloc.Registry(strings.ToUpper(fields[1]))
+			if f.Registry == "RIPENCC" || f.Registry == "Ripencc" {
+				f.Registry = alloc.RIPE
+			}
+			f.Serial = fields[2]
+			sawHeader = true
+			continue
+		}
+		if len(fields) >= 6 && fields[5] == "summary" {
+			continue // summary lines are recomputed on demand
+		}
+		if len(fields) < 7 {
+			return nil, fmt.Errorf("delegated: line %d: want >= 7 fields, got %d", lineNo, len(fields))
+		}
+		value, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("delegated: line %d: value %q: %w", lineNo, fields[4], err)
+		}
+		rec := Record{
+			Registry: f.Registry,
+			Country:  fields[1],
+			Type:     Type(fields[2]),
+			Start:    fields[3],
+			Value:    value,
+			Status:   fields[6],
+		}
+		switch rec.Type {
+		case TypeIPv4, TypeIPv6, TypeASN:
+		default:
+			return nil, fmt.Errorf("delegated: line %d: unknown type %q", lineNo, fields[2])
+		}
+		if fields[5] != "" {
+			if t, err := time.Parse("20060102", fields[5]); err == nil {
+				rec.Date = t
+			}
+		}
+		if len(fields) > 7 {
+			rec.OpaqueID = fields[7]
+		}
+		f.Records = append(f.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("delegated: scan: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("delegated: empty file (no header)")
+	}
+	return f, nil
+}
+
+// Write serializes the file with a version header and summary lines.
+func (f *File) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	counts := map[Type]int{}
+	for _, r := range f.Records {
+		counts[r.Type]++
+	}
+	reg := strings.ToLower(string(f.Registry))
+	fmt.Fprintf(bw, "2|%s|%s|%d|19700101|%s|+0000\n", reg, f.Serial, len(f.Records), f.Serial)
+	for _, ty := range []Type{TypeASN, TypeIPv4, TypeIPv6} {
+		fmt.Fprintf(bw, "%s|*|%s|*|%d|summary\n", reg, ty, counts[ty])
+	}
+	recs := make([]Record, len(f.Records))
+	copy(recs, f.Records)
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Type != recs[j].Type {
+			return recs[i].Type < recs[j].Type
+		}
+		return recs[i].Start < recs[j].Start
+	})
+	for _, r := range recs {
+		date := ""
+		if !r.Date.IsZero() {
+			date = r.Date.UTC().Format("20060102")
+		}
+		fmt.Fprintf(bw, "%s|%s|%s|%s|%d|%s|%s", reg, r.Country, r.Type, r.Start, r.Value, date, r.Status)
+		if r.OpaqueID != "" {
+			fmt.Fprintf(bw, "|%s", r.OpaqueID)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// IPv4RecordFor builds an ipv4 record for a CIDR block.
+func IPv4RecordFor(reg alloc.Registry, country string, p netip.Prefix, date time.Time, status, opaqueID string) Record {
+	return Record{
+		Registry: reg, Country: country, Type: TypeIPv4,
+		Start: p.Masked().Addr().String(), Value: 1 << (32 - p.Bits()),
+		Date: date, Status: status, OpaqueID: opaqueID,
+	}
+}
+
+// IPv6RecordFor builds an ipv6 record for a CIDR block.
+func IPv6RecordFor(reg alloc.Registry, country string, p netip.Prefix, date time.Time, status, opaqueID string) Record {
+	return Record{
+		Registry: reg, Country: country, Type: TypeIPv6,
+		Start: p.Masked().Addr().String(), Value: p.Bits(),
+		Date: date, Status: status, OpaqueID: opaqueID,
+	}
+}
+
+// ASNRecordFor builds an asn record.
+func ASNRecordFor(reg alloc.Registry, country string, asn uint32, date time.Time, status, opaqueID string) Record {
+	return Record{
+		Registry: reg, Country: country, Type: TypeASN,
+		Start: strconv.FormatUint(uint64(asn), 10), Value: 1,
+		Date: date, Status: status, OpaqueID: opaqueID,
+	}
+}
+
+// MinPrefixLens returns the most coarse (smallest) IPv4 and IPv6 prefix
+// lengths delegated in the file — the footnote-2 verification that no
+// delegation is larger than /8 (IPv4) or /16 (IPv6). Records that do not
+// delegate addresses (asn, reserved/available) are skipped.
+func (f *File) MinPrefixLens() (v4, v6 int, err error) {
+	v4, v6 = 33, 129
+	for i := range f.Records {
+		r := &f.Records[i]
+		if r.Status != "allocated" && r.Status != "assigned" {
+			continue
+		}
+		switch r.Type {
+		case TypeIPv4:
+			// The coarsest block in a count of N addresses is
+			// /(32 - floor(log2 N)).
+			if r.Value <= 0 {
+				return 0, 0, fmt.Errorf("delegated: bad ipv4 count %d", r.Value)
+			}
+			bitsLen := 32 - (63 - leadingZeros64(uint64(r.Value)))
+			if bitsLen < v4 {
+				v4 = bitsLen
+			}
+		case TypeIPv6:
+			if r.Value < v6 {
+				v6 = r.Value
+			}
+		}
+	}
+	return v4, v6, nil
+}
+
+func leadingZeros64(v uint64) int { return bits.LeadingZeros64(v) }

@@ -1,0 +1,174 @@
+package delegated
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+const sample = `2|arin|20240901|4|19700101|20240901|+0000
+arin|*|ipv4|*|2|summary
+arin|*|ipv6|*|1|summary
+arin|*|asn|*|1|summary
+arin|US|ipv4|206.238.0.0|65536|20240501|allocated|acct-1
+arin|US|ipv4|63.80.52.0|768|20240501|allocated|acct-2
+arin|US|ipv6|2600:1f00::|24|20110101|allocated|acct-1
+arin|US|asn|701|1|19910101|assigned|acct-3
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Registry != alloc.ARIN || f.Serial != "20240901" {
+		t.Errorf("header = %s/%s", f.Registry, f.Serial)
+	}
+	if len(f.Records) != 4 {
+		t.Fatalf("records = %d (summaries must be skipped)", len(f.Records))
+	}
+	r := f.Records[0]
+	if r.Type != TypeIPv4 || r.Start != "206.238.0.0" || r.Value != 65536 || r.OpaqueID != "acct-1" {
+		t.Errorf("record 0 = %+v", r)
+	}
+	if r.Date.Format("20060102") != "20240501" {
+		t.Errorf("date = %v", r.Date)
+	}
+}
+
+func TestRecordPrefixes(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 65536 addresses from 206.238.0.0 = one /16.
+	ps, err := f.Records[0].Prefixes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0] != netx.MustParse("206.238.0.0/16") {
+		t.Errorf("prefixes = %v", ps)
+	}
+	// 768 addresses = /23 + /24.
+	ps, err = f.Records[1].Prefixes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 || ps[0].String() != "63.80.52.0/23" || ps[1].String() != "63.80.54.0/24" {
+		t.Errorf("non-power-of-two expansion = %v", ps)
+	}
+	// IPv6: value is a prefix length.
+	ps, err = f.Records[2].Prefixes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].String() != "2600:1f00::/24" {
+		t.Errorf("v6 prefixes = %v", ps)
+	}
+	// ASN records yield no prefixes.
+	if ps, err := f.Records[3].Prefixes(); err != nil || ps != nil {
+		t.Errorf("asn prefixes = %v, %v", ps, err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                   // no header
+		"1|arin|x|1|a|b|c\n", // wrong version
+		sample + "arin|US|banana|x|1|20240501|allocated\n",      // bad type
+		sample + "arin|US|ipv4|1.2.3.4|xx|20240501|allocated\n", // bad value
+		sample + "arin|US|ipv4|1.2.3.4\n",                       // short line
+	}
+	for i, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	f := &File{Registry: alloc.RIPE, Serial: "20240901"}
+	when := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	f.Records = append(f.Records,
+		IPv4RecordFor(alloc.RIPE, "DE", netx.MustParse("193.0.0.0/21"), when, "allocated", "a1"),
+		IPv6RecordFor(alloc.RIPE, "DE", netx.MustParse("2a00:1000::/32"), when, "allocated", "a1"),
+		ASNRecordFor(alloc.RIPE, "DE", 3320, when, "assigned", "a2"),
+	)
+	var sb strings.Builder
+	if err := f.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Registry != alloc.RIPE || len(back.Records) != 3 {
+		t.Fatalf("roundtrip = %s, %d records", back.Registry, len(back.Records))
+	}
+	// Summary lines present and correct.
+	if !strings.Contains(sb.String(), "ripe|*|ipv4|*|1|summary") {
+		t.Errorf("missing summary:\n%s", sb.String())
+	}
+	ps, err := back.Records[1].Prefixes() // ipv4 sorts after asn
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] != netx.MustParse("193.0.0.0/21") {
+		t.Errorf("v4 roundtrip = %v", ps)
+	}
+}
+
+func TestMinPrefixLens(t *testing.T) {
+	f := &File{Registry: alloc.ARIN, Serial: "20240901"}
+	when := time.Time{}
+	f.Records = append(f.Records,
+		IPv4RecordFor(alloc.ARIN, "US", netx.MustParse("23.0.0.0/10"), when, "allocated", ""),
+		IPv4RecordFor(alloc.ARIN, "US", netx.MustParse("206.238.0.0/16"), when, "allocated", ""),
+		IPv6RecordFor(alloc.ARIN, "US", netx.MustParse("2600::/29"), when, "allocated", ""),
+		// Reserved space does not count as a delegation.
+		Record{Registry: alloc.ARIN, Type: TypeIPv4, Start: "0.0.0.0", Value: 1 << 29, Status: "reserved"},
+	)
+	v4, v6, err := f.MinPrefixLens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4 != 10 {
+		t.Errorf("v4 min = %d, want 10", v4)
+	}
+	if v6 != 29 {
+		t.Errorf("v6 min = %d, want 29", v6)
+	}
+}
+
+func TestWriteDirLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[alloc.Registry]*File{
+		alloc.ARIN: {Registry: alloc.ARIN, Serial: "20240901", Records: []Record{
+			IPv4RecordFor(alloc.ARIN, "US", netx.MustParse("23.0.0.0/12"), time.Time{}, "allocated", "x"),
+		}},
+		alloc.RIPE: {Registry: alloc.RIPE, Serial: "20240901", Records: []Record{
+			IPv6RecordFor(alloc.RIPE, "DE", netx.MustParse("2a00::/32"), time.Time{}, "allocated", "y"),
+		}},
+	}
+	if err := WriteDir(dir, files); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("loaded %d files", len(back))
+	}
+	if len(back[alloc.ARIN].Records) != 1 || len(back[alloc.RIPE].Records) != 1 {
+		t.Error("records lost in roundtrip")
+	}
+	// Empty dir: no error, empty map.
+	empty, err := LoadDir(t.TempDir())
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty dir: %v, %v", empty, err)
+	}
+}

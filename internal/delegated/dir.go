@@ -1,0 +1,67 @@
+package delegated
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+)
+
+// Dir is the delegation files' directory inside a data directory.
+const Dir = "delegated"
+
+func fileName(rir alloc.Registry) string {
+	return fmt.Sprintf("delegated-%s-extended-latest", strings.ToLower(string(rir)))
+}
+
+// WriteDir writes one delegated-extended file per RIR under dir.
+func WriteDir(dir string, files map[alloc.Registry]*File) error {
+	d := filepath.Join(dir, Dir)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return fmt.Errorf("delegated: mkdir %s: %w", d, err)
+	}
+	for rir, f := range files {
+		path := filepath.Join(d, fileName(rir))
+		out, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("delegated: create %s: %w", path, err)
+		}
+		werr := f.Write(out)
+		cerr := out.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every RIR's delegated-extended file present under dir.
+// Missing files are skipped.
+func LoadDir(dir string) (map[alloc.Registry]*File, error) {
+	out := map[alloc.Registry]*File{}
+	for _, rir := range alloc.RIRs {
+		path := filepath.Join(dir, Dir, fileName(rir))
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("delegated: open %s: %w", path, err)
+		}
+		df, perr := Parse(f)
+		cerr := f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("delegated: parse %s: %w", path, perr)
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		out[rir] = df
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+// Package diff compares two Prefix2Org dataset snapshots, surfacing the
+// longitudinal dynamics the paper proposes studying with periodic
+// releases (§10): prefixes appearing and disappearing from BGP, address
+// transfers (Direct Owner changes), allocation-type changes, origin
+// migrations (acquisition fingerprints), and RPKI adoption growth.
+package diff
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+// OwnerChange is one prefix whose Direct Owner changed between snapshots.
+type OwnerChange struct {
+	Prefix   netip.Prefix
+	OldOwner string
+	NewOwner string
+	// SameCluster is true when both owners sit in the same final cluster
+	// of the new snapshot — an intra-organization re-registration rather
+	// than a transfer.
+	SameCluster bool
+}
+
+// OriginChange is one prefix that kept its owner but moved origin ASN.
+type OriginChange struct {
+	Prefix    netip.Prefix
+	Owner     string
+	OldOrigin uint32
+	NewOrigin uint32
+}
+
+// TypeChange is one prefix whose Direct Owner allocation type changed
+// (e.g. legacy space coming under agreement).
+type TypeChange struct {
+	Prefix  netip.Prefix
+	OldType string
+	NewType string
+}
+
+// Report summarizes the comparison of two snapshots.
+type Report struct {
+	// Added / Removed prefixes (appeared in / vanished from BGP).
+	Added, Removed []netip.Prefix
+	// Transfers are Direct Owner changes across clusters.
+	Transfers []OwnerChange
+	// Renames are Direct Owner changes within one cluster.
+	Renames []OwnerChange
+	// OriginChanges are same-owner origin migrations.
+	OriginChanges []OriginChange
+	// TypeChanges are allocation-type changes.
+	TypeChanges []TypeChange
+	// RPKINewlyCovered counts prefixes that gained Resource-Certificate
+	// coverage; RPKILostCoverage the reverse.
+	RPKINewlyCovered, RPKILostCoverage int
+	// Stable counts prefixes with no observed change.
+	Stable int
+}
+
+// Summary renders a one-paragraph overview.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		"+%d prefixes, -%d prefixes, %d transfers, %d intra-org renames, %d origin migrations, %d type changes, +%d RPKI-covered, %d stable",
+		len(r.Added), len(r.Removed), len(r.Transfers), len(r.Renames),
+		len(r.OriginChanges), len(r.TypeChanges), r.RPKINewlyCovered, r.Stable)
+}
+
+// Compare diffs two snapshots (old → new).
+func Compare(oldDS, newDS *prefix2org.Dataset) (*Report, error) {
+	if oldDS == nil || newDS == nil {
+		return nil, fmt.Errorf("diff: nil dataset")
+	}
+	rep := &Report{}
+	oldSet := map[netip.Prefix]*prefix2org.Record{}
+	for i := range oldDS.Records {
+		oldSet[oldDS.Records[i].Prefix] = &oldDS.Records[i]
+	}
+	for i := range newDS.Records {
+		nr := &newDS.Records[i]
+		or, existed := oldSet[nr.Prefix]
+		if !existed {
+			rep.Added = append(rep.Added, nr.Prefix)
+			continue
+		}
+		delete(oldSet, nr.Prefix)
+		changed := false
+		if or.DirectOwner != nr.DirectOwner {
+			changed = true
+			ch := OwnerChange{Prefix: nr.Prefix, OldOwner: or.DirectOwner, NewOwner: nr.DirectOwner}
+			// Same final cluster in the new snapshot means the "change"
+			// is a name-variant shuffle, not a transfer.
+			oldC, ok1 := newDS.ClusterOfOwner(or.DirectOwner)
+			newC, ok2 := newDS.ClusterOfOwner(nr.DirectOwner)
+			ch.SameCluster = ok1 && ok2 && oldC.ID == newC.ID
+			if ch.SameCluster {
+				rep.Renames = append(rep.Renames, ch)
+			} else {
+				rep.Transfers = append(rep.Transfers, ch)
+			}
+		} else if or.OriginASN != nr.OriginASN && or.OriginASN != 0 && nr.OriginASN != 0 {
+			changed = true
+			rep.OriginChanges = append(rep.OriginChanges, OriginChange{
+				Prefix: nr.Prefix, Owner: nr.DirectOwner,
+				OldOrigin: or.OriginASN, NewOrigin: nr.OriginASN,
+			})
+		}
+		if or.DOType != nr.DOType {
+			changed = true
+			rep.TypeChanges = append(rep.TypeChanges, TypeChange{
+				Prefix: nr.Prefix, OldType: or.DOType, NewType: nr.DOType,
+			})
+		}
+		switch {
+		case or.RPKICert == "" && nr.RPKICert != "":
+			changed = true
+			rep.RPKINewlyCovered++
+		case or.RPKICert != "" && nr.RPKICert == "":
+			changed = true
+			rep.RPKILostCoverage++
+		}
+		if !changed {
+			rep.Stable++
+		}
+	}
+	for p := range oldSet {
+		rep.Removed = append(rep.Removed, p)
+	}
+	netx.Sort(rep.Added)
+	netx.Sort(rep.Removed)
+	sortOwnerChanges(rep.Transfers)
+	sortOwnerChanges(rep.Renames)
+	sort.Slice(rep.OriginChanges, func(i, j int) bool {
+		return netx.Compare(rep.OriginChanges[i].Prefix, rep.OriginChanges[j].Prefix) < 0
+	})
+	sort.Slice(rep.TypeChanges, func(i, j int) bool {
+		return netx.Compare(rep.TypeChanges[i].Prefix, rep.TypeChanges[j].Prefix) < 0
+	})
+	return rep, nil
+}
+
+func sortOwnerChanges(cs []OwnerChange) {
+	sort.Slice(cs, func(i, j int) bool { return netx.Compare(cs[i].Prefix, cs[j].Prefix) < 0 })
+}

@@ -1,0 +1,149 @@
+package diff
+
+import (
+	"context"
+	"testing"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+// buildSnapshots generates a world, builds the dataset, evolves the
+// world, builds the later dataset.
+func buildSnapshots(t *testing.T, opts synth.EvolveOptions) (*prefix2org.Dataset, *prefix2org.Dataset) {
+	t.Helper()
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir1 := t.TempDir()
+	if err := w.WriteDir(dir1); err != nil {
+		t.Fatal(err)
+	}
+	old, err := prefix2org.BuildFromDir(context.Background(), dir1, prefix2org.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := w.Evolve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir2 := t.TempDir()
+	if err := w2.WriteDir(dir2); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := prefix2org.BuildFromDir(context.Background(), dir2, prefix2org.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return old, cur
+}
+
+func TestCompareIdenticalSnapshots(t *testing.T) {
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	a, err := prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Added)+len(rep.Removed)+len(rep.Transfers)+len(rep.Renames)+
+		len(rep.OriginChanges)+len(rep.TypeChanges) != 0 {
+		t.Errorf("identical snapshots diff non-empty: %s", rep.Summary())
+	}
+	if rep.Stable != len(a.Records) {
+		t.Errorf("stable = %d, want %d", rep.Stable, len(a.Records))
+	}
+}
+
+func TestCompareDetectsTransfers(t *testing.T) {
+	old, cur := buildSnapshots(t, synth.EvolveOptions{Seed: 42, Transfers: 12, MonthsLater: 3})
+	rep, err := Compare(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfers move blocks between unrelated orgs: owner changes across
+	// clusters must appear.
+	if len(rep.Transfers) == 0 {
+		t.Errorf("no transfers detected: %s", rep.Summary())
+	}
+	for _, ch := range rep.Transfers {
+		if ch.OldOwner == ch.NewOwner {
+			t.Errorf("transfer with identical owner: %+v", ch)
+		}
+	}
+}
+
+func TestCompareDetectsNewDelegations(t *testing.T) {
+	old, cur := buildSnapshots(t, synth.EvolveOptions{Seed: 43, NewDelegations: 15})
+	rep, err := Compare(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Added) < 10 {
+		t.Errorf("added = %d, want >= 10: %s", len(rep.Added), rep.Summary())
+	}
+	if len(rep.Removed) != 0 {
+		t.Errorf("unexpected removals: %v", rep.Removed)
+	}
+}
+
+func TestCompareDetectsRPKIAdoption(t *testing.T) {
+	old, cur := buildSnapshots(t, synth.EvolveOptions{Seed: 44, NewAdopters: 20})
+	rep, err := Compare(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adoption affects ROAs, not RC coverage, so no RPKINewlyCovered is
+	// required; but the snapshots must stay comparable (mostly stable).
+	if rep.Stable < len(old.Records)*8/10 {
+		t.Errorf("too much churn from adoption alone: %s", rep.Summary())
+	}
+}
+
+func TestCompareDetectsAcquisitions(t *testing.T) {
+	old, cur := buildSnapshots(t, synth.EvolveOptions{Seed: 45, Acquisitions: 6})
+	rep, err := Compare(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OriginChanges) == 0 {
+		t.Errorf("no origin migrations detected after acquisitions: %s", rep.Summary())
+	}
+	for _, oc := range rep.OriginChanges {
+		if oc.OldOrigin == oc.NewOrigin {
+			t.Errorf("origin change with identical origins: %+v", oc)
+		}
+	}
+}
+
+func TestCompareNil(t *testing.T) {
+	if _, err := Compare(nil, nil); err == nil {
+		t.Error("nil datasets accepted")
+	}
+}
+
+func TestSummaryMentionsEverything(t *testing.T) {
+	old, cur := buildSnapshots(t, synth.EvolveOptions{Seed: 46, Transfers: 5, NewDelegations: 5})
+	rep, err := Compare(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}

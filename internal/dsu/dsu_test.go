@@ -1,0 +1,120 @@
+package dsu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	d := New()
+	d.Union("a", "b")
+	d.Union("c", "d")
+	if !d.Same("a", "b") || !d.Same("c", "d") {
+		t.Error("unioned elements not in same set")
+	}
+	if d.Same("a", "c") {
+		t.Error("separate sets reported same")
+	}
+	d.Union("b", "c")
+	if !d.Same("a", "d") {
+		t.Error("transitive union failed")
+	}
+	if d.Len() != 4 {
+		t.Errorf("Len = %d, want 4", d.Len())
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	d := New()
+	d.Add("x")
+	d.Add("x")
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+	if d.Find("x") != "x" {
+		t.Error("singleton is not its own representative")
+	}
+}
+
+func TestUnionSelf(t *testing.T) {
+	d := New()
+	if d.Union("a", "a") != "a" {
+		t.Error("Union(a,a) != a")
+	}
+	if d.Len() != 1 {
+		t.Error("self-union created extra elements")
+	}
+}
+
+func TestSetsDeterministic(t *testing.T) {
+	d := New()
+	d.Union("b", "a")
+	d.Union("z", "y")
+	d.Add("m")
+	sets := d.Sets()
+	if len(sets) != 3 {
+		t.Fatalf("Sets = %v, want 3 groups", sets)
+	}
+	want := [][]string{{"a", "b"}, {"m"}, {"y", "z"}}
+	for i := range want {
+		if len(sets[i]) != len(want[i]) {
+			t.Fatalf("Sets[%d] = %v, want %v", i, sets[i], want[i])
+		}
+		for j := range want[i] {
+			if sets[i][j] != want[i][j] {
+				t.Errorf("Sets[%d][%d] = %s, want %s", i, j, sets[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// Property: DSU partition matches brute-force connected components of the
+// union graph.
+func TestAgainstBruteForceComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 50
+		d := New()
+		adj := map[string][]string{}
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("n%02d", i)
+			d.Add(nodes[i])
+		}
+		for e := 0; e < 40; e++ {
+			a, b := nodes[rng.Intn(n)], nodes[rng.Intn(n)]
+			d.Union(a, b)
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		// Brute-force BFS components.
+		comp := map[string]int{}
+		c := 0
+		for _, start := range nodes {
+			if _, ok := comp[start]; ok {
+				continue
+			}
+			c++
+			queue := []string{start}
+			comp[start] = c
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				for _, nb := range adj[cur] {
+					if _, ok := comp[nb]; !ok {
+						comp[nb] = c
+						queue = append(queue, nb)
+					}
+				}
+			}
+		}
+		for _, a := range nodes {
+			for _, b := range nodes {
+				if d.Same(a, b) != (comp[a] == comp[b]) {
+					t.Fatalf("trial %d: Same(%s,%s)=%v but components %d,%d", trial, a, b, d.Same(a, b), comp[a], comp[b])
+				}
+			}
+		}
+	}
+}

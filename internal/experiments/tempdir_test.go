@@ -1,0 +1,9 @@
+package experiments
+
+import "os"
+
+// mkTemp creates the shared test data directory. It lives for the test
+// process; TestMain removes it.
+func mkTemp() (string, error) {
+	return os.MkdirTemp("", "p2o-exp-test")
+}

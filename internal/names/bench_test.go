@@ -1,0 +1,36 @@
+package names
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchCorpus() []string {
+	var corpus []string
+	for i := 0; i < 2000; i++ {
+		corpus = append(corpus, fmt.Sprintf("Org%04d Telecommunications Deutschland GmbH", i))
+	}
+	return corpus
+}
+
+func BenchmarkNewCleaner(b *testing.B) {
+	corpus := benchCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewCleaner(corpus, 100)
+	}
+}
+
+func BenchmarkBaseName(b *testing.B) {
+	c := NewCleaner(benchCorpus(), 100)
+	inputs := []string{
+		"Verizon Japan Ltd.",
+		"IP pool reserved for Acme Holdings 1250",
+		"Telefónica Móviles del Uruguay S.A.",
+		"Google LLC",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.BaseName(inputs[i%len(inputs)])
+	}
+}

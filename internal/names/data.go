@@ -1,0 +1,185 @@
+package names
+
+// Embedded vocabularies for the cleaning pipeline. The paper scrapes the
+// Wikipedia list of legal entity types by country, the ISO-3166 country
+// list, the Wikipedia list of million-inhabitant cities, and a hand-made
+// endonym list; offline, the same vocabularies are embedded directly.
+// All entries are lower-case; multi-word entries are matched as phrases.
+
+// legalEntitySuffixes are legal-entity endings removed in the corporate
+// words drop step when they do not start the name.
+var legalEntitySuffixes = []string{
+	// Anglosphere
+	"llc", "l.l.c", "inc", "inc.", "incorporated", "ltd", "ltd.", "limited",
+	"llp", "lp", "plc", "corp", "corp.", "corporation", "co", "co.",
+	"company", "pty", "pty.", "pte", "pte.", "pvt", "pvt.", "private",
+	"holdings", "holding", "group", "enterprises", "enterprise", "ventures",
+	// Europe
+	"gmbh", "mbh", "ag", "kg", "kgaa", "ug", "ohg", "gbr", "ev", "e.v",
+	"sarl", "s.a.r.l", "sas", "s.a.s", "sa", "s.a", "snc", "eurl",
+	"bv", "b.v", "nv", "n.v", "vof",
+	"ab", "a.b", "aps", "a/s", "asa", "oy", "oyj", "as", "ehf", "hf",
+	"srl", "s.r.l", "spa", "s.p.a", "sapa", "ss",
+	"sl", "s.l", "slu", "sau",
+	"sp. z o.o", "sp z o.o", "spolka", "zoo", "z o.o",
+	"sro", "s.r.o", "a.s", "kft", "bt", "zrt", "nyrt", "doo", "d.o.o",
+	"ad", "a.d", "ooo", "oao", "zao", "pao", "tov", "llc.", "ojsc", "cjsc", "jsc", "pjsc",
+	// Latin America
+	"ltda", "ltda.", "s.a.a", "saa", "s.a.c", "sac", "s.a.p.i", "sapi",
+	"s.a. de c.v", "sa de cv", "cv", "c.v", "eireli", "me", "epp",
+	// Asia-Pacific
+	"kk", "k.k", "kabushiki kaisha", "godo kaisha", "gk", "yk",
+	"sdn bhd", "sdn", "bhd", "jsc.", "co ltd", "co., ltd", "co.,ltd",
+	"pt", "tbk", "persero", "sendirian berhad",
+	// Africa / Middle East
+	"wll", "w.l.l", "fzc", "fze", "fz-llc", "psc", "saog", "saoc",
+}
+
+// spellingVariants maps alternate spellings to a standard form (the
+// standardization step). Keys and values are single lower-case tokens.
+var spellingVariants = map[string]string{
+	"centre":             "center",
+	"centres":            "centers",
+	"telecommunication":  "telecom",
+	"telecommunications": "telecom",
+	"telecomunications":  "telecom", // common typo
+	"telecomunicaciones": "telecom",
+	"telecomunicacoes":   "telecom",
+	"communications":     "communication",
+	"comunications":      "communication", // common typo
+	"labs":               "laboratories",
+	"lab":                "laboratories",
+	"organisation":       "organization",
+	"organisations":      "organizations",
+	"technologies":       "technology",
+	"tech":               "technology",
+	"univ":               "university",
+	"universitaet":       "university",
+	"universidad":        "university",
+	"universidade":       "university",
+	"universite":         "university",
+	"intl":               "international",
+	"int'l":              "international",
+	"svcs":               "services",
+	"svc":                "services",
+	"serv":               "services",
+	"service":            "services",
+	"networks":           "network",
+	"netwroks":           "network", // common typo
+	"sys":                "systems",
+	"system":             "systems",
+	"solution":           "solutions",
+	"soln":               "solutions",
+	"mgmt":               "management",
+	"dept":               "department",
+	"govt":               "government",
+	"assn":               "association",
+	"assoc":              "association",
+	"bros":               "brothers",
+	"elec":               "electric",
+	"engg":               "engineering",
+	"mfg":                "manufacturing",
+}
+
+// countryNames is the ISO-3166 country list (short English names) plus
+// common endonyms and translations, used by the geographic drop step.
+var countryNames = []string{
+	"afghanistan", "albania", "algeria", "andorra", "angola", "argentina",
+	"armenia", "australia", "austria", "azerbaijan", "bahamas", "bahrain",
+	"bangladesh", "barbados", "belarus", "belgium", "belize", "benin",
+	"bhutan", "bolivia", "bosnia", "herzegovina", "botswana", "brazil",
+	"brunei", "bulgaria", "burkina faso", "burundi", "cambodia", "cameroon",
+	"canada", "chad", "chile", "china", "colombia", "comoros", "congo",
+	"costa rica", "croatia", "cuba", "cyprus", "czechia", "czech republic",
+	"denmark", "djibouti", "dominica", "dominican republic", "ecuador",
+	"egypt", "el salvador", "eritrea", "estonia", "eswatini", "ethiopia",
+	"fiji", "finland", "france", "gabon", "gambia", "georgia", "germany",
+	"ghana", "greece", "grenada", "guatemala", "guinea", "guyana", "haiti",
+	"honduras", "hungary", "iceland", "india", "indonesia", "iran", "iraq",
+	"ireland", "israel", "italy", "jamaica", "japan", "jordan",
+	"kazakhstan", "kenya", "kiribati", "kosovo", "kuwait", "kyrgyzstan",
+	"laos", "latvia", "lebanon", "lesotho", "liberia", "libya",
+	"liechtenstein", "lithuania", "luxembourg", "madagascar", "malawi",
+	"malaysia", "maldives", "mali", "malta", "mauritania", "mauritius",
+	"mexico", "micronesia", "moldova", "monaco", "mongolia", "montenegro",
+	"morocco", "mozambique", "myanmar", "namibia", "nauru", "nepal",
+	"netherlands", "new zealand", "nicaragua", "niger", "nigeria",
+	"north korea", "north macedonia", "norway", "oman", "pakistan", "palau",
+	"panama", "papua new guinea", "paraguay", "peru", "philippines",
+	"poland", "portugal", "qatar", "romania", "russia", "rwanda", "samoa",
+	"san marino", "saudi arabia", "senegal", "serbia", "seychelles",
+	"sierra leone", "singapore", "slovakia", "slovenia", "solomon islands",
+	"somalia", "south africa", "south korea", "south sudan", "spain",
+	"sri lanka", "sudan", "suriname", "sweden", "switzerland", "syria",
+	"taiwan", "tajikistan", "tanzania", "thailand", "timor-leste", "togo",
+	"tonga", "trinidad", "tobago", "tunisia", "turkey", "turkmenistan",
+	"tuvalu", "uganda", "ukraine", "united arab emirates",
+	"united kingdom", "united states", "uruguay", "uzbekistan", "vanuatu",
+	"venezuela", "vietnam", "yemen", "zambia", "zimbabwe",
+	"hong kong", "macau", "puerto rico", "greenland",
+	// Endonyms / translations the paper adds by hand.
+	"deutschland", "espana", "nippon", "nihon", "zhongguo", "hanguk",
+	"bharat", "suomi", "sverige", "norge", "danmark", "nederland",
+	"osterreich", "schweiz", "suisse", "italia", "polska", "rossiya",
+	"turkiye", "hellas", "magyarorszag", "cesko", "brasil", "argentine",
+	"belgie", "belgique", "eire", "lietuva", "latvija", "eesti",
+	// Common country abbreviations in WHOIS names.
+	"usa", "u.s.a", "uk", "u.k", "uae", "prc", "roc",
+}
+
+// cityNames are large cities (the million-inhabitant list) removed by the
+// geographic drop step when not leading the name.
+var cityNames = []string{
+	"tokyo", "osaka", "nagoya", "yokohama", "sapporo", "fukuoka",
+	"delhi", "mumbai", "bangalore", "bengaluru", "chennai", "kolkata",
+	"hyderabad", "pune", "ahmedabad",
+	"shanghai", "beijing", "guangzhou", "shenzhen", "chengdu", "wuhan",
+	"tianjin", "chongqing", "hangzhou", "nanjing", "xian",
+	"seoul", "busan", "incheon", "taipei", "kaohsiung", "taichung",
+	"jakarta", "surabaya", "bandung", "manila", "quezon", "cebu",
+	"bangkok", "hanoi", "ho chi minh", "saigon", "singapore",
+	"kuala lumpur", "dhaka", "karachi", "lahore", "islamabad", "colombo",
+	"london", "manchester", "birmingham", "paris", "lyon", "marseille",
+	"berlin", "hamburg", "munich", "muenchen", "cologne", "koeln",
+	"frankfurt", "madrid", "barcelona", "valencia", "rome", "roma",
+	"milan", "milano", "naples", "napoli", "amsterdam", "rotterdam",
+	"brussels", "vienna", "wien", "zurich", "geneva", "prague", "praha",
+	"warsaw", "warszawa", "krakow", "budapest", "bucharest", "sofia",
+	"athens", "lisbon", "lisboa", "dublin", "stockholm", "oslo",
+	"copenhagen", "helsinki", "moscow", "moskva", "saint petersburg",
+	"kyiv", "kiev", "minsk", "istanbul", "ankara", "izmir",
+	"new york", "los angeles", "chicago", "houston", "phoenix",
+	"philadelphia", "san antonio", "san diego", "dallas", "san jose",
+	"austin", "seattle", "denver", "boston", "atlanta", "miami",
+	"toronto", "montreal", "vancouver", "calgary", "ottawa",
+	"mexico city", "guadalajara", "monterrey", "bogota", "medellin",
+	"lima", "santiago", "buenos aires", "cordoba", "rosario",
+	"sao paulo", "rio de janeiro", "brasilia", "salvador", "fortaleza",
+	"belo horizonte", "curitiba", "recife", "porto alegre", "caracas",
+	"quito", "guayaquil", "montevideo", "asuncion", "la paz",
+	"cairo", "alexandria", "lagos", "kano", "ibadan", "kinshasa",
+	"johannesburg", "cape town", "durban", "pretoria", "nairobi",
+	"addis ababa", "dar es salaam", "accra", "abidjan", "dakar",
+	"casablanca", "algiers", "tunis", "luanda", "kampala", "kigali",
+	"dubai", "abu dhabi", "riyadh", "jeddah", "doha", "tel aviv",
+	"amman", "baghdad", "tehran", "sydney", "melbourne", "brisbane",
+	"perth", "adelaide", "auckland", "wellington",
+}
+
+// noisePhrases are generic remark fragments scrubbed by the regex-drop
+// step wherever they appear ("IP pool reserved for", etc.).
+var noisePhrases = []string{
+	"ip pool reserved for",
+	"ip pool for",
+	"reserved for",
+	"static ip pool",
+	"dynamic ip pool",
+	"ip block for",
+	"customer of",
+	"this space is statically assigned",
+	"abuse contact",
+	"route object for",
+	"addresses for",
+	"infrastructure of",
+	"network of",
+}

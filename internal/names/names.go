@@ -1,0 +1,289 @@
+// Package names implements Prefix2Org's rule-based organization-name
+// cleaning (§5.3.1 of the paper).
+//
+// Direct Owners register address space under many variations of their
+// name ("Google LLC", "Google Cloud", "GOOGLE INDIA PVT LTD"). The paper
+// found character-level fuzzy matching and generic entity resolution
+// inadequate and instead iteratively designed a four-step rule pipeline,
+// reproduced here:
+//
+//	(i)   initial cleaning and formatting — case folding, punctuation and
+//	      mojibake scrubbing, removal of generic remark phrases;
+//	(ii)  spelling standardization — "Centre"→"Center",
+//	      "Telecommunications"→"Telecom", ...;
+//	(iii) corporate + frequent word drop — legal-entity endings (from the
+//	      worldwide legal-entity list) and words whose corpus frequency
+//	      exceeds a threshold (100 in the paper) are removed when they are
+//	      not the first word;
+//	(iv)  geographic filtering — ISO-3166 country names, million-inhabitant
+//	      cities and hand-added endonyms are removed when not leading.
+//
+// Finally, a processed name shorter than three characters is refilled
+// with the form from after the corporate-word drop, since very short
+// base names cause false associations.
+//
+// Two distinct organizations may legitimately share a base name (Fastly,
+// Inc. vs Fastly Network Solution); disambiguation is the clustering
+// stage's job, not this package's.
+package names
+
+import (
+	"sort"
+	"strings"
+)
+
+// DefaultThreshold is the corpus-frequency cutoff above which a non-leading
+// word is dropped. The paper picked 100 and observed stability in 50–200.
+const DefaultThreshold = 100
+
+// Cleaner derives base names from WHOIS organization names. It is
+// immutable after construction and safe for concurrent use.
+type Cleaner struct {
+	threshold int
+	freq      map[string]int
+
+	suffixSet  map[string]bool
+	geoPhrases [][]string // sorted longest-first for greedy matching
+}
+
+// NewCleaner builds a Cleaner whose frequent-word list is computed from
+// corpus (the full multiset of Direct Owner names in the WHOIS snapshot).
+// threshold <= 0 selects DefaultThreshold.
+func NewCleaner(corpus []string, threshold int) *Cleaner {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	c := &Cleaner{threshold: threshold, freq: map[string]int{}, suffixSet: map[string]bool{}}
+	for _, name := range corpus {
+		for _, tok := range tokens(standardize(regexDrop(basic(name)))) {
+			c.freq[tok]++
+		}
+	}
+	for _, s := range legalEntitySuffixes {
+		for _, tok := range tokens(normPunct(s)) {
+			c.suffixSet[tok] = true
+		}
+		// Multi-word suffixes also register as a joined token ("sdnbhd")
+		// since punctuation removal can fuse them.
+		if joined := strings.Join(tokens(normPunct(s)), ""); joined != "" {
+			c.suffixSet[joined] = true
+		}
+	}
+	for _, g := range append(append([]string{}, countryNames...), cityNames...) {
+		c.geoPhrases = append(c.geoPhrases, tokens(normPunct(g)))
+	}
+	sort.Slice(c.geoPhrases, func(i, j int) bool { return len(c.geoPhrases[i]) > len(c.geoPhrases[j]) })
+	return c
+}
+
+// BaseName runs the full pipeline on one organization name.
+func (c *Cleaner) BaseName(name string) string {
+	return c.Trace(name).Result()
+}
+
+// Steps records every intermediate form of the pipeline, in the order of
+// the paper's Table 2.
+type Steps struct {
+	Original   string
+	Basic      string // lower-case, whitespace-collapsed
+	Regex      string // punctuation/noise/mojibake scrubbed
+	Spelling   string // standardized spellings (not a Table 2 row)
+	Corporate  string // legal-entity endings dropped
+	Frequent   string // corpus-frequent words dropped
+	Geographic string // countries/cities dropped
+	Refilled   string // final base name after the short-name rule
+}
+
+// Result returns the final base name.
+func (s Steps) Result() string { return s.Refilled }
+
+// Trace runs the pipeline, keeping each intermediate form.
+func (c *Cleaner) Trace(name string) Steps {
+	s := Steps{Original: name}
+	s.Basic = basic(name)
+	s.Regex = regexDrop(s.Basic)
+	s.Spelling = standardize(s.Regex)
+	s.Corporate = c.dropTokens(s.Spelling, func(tok string) bool { return c.suffixSet[tok] })
+	s.Frequent = c.dropTokens(s.Corporate, func(tok string) bool { return c.freq[tok] > c.threshold })
+	s.Geographic = c.dropGeo(s.Frequent)
+	// Short names provide insufficient information: fall back to the
+	// post-corporate-drop form (§5.3.1 final rule).
+	if len([]rune(s.Geographic)) < 3 {
+		s.Refilled = s.Corporate
+	} else {
+		s.Refilled = s.Geographic
+	}
+	return s
+}
+
+// basic is the paper's footnote-4 "basic string processing": lower case
+// and whitespace collapsing.
+func basic(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// translit maps common accented runes to ASCII so that "Telefónica" and
+// "Telefonica" agree; unmapped non-ASCII is dropped by normPunct (the
+// "incorrect encoding" cleanup).
+var translit = map[rune]rune{
+	'á': 'a', 'à': 'a', 'â': 'a', 'ã': 'a', 'ä': 'a', 'å': 'a',
+	'é': 'e', 'è': 'e', 'ê': 'e', 'ë': 'e',
+	'í': 'i', 'ì': 'i', 'î': 'i', 'ï': 'i',
+	'ó': 'o', 'ò': 'o', 'ô': 'o', 'õ': 'o', 'ö': 'o', 'ø': 'o',
+	'ú': 'u', 'ù': 'u', 'û': 'u', 'ü': 'u',
+	'ñ': 'n', 'ç': 'c', 'ý': 'y', 'ß': 's', 'æ': 'a', 'œ': 'o',
+}
+
+// normPunct deletes periods and apostrophes (so "S.A." fuses to "sa"),
+// replaces other punctuation with spaces, transliterates accents, drops
+// remaining non-ASCII, and collapses whitespace.
+func normPunct(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		if t, ok := translit[r]; ok {
+			r = t
+		}
+		switch {
+		case r == '.' || r == '\'' || r == '’':
+			// delete
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// regexDrop scrubs noise phrases, punctuation, mojibake, and
+// street-address-like trailing numerics.
+func regexDrop(s string) string {
+	for _, phrase := range noisePhrases {
+		s = strings.ReplaceAll(s, phrase, " ")
+	}
+	s = normPunct(s)
+	// Drop pure-numeric tokens (street numbers, ticket ids) unless the
+	// whole name is numeric.
+	toks := tokens(s)
+	var kept []string
+	for _, t := range toks {
+		if isNumeric(t) {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	if len(kept) == 0 {
+		return s
+	}
+	return strings.Join(kept, " ")
+}
+
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// standardize rewrites known spelling variants token-wise.
+func standardize(s string) string {
+	toks := tokens(s)
+	for i, t := range toks {
+		if std, ok := spellingVariants[t]; ok {
+			toks[i] = std
+		}
+	}
+	return strings.Join(toks, " ")
+}
+
+// dropTokens removes every token matching pred except the first token of
+// the name — the paper's "when they do not appear as the first word".
+func (c *Cleaner) dropTokens(s string, pred func(string) bool) string {
+	toks := tokens(s)
+	if len(toks) == 0 {
+		return s
+	}
+	kept := toks[:1]
+	for _, t := range toks[1:] {
+		if pred(t) {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	return strings.Join(kept, " ")
+}
+
+// dropGeo removes geographic phrases (longest-first) that do not start
+// the name.
+func (c *Cleaner) dropGeo(s string) string {
+	toks := tokens(s)
+	if len(toks) == 0 {
+		return s
+	}
+	kept := []string{toks[0]}
+	i := 1
+outer:
+	for i < len(toks) {
+		for _, phrase := range c.geoPhrases {
+			if matchAt(toks, i, phrase) {
+				i += len(phrase)
+				continue outer
+			}
+		}
+		kept = append(kept, toks[i])
+		i++
+	}
+	return strings.Join(kept, " ")
+}
+
+func matchAt(toks []string, i int, phrase []string) bool {
+	if i+len(phrase) > len(toks) {
+		return false
+	}
+	for j, p := range phrase {
+		if toks[i+j] != p {
+			return false
+		}
+	}
+	return true
+}
+
+func tokens(s string) []string { return strings.Fields(s) }
+
+// StepCounts is the Table 2 measurement: the number of distinct names in
+// a corpus after each progressive step.
+type StepCounts struct {
+	Original   int
+	Basic      int
+	Regex      int
+	Corporate  int
+	Frequent   int
+	Geographic int
+	Refilled   int
+}
+
+// CountSteps computes Table 2 over a corpus of Direct Owner names.
+func (c *Cleaner) CountSteps(corpus []string) StepCounts {
+	uniq := func(get func(Steps) string) int {
+		seen := map[string]bool{}
+		for _, name := range corpus {
+			seen[get(c.Trace(name))] = true
+		}
+		return len(seen)
+	}
+	orig := map[string]bool{}
+	for _, n := range corpus {
+		orig[n] = true
+	}
+	return StepCounts{
+		Original:   len(orig),
+		Basic:      uniq(func(s Steps) string { return s.Basic }),
+		Regex:      uniq(func(s Steps) string { return s.Regex }),
+		Corporate:  uniq(func(s Steps) string { return s.Corporate }),
+		Frequent:   uniq(func(s Steps) string { return s.Frequent }),
+		Geographic: uniq(func(s Steps) string { return s.Geographic }),
+		Refilled:   uniq(func(s Steps) string { return s.Refilled }),
+	}
+}

@@ -1,0 +1,267 @@
+package names
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// corpus with repeated filler words so the frequency step has work to do
+// at a low threshold.
+func testCleaner(t *testing.T) *Cleaner {
+	t.Helper()
+	var corpus []string
+	for i := 0; i < 30; i++ {
+		corpus = append(corpus,
+			fmt.Sprintf("Org%d Data Customers Services", i),
+			fmt.Sprintf("The Provider%d Data Network", i),
+		)
+	}
+	corpus = append(corpus,
+		"Google LLC", "Google Cloud", "GOOGLE INDIA PVT LTD",
+		"Verizon Business", "Verizon Japan Ltd", "Verizon Asia Pte Ltd",
+		"Fastly, Inc.", "Fastly Network Solution Company",
+		"Telefonica del Peru S.A.A.", "Telefonica Chile SA",
+	)
+	return NewCleaner(corpus, 25)
+}
+
+func TestBaseNameVariantsCollapse(t *testing.T) {
+	c := testCleaner(t)
+	cases := []struct{ a, b string }{
+		{"Google LLC", "Google, L.L.C."},
+		{"Verizon Japan Ltd", "Verizon Japan K.K."},
+		{"Verizon Business", "VERIZON  BUSINESS"},
+		{"Telefonica del Peru S.A.A.", "Telefónica del Peru"},
+	}
+	for _, cs := range cases {
+		ba, bb := c.BaseName(cs.a), c.BaseName(cs.b)
+		if ba != bb {
+			t.Errorf("BaseName(%q)=%q != BaseName(%q)=%q", cs.a, ba, cs.b, bb)
+		}
+	}
+}
+
+func TestBaseNameSpecificCases(t *testing.T) {
+	c := testCleaner(t)
+	cases := []struct{ in, want string }{
+		{"Google LLC", "google"},
+		{"Fastly, Inc.", "fastly"},
+		{"Fastly Network Solution Company", "fastly solutions"}, // "network" frequent, "company" corporate
+		{"Verizon Japan Ltd", "verizon"},                        // Japan is geographic, Ltd corporate
+		{"Verizon Business", "verizon business"},
+		{"Amazon Deutschland GmbH", "amazon"}, // endonym + corporate
+	}
+	for _, cs := range cases {
+		if got := c.BaseName(cs.in); got != cs.want {
+			t.Errorf("BaseName(%q) = %q, want %q", cs.in, got, cs.want)
+		}
+	}
+}
+
+// First-word protection: a legal/geo/frequent word leading the name stays.
+func TestFirstWordNeverDropped(t *testing.T) {
+	c := testCleaner(t)
+	if got := c.BaseName("China Telecom"); !strings.HasPrefix(got, "china") {
+		t.Errorf("leading country dropped: %q", got)
+	}
+	if got := c.BaseName("Data Communications Ltd"); !strings.HasPrefix(got, "data") {
+		t.Errorf("leading frequent word dropped: %q", got)
+	}
+	if got := c.BaseName("Ltd Brokers"); !strings.HasPrefix(got, "ltd") {
+		t.Errorf("leading corporate word dropped: %q", got)
+	}
+}
+
+func TestNoisePhraseScrubbed(t *testing.T) {
+	c := testCleaner(t)
+	got := c.BaseName("IP pool reserved for Acme Holdings")
+	if !strings.Contains(got, "acme") || strings.Contains(got, "pool") {
+		t.Errorf("noise phrase survived: %q", got)
+	}
+}
+
+func TestStreetAddressNumbersDropped(t *testing.T) {
+	c := testCleaner(t)
+	got := c.BaseName("Acme Widgets 1250")
+	if strings.Contains(got, "1250") {
+		t.Errorf("street number survived: %q", got)
+	}
+}
+
+func TestSpellingStandardization(t *testing.T) {
+	c := testCleaner(t)
+	a := c.BaseName("Nordic Telecommunication Centre")
+	b := c.BaseName("Nordic Telecom Center")
+	if a != b {
+		t.Errorf("spelling variants disagree: %q vs %q", a, b)
+	}
+}
+
+func TestShortNameRefill(t *testing.T) {
+	c := testCleaner(t)
+	// "BT Japan" would clean to "bt" (2 chars) after geo drop; the refill
+	// rule reverts to the post-corporate form which retains "japan".
+	got := c.BaseName("BT Japan")
+	if got != "bt japan" {
+		t.Errorf("refill = %q, want %q", got, "bt japan")
+	}
+}
+
+func TestMojibakeAndUnicode(t *testing.T) {
+	c := testCleaner(t)
+	got := c.BaseName("Telefónica Móviles")
+	if got != c.BaseName("Telefonica Moviles") {
+		t.Errorf("translit mismatch: %q", got)
+	}
+	// Non-ASCII garbage does not crash and produces something stable.
+	if a, b := c.BaseName("日本Acme株式会社"), c.BaseName("日本Acme株式会社"); a != b {
+		t.Error("non-deterministic on unicode input")
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	c := testCleaner(t)
+	inputs := []string{
+		"Google LLC", "Verizon Japan Ltd", "Fastly, Inc.",
+		"Telefonica del Peru S.A.A.", "IP pool reserved for Acme GmbH",
+		"The Provider1 Data Network",
+	}
+	for _, in := range inputs {
+		once := c.BaseName(in)
+		twice := c.BaseName(once)
+		if once != twice {
+			t.Errorf("not idempotent on %q: %q -> %q", in, once, twice)
+		}
+	}
+}
+
+// Property: cleaning never yields an empty base name for inputs that
+// contain at least one alphanumeric ASCII token.
+func TestNonEmptyProperty(t *testing.T) {
+	c := testCleaner(t)
+	f := func(raw string) bool {
+		name := "x" + raw // guarantee one alnum token start
+		return c.BaseName(name) != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: output contains no uppercase and no double spaces.
+func TestOutputNormalizedProperty(t *testing.T) {
+	c := testCleaner(t)
+	f := func(raw string) bool {
+		out := c.BaseName(raw)
+		return out == strings.ToLower(out) && !strings.Contains(out, "  ")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountStepsMonotonic(t *testing.T) {
+	var corpus []string
+	for i := 0; i < 40; i++ {
+		corpus = append(corpus, fmt.Sprintf("Org %03d Data Services LLC", i))
+		corpus = append(corpus, fmt.Sprintf("Org %03d Data Services Inc", i))
+		corpus = append(corpus, fmt.Sprintf("Org %03d Germany GmbH", i))
+	}
+	c := NewCleaner(corpus, 30)
+	sc := c.CountSteps(corpus)
+	if sc.Original != len(corpus) {
+		t.Errorf("Original = %d, want %d", sc.Original, len(corpus))
+	}
+	// Each cleaning step can only merge names, never split them.
+	if sc.Basic > sc.Original || sc.Regex > sc.Basic || sc.Corporate > sc.Regex ||
+		sc.Frequent > sc.Corporate || sc.Geographic > sc.Frequent {
+		t.Errorf("step counts not monotone: %+v", sc)
+	}
+	// Refill can only increase the count relative to Geographic (it
+	// re-splits short collisions).
+	if sc.Refilled < sc.Geographic {
+		t.Errorf("refill decreased uniqueness: %+v", sc)
+	}
+	// The corpus is built so real aggregation happens.
+	if sc.Refilled >= sc.Original {
+		t.Errorf("no aggregation at all: %+v", sc)
+	}
+}
+
+func TestTraceStages(t *testing.T) {
+	c := testCleaner(t)
+	s := c.Trace("Verizon Japan Ltd.")
+	if s.Original != "Verizon Japan Ltd." {
+		t.Error("original not preserved")
+	}
+	if s.Basic != "verizon japan ltd." {
+		t.Errorf("basic = %q", s.Basic)
+	}
+	if s.Regex != "verizon japan ltd" {
+		t.Errorf("regex = %q", s.Regex)
+	}
+	if s.Corporate != "verizon japan" {
+		t.Errorf("corporate = %q", s.Corporate)
+	}
+	if s.Geographic != "verizon" {
+		t.Errorf("geographic = %q", s.Geographic)
+	}
+	if s.Result() != "verizon" {
+		t.Errorf("result = %q", s.Result())
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	c := NewCleaner([]string{"A B"}, 0)
+	if c.threshold != DefaultThreshold {
+		t.Errorf("threshold = %d", c.threshold)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	c := testCleaner(t)
+	if got := c.BaseName(""); got != "" {
+		t.Errorf("BaseName(\"\") = %q", got)
+	}
+}
+
+// Vocabulary integrity: every embedded list entry is non-empty, lower
+// case, and survives normalization.
+func TestVocabularyIntegrity(t *testing.T) {
+	check := func(list []string, label string) {
+		seen := map[string]bool{}
+		for _, v := range list {
+			if v == "" {
+				t.Errorf("%s: empty entry", label)
+			}
+			if v != strings.ToLower(v) {
+				t.Errorf("%s: %q not lower case", label, v)
+			}
+			if seen[v] {
+				t.Errorf("%s: duplicate entry %q", label, v)
+			}
+			seen[v] = true
+		}
+	}
+	check(legalEntitySuffixes, "legalEntitySuffixes")
+	check(countryNames, "countryNames")
+	check(cityNames, "cityNames")
+	check(noisePhrases, "noisePhrases")
+	for k, v := range spellingVariants {
+		if k == v {
+			t.Errorf("spellingVariants: identity mapping %q", k)
+		}
+		if strings.ContainsAny(k, " ") || strings.ContainsAny(v, " ") {
+			t.Errorf("spellingVariants: multi-word entry %q->%q", k, v)
+		}
+	}
+	// Standardization must reach a fixpoint in one application for every
+	// mapped value (no chains like tech->technology->technologies).
+	for _, v := range spellingVariants {
+		if next, ok := spellingVariants[v]; ok {
+			t.Errorf("spelling chain: %q -> %q", v, next)
+		}
+	}
+}

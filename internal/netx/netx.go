@@ -1,0 +1,241 @@
+// Package netx provides prefix utilities used throughout Prefix2Org.
+//
+// All prefixes are represented by net/netip.Prefix in canonical (masked)
+// form. The helpers here add what the pipeline needs on top of the standard
+// library: address-space accounting, containment tests, deterministic
+// ordering, and prefix subdivision for the delegation-tree builders.
+package netx
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+)
+
+// Canonical returns p with its host bits zeroed. Prefixes read from WHOIS
+// and BGP data are canonicalized at the parse boundary so the rest of the
+// pipeline can compare them with ==.
+func Canonical(p netip.Prefix) netip.Prefix {
+	return p.Masked()
+}
+
+// MustParse parses s into a canonical prefix and panics on failure. It is
+// intended for tests and for embedding literal prefixes in generators.
+func MustParse(s string) netip.Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses s into a canonical prefix. Unlike netip.ParsePrefix it
+// accepts (and masks away) host bits, matching how registry data files
+// frequently record blocks (e.g. "193.0.10.1/24").
+func ParsePrefix(s string) (netip.Prefix, error) {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("netx: parse prefix %q: %w", s, err)
+	}
+	return p.Masked(), nil
+}
+
+// ParseRange converts an inclusive address range, as found in ARIN NetRange
+// and RIPE inetnum records, into the minimal list of canonical CIDR
+// prefixes covering exactly that range.
+func ParseRange(first, last netip.Addr) ([]netip.Prefix, error) {
+	if !first.IsValid() || !last.IsValid() {
+		return nil, fmt.Errorf("netx: invalid range endpoint")
+	}
+	if first.Is4() != last.Is4() {
+		return nil, fmt.Errorf("netx: mixed address families in range %s-%s", first, last)
+	}
+	if last.Less(first) {
+		return nil, fmt.Errorf("netx: inverted range %s-%s", first, last)
+	}
+	var out []netip.Prefix
+	cur := first
+	for {
+		// Widest prefix starting at cur that does not pass last.
+		bits := cur.BitLen()
+		plen := bits
+		for plen > 0 {
+			cand := netip.PrefixFrom(cur, plen-1).Masked()
+			if cand.Addr() != cur {
+				break // cur is not aligned for a wider prefix
+			}
+			if LastAddr(cand).Compare(last) > 0 {
+				break // wider prefix would overshoot the range
+			}
+			plen--
+		}
+		p := netip.PrefixFrom(cur, plen)
+		out = append(out, p)
+		la := LastAddr(p)
+		if la.Compare(last) >= 0 {
+			return out, nil
+		}
+		cur = la.Next()
+	}
+}
+
+// LastAddr returns the highest address contained in p.
+func LastAddr(p netip.Prefix) netip.Addr {
+	a := p.Addr().As16()
+	bits := p.Bits()
+	if p.Addr().Is4() {
+		bits += 96
+	}
+	for b := bits; b < 128; b++ {
+		a[b/8] |= 1 << (7 - b%8)
+	}
+	addr := netip.AddrFrom16(a)
+	if p.Addr().Is4() {
+		return addr.Unmap()
+	}
+	return addr
+}
+
+// NumAddresses returns the number of addresses covered by p as a float64.
+// IPv6 blocks overflow uint64 for very short prefixes, and the pipeline
+// only uses counts for ranking and cumulative-fraction figures, so a
+// float64 is exact enough (and exact for all of IPv4).
+func NumAddresses(p netip.Prefix) float64 {
+	host := p.Addr().BitLen() - p.Bits()
+	return math.Pow(2, float64(host))
+}
+
+// Contains reports whether outer covers inner: same family, outer no more
+// specific than inner, and inner's network address inside outer.
+func Contains(outer, inner netip.Prefix) bool {
+	if outer.Addr().Is4() != inner.Addr().Is4() {
+		return false
+	}
+	return outer.Bits() <= inner.Bits() && outer.Contains(inner.Addr())
+}
+
+// Halves splits p into its two children. It panics when p is a host route,
+// which callers must exclude; the delegation generators never subdivide
+// past /32 (IPv4) or /128 (IPv6).
+func Halves(p netip.Prefix) (lo, hi netip.Prefix) {
+	bits := p.Bits() + 1
+	if bits > p.Addr().BitLen() {
+		panic(fmt.Sprintf("netx: cannot halve host route %s", p))
+	}
+	lo = netip.PrefixFrom(p.Addr(), bits)
+	a := p.Addr().As16()
+	bit := bits - 1
+	if p.Addr().Is4() {
+		bit += 96
+	}
+	a[bit/8] |= 1 << (7 - bit%8)
+	hiAddr := netip.AddrFrom16(a)
+	if p.Addr().Is4() {
+		hiAddr = hiAddr.Unmap()
+	}
+	hi = netip.PrefixFrom(hiAddr, bits)
+	return lo, hi
+}
+
+// NthSubprefix returns the n-th length-bits sub-prefix of p, counting from
+// its network address. It is the workhorse of the synthetic delegation
+// generator: carving a /16 into /24 customers is NthSubprefix(p, 24, i).
+func NthSubprefix(p netip.Prefix, bits, n int) (netip.Prefix, error) {
+	if bits < p.Bits() || bits > p.Addr().BitLen() {
+		return netip.Prefix{}, fmt.Errorf("netx: sub-prefix length /%d out of range for %s", bits, p)
+	}
+	span := bits - p.Bits()
+	if span < 63 && n >= 1<<span {
+		return netip.Prefix{}, fmt.Errorf("netx: sub-prefix index %d out of range for %s -> /%d", n, p, bits)
+	}
+	a := p.Addr().As16()
+	base := p.Bits()
+	if p.Addr().Is4() {
+		base += 96
+	}
+	for i := 0; i < span; i++ {
+		if n&(1<<(span-1-i)) != 0 {
+			bit := base + i
+			a[bit/8] |= 1 << (7 - bit%8)
+		}
+	}
+	addr := netip.AddrFrom16(a)
+	if p.Addr().Is4() {
+		addr = addr.Unmap()
+	}
+	return netip.PrefixFrom(addr, bits), nil
+}
+
+// Compare orders prefixes deterministically: by family (IPv4 first), then
+// network address, then prefix length (shorter, i.e. less specific, first).
+func Compare(a, b netip.Prefix) int {
+	a4, b4 := a.Addr().Is4(), b.Addr().Is4()
+	if a4 != b4 {
+		if a4 {
+			return -1
+		}
+		return 1
+	}
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c
+	}
+	switch {
+	case a.Bits() < b.Bits():
+		return -1
+	case a.Bits() > b.Bits():
+		return 1
+	}
+	return 0
+}
+
+// Sort sorts prefixes in place using Compare.
+func Sort(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool { return Compare(ps[i], ps[j]) < 0 })
+}
+
+// Dedup sorts ps and removes duplicates in place, returning the shortened
+// slice.
+func Dedup(ps []netip.Prefix) []netip.Prefix {
+	if len(ps) == 0 {
+		return ps
+	}
+	Sort(ps)
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TotalAddresses sums NumAddresses over ps. Overlapping prefixes are counted
+// once: the slice is de-duplicated and covered more-specifics are skipped,
+// mirroring how the paper accounts "routed address space".
+func TotalAddresses(ps []netip.Prefix) float64 {
+	cp := make([]netip.Prefix, len(ps))
+	copy(cp, ps)
+	cp = Dedup(cp)
+	var total float64
+	var last netip.Prefix
+	haveLast := false
+	for _, p := range cp {
+		if haveLast && Contains(last, p) {
+			continue
+		}
+		total += NumAddresses(p)
+		last, haveLast = p, true
+	}
+	return total
+}
+
+// Bit returns the i-th bit (0 = most significant) of the address of p,
+// counting within the address family's own bit width.
+func Bit(a netip.Addr, i int) byte {
+	b := a.As16()
+	if a.Is4() {
+		i += 96
+	}
+	return (b[i/8] >> (7 - i%8)) & 1
+}

@@ -1,0 +1,308 @@
+package netx
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrefixMasksHostBits(t *testing.T) {
+	p, err := ParsePrefix("193.0.10.1/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.String(), "193.0.10.0/24"; got != want {
+		t.Errorf("ParsePrefix = %s, want %s", got, want)
+	}
+}
+
+func TestParsePrefixRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "10.0.0.0", "10.0.0.0/33", "2001:db8::/129", "banana/8"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestLastAddr(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"10.0.0.0/8", "10.255.255.255"},
+		{"192.168.4.0/22", "192.168.7.255"},
+		{"192.168.4.4/32", "192.168.4.4"},
+		{"2001:db8::/32", "2001:db8:ffff:ffff:ffff:ffff:ffff:ffff"},
+		{"::/0", "ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"},
+	}
+	for _, c := range cases {
+		got := LastAddr(MustParse(c.in))
+		if got.String() != c.want {
+			t.Errorf("LastAddr(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRangeExact(t *testing.T) {
+	cases := []struct {
+		first, last string
+		want        []string
+	}{
+		{"10.0.0.0", "10.255.255.255", []string{"10.0.0.0/8"}},
+		{"10.0.0.0", "10.0.0.255", []string{"10.0.0.0/24"}},
+		{"10.0.0.0", "10.0.1.255", []string{"10.0.0.0/23"}},
+		{"10.0.0.0", "10.0.2.255", []string{"10.0.0.0/23", "10.0.2.0/24"}},
+		{"10.0.0.5", "10.0.0.5", []string{"10.0.0.5/32"}},
+		{"192.168.0.1", "192.168.0.2", []string{"192.168.0.1/32", "192.168.0.2/32"}},
+	}
+	for _, c := range cases {
+		ps, err := ParseRange(netip.MustParseAddr(c.first), netip.MustParseAddr(c.last))
+		if err != nil {
+			t.Fatalf("ParseRange(%s,%s): %v", c.first, c.last, err)
+		}
+		if len(ps) != len(c.want) {
+			t.Fatalf("ParseRange(%s,%s) = %v, want %v", c.first, c.last, ps, c.want)
+		}
+		for i := range ps {
+			if ps[i].String() != c.want[i] {
+				t.Errorf("ParseRange(%s,%s)[%d] = %s, want %s", c.first, c.last, i, ps[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseRangeErrors(t *testing.T) {
+	v4 := netip.MustParseAddr("10.0.0.0")
+	v6 := netip.MustParseAddr("2001:db8::")
+	if _, err := ParseRange(v6, v4); err == nil {
+		t.Error("mixed families accepted")
+	}
+	if _, err := ParseRange(netip.MustParseAddr("10.0.0.9"), netip.MustParseAddr("10.0.0.1")); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := ParseRange(netip.Addr{}, v4); err == nil {
+		t.Error("zero addr accepted")
+	}
+}
+
+// Property: ParseRange output covers exactly [first,last] with no overlap.
+func TestParseRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := rng.Uint32()
+		b := rng.Uint32()
+		if a > b {
+			a, b = b, a
+		}
+		first := addr4(a)
+		last := addr4(b)
+		ps, err := ParseRange(first, last)
+		if err != nil {
+			t.Fatalf("ParseRange(%s,%s): %v", first, last, err)
+		}
+		var total float64
+		prev := netip.Addr{}
+		for j, p := range ps {
+			if j == 0 {
+				if p.Addr() != first {
+					t.Fatalf("first block %s does not start at %s", p, first)
+				}
+			} else if p.Addr() != prev.Next() {
+				t.Fatalf("gap/overlap between blocks at %s (prev last %s)", p, prev)
+			}
+			prev = LastAddr(p)
+			total += NumAddresses(p)
+		}
+		if prev != last {
+			t.Fatalf("last block ends at %s, want %s", prev, last)
+		}
+		if want := float64(b-a) + 1; total != want {
+			t.Fatalf("covered %v addresses, want %v", total, want)
+		}
+	}
+}
+
+func addr4(u uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(u >> 24), byte(u >> 16), byte(u >> 8), byte(u)})
+}
+
+func TestNumAddresses(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"10.0.0.0/8", 1 << 24},
+		{"10.0.0.0/24", 256},
+		{"10.0.0.1/32", 1},
+		{"2001:db8::/126", 4},
+	}
+	for _, c := range cases {
+		if got := NumAddresses(MustParse(c.in)); got != c.want {
+			t.Errorf("NumAddresses(%s) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		outer, inner string
+		want         bool
+	}{
+		{"10.0.0.0/8", "10.1.0.0/16", true},
+		{"10.0.0.0/8", "10.0.0.0/8", true},
+		{"10.1.0.0/16", "10.0.0.0/8", false},
+		{"10.0.0.0/8", "11.0.0.0/16", false},
+		{"10.0.0.0/8", "2001:db8::/32", false},
+		{"::/0", "2001:db8::/32", true},
+	}
+	for _, c := range cases {
+		if got := Contains(MustParse(c.outer), MustParse(c.inner)); got != c.want {
+			t.Errorf("Contains(%s, %s) = %v, want %v", c.outer, c.inner, got, c.want)
+		}
+	}
+}
+
+func TestHalves(t *testing.T) {
+	lo, hi := Halves(MustParse("10.0.0.0/8"))
+	if lo.String() != "10.0.0.0/9" || hi.String() != "10.128.0.0/9" {
+		t.Errorf("Halves = %s, %s", lo, hi)
+	}
+	lo, hi = Halves(MustParse("2001:db8::/32"))
+	if lo.String() != "2001:db8::/33" || hi.String() != "2001:db8:8000::/33" {
+		t.Errorf("Halves v6 = %s, %s", lo, hi)
+	}
+}
+
+func TestHalvesPanicsOnHostRoute(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Halves(/32) did not panic")
+		}
+	}()
+	Halves(MustParse("10.0.0.1/32"))
+}
+
+func TestNthSubprefix(t *testing.T) {
+	p := MustParse("10.0.0.0/16")
+	cases := []struct {
+		bits, n int
+		want    string
+	}{
+		{24, 0, "10.0.0.0/24"},
+		{24, 1, "10.0.1.0/24"},
+		{24, 255, "10.0.255.0/24"},
+		{17, 1, "10.0.128.0/17"},
+		{16, 0, "10.0.0.0/16"},
+	}
+	for _, c := range cases {
+		got, err := NthSubprefix(p, c.bits, c.n)
+		if err != nil {
+			t.Fatalf("NthSubprefix(%d,%d): %v", c.bits, c.n, err)
+		}
+		if got.String() != c.want {
+			t.Errorf("NthSubprefix(%d,%d) = %s, want %s", c.bits, c.n, got, c.want)
+		}
+	}
+	if _, err := NthSubprefix(p, 24, 256); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := NthSubprefix(p, 8, 0); err == nil {
+		t.Error("wider-than-parent length accepted")
+	}
+}
+
+func TestNthSubprefixV6(t *testing.T) {
+	p := MustParse("2001:db8::/32")
+	got, err := NthSubprefix(p, 48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "2001:db8:3::/48" {
+		t.Errorf("NthSubprefix v6 = %s", got)
+	}
+}
+
+// Property: every NthSubprefix result is contained in its parent, and
+// consecutive indices are adjacent and non-overlapping.
+func TestNthSubprefixProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parent, _ := NthSubprefix(MustParse("0.0.0.0/0"), 8+rng.Intn(8), rng.Intn(200))
+		span := rng.Intn(8)
+		bits := parent.Bits() + span
+		n := rng.Intn(1 << span)
+		sub, err := NthSubprefix(parent, bits, n)
+		if err != nil {
+			return false
+		}
+		if !Contains(parent, sub) {
+			return false
+		}
+		if n > 0 {
+			prev, _ := NthSubprefix(parent, bits, n-1)
+			if LastAddr(prev).Next() != sub.Addr() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAndSort(t *testing.T) {
+	ps := []netip.Prefix{
+		MustParse("2001:db8::/32"),
+		MustParse("10.0.0.0/16"),
+		MustParse("10.0.0.0/8"),
+		MustParse("9.0.0.0/8"),
+	}
+	Sort(ps)
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16", "2001:db8::/32"}
+	for i := range ps {
+		if ps[i].String() != want[i] {
+			t.Errorf("Sort[%d] = %s, want %s", i, ps[i], want[i])
+		}
+	}
+	if Compare(ps[0], ps[0]) != 0 {
+		t.Error("Compare(x,x) != 0")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	ps := []netip.Prefix{MustParse("10.0.0.0/8"), MustParse("10.0.0.0/8"), MustParse("10.0.0.0/16")}
+	got := Dedup(ps)
+	if len(got) != 2 {
+		t.Errorf("Dedup len = %d, want 2", len(got))
+	}
+}
+
+func TestTotalAddressesSkipsCovered(t *testing.T) {
+	ps := []netip.Prefix{
+		MustParse("10.0.0.0/8"),
+		MustParse("10.1.0.0/16"), // covered
+		MustParse("11.0.0.0/16"),
+		MustParse("11.0.0.0/16"), // duplicate
+	}
+	got := TotalAddresses(ps)
+	want := float64(1<<24 + 1<<16)
+	if got != want {
+		t.Errorf("TotalAddresses = %v, want %v", got, want)
+	}
+}
+
+func TestBit(t *testing.T) {
+	a := netip.MustParseAddr("128.0.0.1")
+	if Bit(a, 0) != 1 {
+		t.Error("bit 0 of 128.0.0.1 should be 1")
+	}
+	if Bit(a, 31) != 1 {
+		t.Error("bit 31 of 128.0.0.1 should be 1")
+	}
+	if Bit(a, 1) != 0 {
+		t.Error("bit 1 of 128.0.0.1 should be 0")
+	}
+	v6 := netip.MustParseAddr("8000::")
+	if Bit(v6, 0) != 1 {
+		t.Error("bit 0 of 8000:: should be 1")
+	}
+}

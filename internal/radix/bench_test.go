@@ -1,0 +1,55 @@
+package radix
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func benchTree(n int) (*Tree[int], []netip.Prefix) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	queries := make([]netip.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		p := randPrefix(rng)
+		tr.Insert(p, i)
+		queries = append(queries, randPrefix(rng))
+	}
+	return tr, queries
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ps := make([]netip.Prefix, 4096)
+	for i := range ps {
+		ps[i] = randPrefix(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			b.StopTimer()
+			// fresh tree every full pass so growth stays bounded
+			benchInsertTree = New[int]()
+			b.StartTimer()
+		}
+		benchInsertTree.Insert(ps[i%4096], i)
+	}
+}
+
+var benchInsertTree = New[int]()
+
+func BenchmarkLongestMatch(b *testing.B) {
+	tr, queries := benchTree(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.LongestMatch(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkCoveringChain(b *testing.B) {
+	tr, queries := benchTree(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.CoveringChain(queries[i%len(queries)])
+	}
+}

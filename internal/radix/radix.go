@@ -1,0 +1,283 @@
+// Package radix implements a compressed binary radix (patricia) tree keyed
+// by IP prefixes.
+//
+// It is the substrate for Prefix2Org's IP delegation trees (§5.2 of the
+// paper): WHOIS address blocks are inserted with their registration data,
+// and for every BGP-routed prefix the pipeline asks for the chain of
+// covering blocks, ordered from least to most specific, to establish the
+// delegation chain.
+//
+// A single Tree transparently holds both IPv4 and IPv6 prefixes; the two
+// families live under separate roots and never interact. The zero value is
+// not ready to use; call New.
+package radix
+
+import (
+	"net/netip"
+
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+type node[V any] struct {
+	prefix netip.Prefix
+	child  [2]*node[V]
+	val    V
+	set    bool
+}
+
+// Tree is a prefix-keyed radix tree mapping canonical prefixes to values
+// of type V. It is not safe for concurrent mutation; concurrent readers
+// are safe once building is done.
+type Tree[V any] struct {
+	root4 *node[V]
+	root6 *node[V]
+	size  int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	return &Tree[V]{
+		root4: &node[V]{prefix: netip.PrefixFrom(netip.IPv4Unspecified(), 0)},
+		root6: &node[V]{prefix: netip.PrefixFrom(netip.IPv6Unspecified(), 0)},
+	}
+}
+
+// Len returns the number of stored prefixes.
+func (t *Tree[V]) Len() int { return t.size }
+
+func (t *Tree[V]) root(p netip.Prefix) *node[V] {
+	if p.Addr().Is4() {
+		return t.root4
+	}
+	return t.root6
+}
+
+// commonPrefixLen returns the number of leading bits shared by a and b,
+// capped at min(a.Bits(), b.Bits()). Both prefixes must be canonical and
+// of the same family.
+func commonPrefixLen(a, b netip.Prefix) int {
+	limit := a.Bits()
+	if b.Bits() < limit {
+		limit = b.Bits()
+	}
+	ab, bb := a.Addr().As16(), b.Addr().As16()
+	off := 0
+	if a.Addr().Is4() {
+		off = 96
+	}
+	n := 0
+	for n < limit {
+		byteIdx := (off + n) / 8
+		x := ab[byteIdx] ^ bb[byteIdx]
+		if x == 0 {
+			step := 8 - (off+n)%8
+			if n+step > limit {
+				step = limit - n
+			}
+			n += step
+			continue
+		}
+		// First differing bit within this byte.
+		for bit := (off + n) % 8; bit < 8 && n < limit; bit++ {
+			if x&(1<<(7-bit)) != 0 {
+				return n
+			}
+			n++
+		}
+		return n
+	}
+	return limit
+}
+
+// Insert stores val under prefix p, replacing any existing value. The
+// prefix is canonicalized. Insert reports whether p was newly added.
+func (t *Tree[V]) Insert(p netip.Prefix, val V) bool {
+	p = p.Masked()
+	n := t.root(p)
+	for {
+		if n.prefix == p {
+			added := !n.set
+			n.val, n.set = val, true
+			if added {
+				t.size++
+			}
+			return added
+		}
+		b := netx.Bit(p.Addr(), n.prefix.Bits())
+		c := n.child[b]
+		if c == nil {
+			n.child[b] = &node[V]{prefix: p, val: val, set: true}
+			t.size++
+			return true
+		}
+		cpl := commonPrefixLen(c.prefix, p)
+		switch {
+		case cpl == c.prefix.Bits() && c.prefix.Bits() <= p.Bits():
+			// c's prefix covers p (or equals it); keep descending.
+			n = c
+		case cpl == p.Bits():
+			// p covers c: interpose a node for p above c.
+			mid := &node[V]{prefix: p, val: val, set: true}
+			mid.child[netx.Bit(c.prefix.Addr(), p.Bits())] = c
+			n.child[b] = mid
+			t.size++
+			return true
+		default:
+			// Diverge below cpl: create an unset glue node.
+			gluePrefix := netip.PrefixFrom(p.Addr(), cpl).Masked()
+			glue := &node[V]{prefix: gluePrefix}
+			leaf := &node[V]{prefix: p, val: val, set: true}
+			glue.child[netx.Bit(c.prefix.Addr(), cpl)] = c
+			glue.child[netx.Bit(p.Addr(), cpl)] = leaf
+			n.child[b] = glue
+			t.size++
+			return true
+		}
+	}
+}
+
+// Get returns the value stored under exactly p.
+func (t *Tree[V]) Get(p netip.Prefix) (V, bool) {
+	p = p.Masked()
+	n := t.root(p)
+	for n != nil {
+		if n.prefix == p {
+			if n.set {
+				return n.val, true
+			}
+			var zero V
+			return zero, false
+		}
+		if n.prefix.Bits() >= p.Bits() || !netx.Contains(n.prefix, p) {
+			break
+		}
+		n = n.child[netx.Bit(p.Addr(), n.prefix.Bits())]
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes the value stored under exactly p and reports whether a
+// value was removed. Interior structure is left in place; it is harmless
+// and Delete is rare in this pipeline.
+func (t *Tree[V]) Delete(p netip.Prefix) bool {
+	p = p.Masked()
+	n := t.root(p)
+	for n != nil {
+		if n.prefix == p {
+			if !n.set {
+				return false
+			}
+			var zero V
+			n.val, n.set = zero, false
+			t.size--
+			return true
+		}
+		if n.prefix.Bits() >= p.Bits() || !netx.Contains(n.prefix, p) {
+			return false
+		}
+		n = n.child[netx.Bit(p.Addr(), n.prefix.Bits())]
+	}
+	return false
+}
+
+// Entry is a stored prefix and its value.
+type Entry[V any] struct {
+	Prefix netip.Prefix
+	Value  V
+}
+
+// CoveringChain returns every stored prefix that contains or equals p,
+// ordered from least specific (shortest) to most specific (longest). This
+// is the §5.2 primitive: the last element is the most specific WHOIS block
+// matching a routed prefix, and walking the slice backwards moves "up the
+// ownership tree".
+func (t *Tree[V]) CoveringChain(p netip.Prefix) []Entry[V] {
+	p = p.Masked()
+	var chain []Entry[V]
+	n := t.root(p)
+	for n != nil {
+		if !netx.Contains(n.prefix, p) {
+			break
+		}
+		if n.set {
+			chain = append(chain, Entry[V]{n.prefix, n.val})
+		}
+		if n.prefix.Bits() >= p.Bits() {
+			break
+		}
+		n = n.child[netx.Bit(p.Addr(), n.prefix.Bits())]
+	}
+	return chain
+}
+
+// LongestMatch returns the most specific stored prefix containing or equal
+// to p, i.e. the last element of CoveringChain.
+func (t *Tree[V]) LongestMatch(p netip.Prefix) (Entry[V], bool) {
+	p = p.Masked()
+	var best Entry[V]
+	found := false
+	n := t.root(p)
+	for n != nil {
+		if !netx.Contains(n.prefix, p) {
+			break
+		}
+		if n.set {
+			best, found = Entry[V]{n.prefix, n.val}, true
+		}
+		if n.prefix.Bits() >= p.Bits() {
+			break
+		}
+		n = n.child[netx.Bit(p.Addr(), n.prefix.Bits())]
+	}
+	return best, found
+}
+
+// Walk visits every stored entry in canonical order (IPv4 before IPv6,
+// then by address, then less specific first). Returning false from fn
+// stops the walk early.
+func (t *Tree[V]) Walk(fn func(Entry[V]) bool) {
+	if walk(t.root4, fn) {
+		walk(t.root6, fn)
+	}
+}
+
+func walk[V any](n *node[V], fn func(Entry[V]) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.set && !fn(Entry[V]{n.prefix, n.val}) {
+		return false
+	}
+	return walk(n.child[0], fn) && walk(n.child[1], fn)
+}
+
+// WalkCovered visits, in canonical order, every stored entry whose prefix
+// is contained in p (including p itself if stored). It is used to examine
+// which allocation types re-delegate beneath a block (§5.1's data-driven
+// check) and to enumerate a Direct Owner's sub-delegations.
+func (t *Tree[V]) WalkCovered(p netip.Prefix, fn func(Entry[V]) bool) {
+	p = p.Masked()
+	n := t.root(p)
+	// Descend to the first node at or below p.
+	for n != nil && n.prefix.Bits() < p.Bits() {
+		if !netx.Contains(n.prefix, p) {
+			return
+		}
+		n = n.child[netx.Bit(p.Addr(), n.prefix.Bits())]
+	}
+	if n == nil || !netx.Contains(p, n.prefix) {
+		return
+	}
+	walk(n, fn)
+}
+
+// Entries returns all stored entries in canonical order.
+func (t *Tree[V]) Entries() []Entry[V] {
+	out := make([]Entry[V], 0, t.size)
+	t.Walk(func(e Entry[V]) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,361 @@
+package radix
+
+import (
+	"math/rand"
+	"net/netip"
+	"sort"
+	"testing"
+
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+func mp(s string) netip.Prefix { return netx.MustParse(s) }
+
+func TestInsertGet(t *testing.T) {
+	tr := New[string]()
+	if !tr.Insert(mp("10.0.0.0/8"), "a") {
+		t.Error("first insert should report added")
+	}
+	if tr.Insert(mp("10.0.0.0/8"), "b") {
+		t.Error("overwrite should not report added")
+	}
+	v, ok := tr.Get(mp("10.0.0.0/8"))
+	if !ok || v != "b" {
+		t.Errorf("Get = %q,%v, want b,true", v, ok)
+	}
+	if _, ok := tr.Get(mp("10.0.0.0/9")); ok {
+		t.Error("Get of absent prefix succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestGetMasksInput(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(netip.MustParsePrefix("10.0.0.1/8"), 1) // host bits set
+	if v, ok := tr.Get(mp("10.0.0.0/8")); !ok || v != 1 {
+		t.Error("insert with host bits not canonicalized")
+	}
+}
+
+func TestBothFamilies(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mp("10.0.0.0/8"), 4)
+	tr.Insert(mp("2001:db8::/32"), 6)
+	if v, _ := tr.Get(mp("10.0.0.0/8")); v != 4 {
+		t.Error("v4 lookup failed")
+	}
+	if v, _ := tr.Get(mp("2001:db8::/32")); v != 6 {
+		t.Error("v6 lookup failed")
+	}
+	if _, ok := tr.LongestMatch(mp("11.0.0.0/8")); ok {
+		t.Error("v4 query matched nothing inserted for it")
+	}
+}
+
+func TestCoveringChain(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(mp("206.0.0.0/8"), "iana->arin")
+	tr.Insert(mp("206.238.0.0/16"), "psinet")
+	tr.Insert(mp("206.238.0.0/16"), "psinet") // same prefix again
+	tr.Insert(mp("206.238.4.0/24"), "tcloudnet")
+	tr.Insert(mp("206.200.0.0/16"), "other")
+
+	chain := tr.CoveringChain(mp("206.238.4.0/24"))
+	want := []string{"iana->arin", "psinet", "tcloudnet"}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v, want %v", chain, want)
+	}
+	for i := range chain {
+		if chain[i].Value != want[i] {
+			t.Errorf("chain[%d] = %v, want %v", i, chain[i].Value, want[i])
+		}
+		if i > 0 && chain[i-1].Prefix.Bits() >= chain[i].Prefix.Bits() {
+			t.Error("chain not ordered by increasing specificity")
+		}
+		if !netx.Contains(chain[i].Prefix, mp("206.238.4.0/24")) {
+			t.Errorf("chain[%d] does not contain query", i)
+		}
+	}
+}
+
+func TestCoveringChainQueryMoreSpecificThanAll(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(mp("10.0.0.0/8"), "a")
+	chain := tr.CoveringChain(mp("10.5.5.0/24"))
+	if len(chain) != 1 || chain[0].Value != "a" {
+		t.Fatalf("chain = %v", chain)
+	}
+}
+
+func TestLongestMatch(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(mp("10.0.0.0/8"), "eight")
+	tr.Insert(mp("10.0.0.0/16"), "sixteen")
+	e, ok := tr.LongestMatch(mp("10.0.4.0/24"))
+	if !ok || e.Value != "sixteen" {
+		t.Errorf("LongestMatch = %v,%v", e, ok)
+	}
+	e, ok = tr.LongestMatch(mp("10.9.0.0/24"))
+	if !ok || e.Value != "eight" {
+		t.Errorf("LongestMatch = %v,%v", e, ok)
+	}
+	if _, ok := tr.LongestMatch(mp("11.0.0.0/24")); ok {
+		t.Error("LongestMatch matched nothing")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mp("10.0.0.0/8"), 1)
+	tr.Insert(mp("10.0.0.0/16"), 2)
+	if !tr.Delete(mp("10.0.0.0/8")) {
+		t.Error("Delete existing failed")
+	}
+	if tr.Delete(mp("10.0.0.0/8")) {
+		t.Error("double Delete succeeded")
+	}
+	if tr.Delete(mp("12.0.0.0/8")) {
+		t.Error("Delete absent succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+	if _, ok := tr.Get(mp("10.0.0.0/16")); !ok {
+		t.Error("sibling lost after delete")
+	}
+	e, ok := tr.LongestMatch(mp("10.0.1.0/24"))
+	if !ok || e.Value != 2 {
+		t.Error("LongestMatch wrong after delete")
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	tr := New[int]()
+	ins := []string{"10.0.0.0/16", "9.0.0.0/8", "10.0.0.0/8", "2001:db8::/32", "10.128.0.0/9"}
+	for i, s := range ins {
+		tr.Insert(mp(s), i)
+	}
+	var got []string
+	tr.Walk(func(e Entry[int]) bool {
+		got = append(got, e.Prefix.String())
+		return true
+	})
+	want := []string{"9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16", "10.128.0.0/9", "2001:db8::/32"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("Walk[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(mp("1.0.0.0/8"), 0)
+	tr.Insert(mp("2.0.0.0/8"), 0)
+	tr.Insert(mp("2001:db8::/32"), 0)
+	count := 0
+	tr.Walk(func(Entry[int]) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestWalkCovered(t *testing.T) {
+	tr := New[string]()
+	for _, s := range []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "10.2.0.0/16", "11.0.0.0/8"} {
+		tr.Insert(mp(s), s)
+	}
+	var got []string
+	tr.WalkCovered(mp("10.1.0.0/16"), func(e Entry[string]) bool {
+		got = append(got, e.Value)
+		return true
+	})
+	want := []string{"10.1.0.0/16", "10.1.2.0/24"}
+	if len(got) != len(want) {
+		t.Fatalf("WalkCovered = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("WalkCovered[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// Region with no stored entries below it.
+	got = nil
+	tr.WalkCovered(mp("12.0.0.0/8"), func(e Entry[string]) bool {
+		got = append(got, e.Value)
+		return true
+	})
+	if len(got) != 0 {
+		t.Errorf("WalkCovered(12/8) = %v, want empty", got)
+	}
+	// Covering an unstored glue region should still find entries below.
+	got = nil
+	tr.WalkCovered(mp("10.0.0.0/7"), func(e Entry[string]) bool {
+		got = append(got, e.Value)
+		return true
+	})
+	if len(got) != 5 {
+		t.Errorf("WalkCovered(10/7) found %d entries, want 5 (%v)", len(got), got)
+	}
+}
+
+// Property test: random prefix sets; compare tree answers against brute force.
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		tr := New[int]()
+		stored := map[netip.Prefix]int{}
+		for i := 0; i < 300; i++ {
+			p := randPrefix(rng)
+			tr.Insert(p, i)
+			stored[p] = i
+		}
+		if tr.Len() != len(stored) {
+			t.Fatalf("Len = %d, want %d", tr.Len(), len(stored))
+		}
+		// Exact gets.
+		for p, v := range stored {
+			got, ok := tr.Get(p)
+			if !ok || got != v {
+				t.Fatalf("Get(%s) = %d,%v, want %d", p, got, ok, v)
+			}
+		}
+		// Random queries: covering chain and LPM vs brute force.
+		for q := 0; q < 200; q++ {
+			query := randPrefix(rng)
+			var brute []netip.Prefix
+			for p := range stored {
+				if netx.Contains(p, query) {
+					brute = append(brute, p)
+				}
+			}
+			sort.Slice(brute, func(i, j int) bool { return brute[i].Bits() < brute[j].Bits() })
+			chain := tr.CoveringChain(query)
+			if len(chain) != len(brute) {
+				t.Fatalf("chain(%s) len = %d, want %d", query, len(chain), len(brute))
+			}
+			for i := range chain {
+				if chain[i].Prefix != brute[i] {
+					t.Fatalf("chain(%s)[%d] = %s, want %s", query, i, chain[i].Prefix, brute[i])
+				}
+			}
+			lm, ok := tr.LongestMatch(query)
+			if ok != (len(brute) > 0) {
+				t.Fatalf("LongestMatch(%s) ok = %v, brute = %v", query, ok, brute)
+			}
+			if ok && lm.Prefix != brute[len(brute)-1] {
+				t.Fatalf("LongestMatch(%s) = %s, want %s", query, lm.Prefix, brute[len(brute)-1])
+			}
+		}
+		// Subtree enumeration vs brute force.
+		for q := 0; q < 50; q++ {
+			query := randPrefix(rng)
+			want := map[netip.Prefix]bool{}
+			for p := range stored {
+				if netx.Contains(query, p) {
+					want[p] = true
+				}
+			}
+			got := map[netip.Prefix]bool{}
+			tr.WalkCovered(query, func(e Entry[int]) bool {
+				got[e.Prefix] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("WalkCovered(%s) found %d, want %d", query, len(got), len(want))
+			}
+			for p := range want {
+				if !got[p] {
+					t.Fatalf("WalkCovered(%s) missing %s", query, p)
+				}
+			}
+		}
+		// Entries are sorted canonically and complete.
+		entries := tr.Entries()
+		if len(entries) != len(stored) {
+			t.Fatalf("Entries len = %d, want %d", len(entries), len(stored))
+		}
+		for i := 1; i < len(entries); i++ {
+			if netx.Compare(entries[i-1].Prefix, entries[i].Prefix) >= 0 {
+				t.Fatalf("Entries not sorted at %d: %s then %s", i, entries[i-1].Prefix, entries[i].Prefix)
+			}
+		}
+	}
+}
+
+func TestRandomizedDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tr := New[int]()
+	stored := map[netip.Prefix]int{}
+	for i := 0; i < 500; i++ {
+		p := randPrefix(rng)
+		tr.Insert(p, i)
+		stored[p] = i
+	}
+	// Delete half.
+	i := 0
+	for p := range stored {
+		if i%2 == 0 {
+			if !tr.Delete(p) {
+				t.Fatalf("Delete(%s) failed", p)
+			}
+			delete(stored, p)
+		}
+		i++
+	}
+	if tr.Len() != len(stored) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(stored))
+	}
+	for p, v := range stored {
+		got, ok := tr.Get(p)
+		if !ok || got != v {
+			t.Fatalf("Get(%s) after deletes = %d,%v, want %d", p, got, ok, v)
+		}
+	}
+}
+
+func randPrefix(rng *rand.Rand) netip.Prefix {
+	if rng.Intn(4) == 0 { // quarter IPv6
+		var a [16]byte
+		a[0], a[1] = 0x20, 0x01
+		for i := 2; i < 8; i++ {
+			a[i] = byte(rng.Intn(4)) // small space to force overlap
+		}
+		bits := 16 + rng.Intn(49)
+		return netip.PrefixFrom(netip.AddrFrom16(a), bits).Masked()
+	}
+	var b [4]byte
+	b[0] = byte(10 + rng.Intn(3)) // small space to force overlap
+	b[1] = byte(rng.Intn(8))
+	b[2] = byte(rng.Intn(8))
+	b[3] = byte(rng.Intn(256))
+	bits := 8 + rng.Intn(25)
+	return netip.PrefixFrom(netip.AddrFrom4(b), bits).Masked()
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"10.0.0.0/8", "10.0.0.0/16", 8},
+		{"10.0.0.0/16", "10.1.0.0/16", 15},
+		{"10.0.0.0/8", "11.0.0.0/8", 7},
+		{"0.0.0.0/0", "128.0.0.0/1", 0},
+		{"10.0.0.0/8", "10.0.0.0/8", 8},
+		{"2001:db8::/32", "2001:db9::/32", 31},
+	}
+	for _, c := range cases {
+		if got := commonPrefixLen(mp(c.a), mp(c.b)); got != c.want {
+			t.Errorf("commonPrefixLen(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV series, for the p2o-experiments harness and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Row appends one row; values are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is a named sequence of (x, y...) points rendered as CSV — the
+// harness output for the paper's figures.
+type Series struct {
+	Title   string
+	Columns []string
+	rows    [][]float64
+}
+
+// NewSeries returns an empty series with the given column names.
+func NewSeries(title string, columns ...string) *Series {
+	return &Series{Title: title, Columns: columns}
+}
+
+// Point appends one row of values.
+func (s *Series) Point(values ...float64) {
+	row := make([]float64, len(values))
+	copy(row, values)
+	s.rows = append(s.rows, row)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.rows) }
+
+// Value returns the v-th column of the i-th point.
+func (s *Series) Value(i, v int) float64 { return s.rows[i][v] }
+
+// Render writes the series as CSV with a comment title line.
+func (s *Series) Render(w io.Writer) error {
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", s.Title)
+	}
+	b.WriteString(strings.Join(s.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range s.rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if v == float64(int64(v)) {
+				fmt.Fprintf(&b, "%d", int64(v))
+			} else {
+				fmt.Fprintf(&b, "%.4f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

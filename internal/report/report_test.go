@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := New("Title", "A", "LongHeader")
+	tbl.Row("x", 1)
+	tbl.Row("longer-cell", 2.5)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Title", "A", "LongHeader", "longer-cell", "2.50", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and separator have same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("separator misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := New("", "X")
+	tbl.Row("v")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Error("leading blank line without title")
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("fig", "x", "y")
+	s.Point(1, 0.5)
+	s.Point(2, 0.75)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Value(1, 1) != 0.75 {
+		t.Errorf("Value = %v", s.Value(1, 1))
+	}
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# fig", "x,y", "1,0.5000", "2,0.7500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesIntegerFormatting(t *testing.T) {
+	s := NewSeries("", "x")
+	s.Point(42)
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "42\n") {
+		t.Errorf("integer not compactly formatted: %q", sb.String())
+	}
+}

@@ -1,0 +1,38 @@
+package rtr
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzReadPDU(f *testing.F) {
+	var buf bytes.Buffer
+	_ = writePDU(&buf, pduResetQuery, 0, nil)
+	f.Add(buf.Bytes())
+	buf.Reset()
+	t4, b4 := prefixPDU(VRP{Prefix: mustPrefix("10.0.0.0/16"), MaxLength: 24, ASN: 64500})
+	_ = writePDU(&buf, t4, 0, b4)
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pduType, _, body, err := readPDU(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Prefix PDUs that parse must round-trip.
+		if pduType == pduIPv4Prefix || pduType == pduIPv6Prefix {
+			v, announce, err := parsePrefixPDU(pduType, body)
+			if err != nil || !announce {
+				return
+			}
+			t2, b2 := prefixPDU(v)
+			v2, _, err := parsePrefixPDU(t2, b2)
+			if err != nil {
+				t.Fatalf("re-encode unparseable: %v", err)
+			}
+			if v2.ASN != v.ASN || v2.MaxLength != v.MaxLength {
+				t.Fatalf("roundtrip mismatch: %+v vs %+v", v, v2)
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// allocator hands out aligned CIDR blocks from a pool sequentially, the
+// way a registry carves delegations out of its IANA allocations.
+type allocator struct {
+	pool netip.Prefix
+	cur  [16]byte // next free address, 16-byte form
+	done bool
+}
+
+func newAllocator(pool netip.Prefix) *allocator {
+	return &allocator{pool: pool.Masked(), cur: pool.Masked().Addr().As16()}
+}
+
+// alloc returns the next free block of the given prefix length, aligning
+// the cursor up as needed.
+func (a *allocator) alloc(bits int) (netip.Prefix, error) {
+	if a.done {
+		return netip.Prefix{}, fmt.Errorf("synth: pool %s exhausted", a.pool)
+	}
+	off := 0
+	if a.pool.Addr().Is4() {
+		off = 96
+	}
+	abs := off + bits
+	if bits < a.pool.Bits() || abs > 128 {
+		return netip.Prefix{}, fmt.Errorf("synth: block /%d out of range for pool %s", bits, a.pool)
+	}
+	cur := a.cur
+	// Align cur up to a /bits boundary.
+	if !aligned(cur, abs) {
+		cur = maskTo(cur, abs)
+		var carry bool
+		cur, carry = addBlock(cur, abs)
+		if carry {
+			a.done = true
+			return netip.Prefix{}, fmt.Errorf("synth: pool %s exhausted", a.pool)
+		}
+	}
+	addr := from16(cur, a.pool.Addr().Is4())
+	block := netip.PrefixFrom(addr, bits)
+	if !a.pool.Contains(addr) || block.Bits() < a.pool.Bits() {
+		a.done = true
+		return netip.Prefix{}, fmt.Errorf("synth: pool %s exhausted", a.pool)
+	}
+	next, carry := addBlock(cur, abs)
+	if carry || !a.pool.Contains(from16(next, a.pool.Addr().Is4())) {
+		a.done = true // this block is the last one
+	}
+	a.cur = next
+	return block, nil
+}
+
+// aligned reports whether the low 128-abs bits of b are zero.
+func aligned(b [16]byte, abs int) bool {
+	for i := abs; i < 128; i++ {
+		if b[i/8]&(1<<(7-i%8)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maskTo zeroes all bits below position abs.
+func maskTo(b [16]byte, abs int) [16]byte {
+	for i := abs; i < 128; i++ {
+		b[i/8] &^= 1 << (7 - i%8)
+	}
+	return b
+}
+
+// addBlock adds 2^(128-abs) to b, reporting carry out of the top.
+func addBlock(b [16]byte, abs int) ([16]byte, bool) {
+	if abs == 0 {
+		return b, true
+	}
+	i := (abs - 1) / 8
+	add := byte(1) << (7 - (abs-1)%8)
+	for i >= 0 {
+		sum := uint16(b[i]) + uint16(add)
+		b[i] = byte(sum)
+		if sum < 256 {
+			return b, false
+		}
+		add = 1
+		i--
+	}
+	return b, true
+}
+
+func from16(b [16]byte, is4 bool) netip.Addr {
+	addr := netip.AddrFrom16(b)
+	if is4 {
+		return addr.Unmap()
+	}
+	return addr
+}

@@ -1,0 +1,271 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/netx"
+	"github.com/prefix2org/prefix2org/internal/rpki"
+	"github.com/prefix2org/prefix2org/internal/whois"
+)
+
+// EvolveOptions describes how the synthetic Internet changes between two
+// snapshots — the dynamics the paper proposes studying longitudinally
+// (§10: address transfers, leasing activity, evolving business
+// relationships, RPKI adoption growth).
+type EvolveOptions struct {
+	// Seed drives the mutation randomness (independent of the original
+	// world's seed).
+	Seed int64
+	// Transfers moves that many direct v4 blocks to other organizations
+	// (address sales / transfers between registry accounts).
+	Transfers int
+	// NewDelegations allocates that many fresh v4 blocks to existing
+	// organizations and announces them.
+	NewDelegations int
+	// NewAdopters flips that many non-adopter organizations to RPKI
+	// adopters (they will sign ROAs for their space in the new snapshot).
+	NewAdopters int
+	// Acquisitions migrates that many organizations' routing under an
+	// acquiring large organization (the WHOIS names persist — exactly the
+	// merger/acquisition blind spot §9 discusses).
+	Acquisitions int
+	// MonthsLater advances the snapshot date.
+	MonthsLater int
+}
+
+// Evolve advances the world by the given mutations and re-derives every
+// artifact (WHOIS databases, RPKI tree, RIB, AS2Org, delegated files,
+// ground truth). The world is mutated in place and returned; callers
+// wanting to diff snapshots should serialize (WriteDir or the dataset's
+// Save) before evolving.
+func (w *World) Evolve(opts EvolveOptions) (*World, error) {
+	g := w.gen
+	if g == nil {
+		return nil, fmt.Errorf("synth: world was not produced by Generate (or already detached)")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if opts.MonthsLater > 0 {
+		g.baseTime = g.baseTime.AddDate(0, opts.MonthsLater, 0)
+	}
+
+	// 1. Address transfers: move direct v4 blocks between organizations.
+	for i := 0; i < opts.Transfers; i++ {
+		if err := g.transferBlock(rng); err != nil {
+			return nil, err
+		}
+	}
+	// 2. Fresh delegations.
+	for i := 0; i < opts.NewDelegations; i++ {
+		if err := g.newDelegation(rng); err != nil {
+			return nil, err
+		}
+	}
+	// 3. RPKI adoption growth.
+	adopted := 0
+	for _, o := range g.w.Orgs {
+		if adopted >= opts.NewAdopters {
+			break
+		}
+		if !o.RPKIAdopter && o.Kind != KindCustomer {
+			o.RPKIAdopter = true
+			adopted++
+		}
+	}
+	// 4. Acquisitions: the acquired org's announcements migrate to the
+	// acquirer's ASNs; WHOIS names stay as they are.
+	for i := 0; i < opts.Acquisitions; i++ {
+		g.acquireOrg(rng)
+	}
+
+	return g.reemit()
+}
+
+// transferBlock moves one random direct v4 block to another organization.
+func (g *generator) transferBlock(rng *rand.Rand) error {
+	// Collect donor accounts with at least one v4 block.
+	var donors []*account
+	for _, acc := range g.accounts {
+		if len(acc.v4) > 0 {
+			donors = append(donors, acc)
+		}
+	}
+	if len(donors) == 0 {
+		return fmt.Errorf("synth: no transferable blocks")
+	}
+	from := donors[rng.Intn(len(donors))]
+	bi := rng.Intn(len(from.v4))
+	block := from.v4[bi]
+	// Recipient: a different org with an account at the same registry —
+	// intra-registry transfers keep the block inside the issuing
+	// registry's certificate hierarchy (inter-RIR transfers would need
+	// the full resource-move protocol, out of scope here as in the
+	// paper).
+	var to *account
+	for tries := 0; tries < 50; tries++ {
+		cand := g.accounts[rng.Intn(len(g.accounts))]
+		if cand.org != from.org && cand.reg == from.reg {
+			to = cand
+			break
+		}
+	}
+	if to == nil {
+		return nil // no compatible recipient this round; skip silently
+	}
+	// Detach from donor.
+	from.v4 = append(from.v4[:bi], from.v4[bi+1:]...)
+	for ni := range from.org.DirectV4 {
+		for pi, p := range from.org.DirectV4[ni] {
+			if p == block {
+				from.org.DirectV4[ni] = append(from.org.DirectV4[ni][:pi], from.org.DirectV4[ni][pi+1:]...)
+				break
+			}
+		}
+	}
+	// Attach to recipient.
+	to.v4 = append(to.v4, block)
+	to.org.DirectV4[to.nameIdx] = append(to.org.DirectV4[to.nameIdx], block)
+	// Registration data follows the transfer: the new holder gets a
+	// fresh (non-legacy) record under its own account.
+	g.blockMeta[block].acc = to
+	g.blockMeta[block].legacy = false
+	g.blockMeta[block].nonMember = false
+	status, _, _ := g.directStatus(to, false)
+	g.blockMeta[block].status = status
+	// Sub-delegations under the block now hang off the new owner.
+	for i := range g.subs {
+		if g.subs[i].owner == from && netx.Contains(block, g.subs[i].prefix) {
+			g.subs[i].owner = to
+		}
+	}
+	// Announcements inside the block change Direct Owner (and move to
+	// the new owner's AS when it has one).
+	for i := range g.anns {
+		ann := &g.anns[i]
+		if !netx.Contains(block, ann.prefix) {
+			continue
+		}
+		if ann.do == from.org {
+			ann.do = to.org
+			if to.org.HasASN() {
+				ann.origin = to.org.ASNs[rng.Intn(len(to.org.ASNs))]
+			}
+		}
+	}
+	return nil
+}
+
+// newDelegation allocates a fresh v4 block to a random org and announces
+// it.
+func (g *generator) newDelegation(rng *rand.Rand) error {
+	acc := g.accounts[rng.Intn(len(g.accounts))]
+	zp := g.pool[acc.reg]
+	bits := 19 + rng.Intn(6)
+	var block netip.Prefix
+	var err error
+	for _, a := range zp.v4 {
+		if block, err = a.alloc(bits); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("synth: evolve: %s pools exhausted", acc.reg)
+	}
+	acc.v4 = append(acc.v4, block)
+	acc.org.DirectV4[acc.nameIdx] = append(acc.org.DirectV4[acc.nameIdx], block)
+	g.recordBlockMeta(acc, block, false)
+	origin := uint32(0)
+	if acc.org.HasASN() {
+		origin = acc.org.ASNs[rng.Intn(len(acc.org.ASNs))]
+	} else if acc.org.Provider != nil && acc.org.Provider.HasASN() {
+		origin = acc.org.Provider.ASNs[rng.Intn(len(acc.org.Provider.ASNs))]
+	} else {
+		isp := g.isps[rng.Intn(len(g.isps))]
+		origin = isp.ASNs[rng.Intn(len(isp.ASNs))]
+	}
+	if !g.annSet[block] {
+		g.annSet[block] = true
+		g.anns = append(g.anns, announcement{block, origin, acc.org})
+	}
+	return nil
+}
+
+// acquireOrg migrates one org's routing under a large acquirer.
+func (g *generator) acquireOrg(rng *rand.Rand) {
+	var larges []*Org
+	for _, o := range g.w.Orgs {
+		if o.Kind == KindLarge {
+			larges = append(larges, o)
+		}
+	}
+	if len(larges) == 0 {
+		return
+	}
+	acquirer := larges[rng.Intn(len(larges))]
+	var target *Org
+	for tries := 0; tries < 50; tries++ {
+		cand := g.w.Orgs[rng.Intn(len(g.w.Orgs))]
+		if cand != acquirer && (cand.Kind == KindSmall || cand.Kind == KindISP) && cand.HasASN() {
+			target = cand
+			break
+		}
+	}
+	if target == nil {
+		return
+	}
+	targetASN := map[uint32]bool{}
+	for _, a := range target.ASNs {
+		targetASN[a] = true
+	}
+	for i := range g.anns {
+		if g.anns[i].do == target && targetASN[g.anns[i].origin] {
+			g.anns[i].origin = acquirer.ASNs[rng.Intn(len(acquirer.ASNs))]
+		}
+	}
+	target.Provider = acquirer
+	// The sibling datasets eventually learn about the acquisition.
+	if rng.Intn(100) < 60 {
+		g.w.AS2Org.AddSiblings("as2org+", append(append([]uint32{}, acquirer.ASNs...), target.ASNs...)...)
+	}
+}
+
+// reemit re-derives every World artifact from the mutated generator state.
+func (g *generator) reemit() (*World, error) {
+	old := g.w
+	g.w = &World{
+		Cfg:        old.Cfg,
+		Orgs:       old.Orgs,
+		WHOIS:      map[alloc.Registry]*whois.Database{},
+		JPNICTypes: map[netip.Prefix]string{},
+		RPKI:       rpki.NewRepository(),
+		AS2Org:     old.AS2Org, // AS registrations persist; siblings may have grown
+		gen:        g,
+	}
+	// Legacy bookkeeping is derived from blockMeta; recompute it.
+	for _, acc := range g.accounts {
+		acc.legacyNonMember = nil
+		acc.certSKIs = nil
+	}
+	for p, m := range g.blockMeta {
+		if m.legacy && m.nonMember {
+			m.acc.legacyNonMember = append(m.acc.legacyNonMember, p)
+			if alloc.Parent(m.acc.reg) == alloc.ARIN {
+				g.w.ARINLegacyNonSigned = append(g.w.ARINLegacyNonSigned, p)
+			}
+		}
+	}
+	g.emitWHOIS()
+	if err := g.buildRPKI(); err != nil {
+		return nil, err
+	}
+	g.w.RIB = nil
+	g.buildRIB()
+	g.buildDelegated()
+	g.buildTruth()
+	if err := g.w.RPKI.Build(); err != nil {
+		return nil, fmt.Errorf("synth: evolved rpki tree invalid: %w", err)
+	}
+	return g.w, nil
+}

@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+func TestEvolveNoOpIsQuiet(t *testing.T) {
+	w := genSmall(t)
+	before := map[netip.Prefix]string{}
+	for _, ann := range w.gen.anns {
+		before[ann.prefix] = ann.do.Canonical
+	}
+	certsBefore := len(w.RPKI.Certs)
+	w2, err := w.Evolve(EvolveOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same announcements, same owners.
+	if len(w2.gen.anns) != len(before) {
+		t.Fatalf("announcement count changed: %d -> %d", len(before), len(w2.gen.anns))
+	}
+	for _, ann := range w2.gen.anns {
+		if before[ann.prefix] != ann.do.Canonical {
+			t.Fatalf("owner of %s changed in no-op evolve", ann.prefix)
+		}
+	}
+	// Certificate decisions are persistent: same tree size.
+	if len(w2.RPKI.Certs) != certsBefore {
+		t.Errorf("certs changed in no-op evolve: %d -> %d", certsBefore, len(w2.RPKI.Certs))
+	}
+}
+
+func TestEvolveTransfersChangeOwnership(t *testing.T) {
+	w := genSmall(t)
+	before := map[netip.Prefix]string{}
+	for _, ann := range w.gen.anns {
+		before[ann.prefix] = ann.do.Canonical
+	}
+	w2, err := w.Evolve(EvolveOptions{Seed: 2, Transfers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for _, ann := range w2.gen.anns {
+		if old, ok := before[ann.prefix]; ok && old != ann.do.Canonical {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no ownership changed after 10 transfers")
+	}
+	// Truth reflects the new owners.
+	for _, ann := range w2.gen.anns {
+		ot, ok := w2.Truth.ByCanonical(ann.do.Canonical)
+		if !ok {
+			t.Fatalf("org %s missing from truth", ann.do.Canonical)
+		}
+		owned := ot.OwnedV4
+		if !ann.prefix.Addr().Is4() {
+			owned = ot.OwnedV6
+		}
+		found := false
+		for _, p := range owned {
+			if p == ann.prefix {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("truth for %s missing %s", ann.do.Canonical, ann.prefix)
+		}
+	}
+}
+
+func TestEvolveNewDelegationsGrowTheWorld(t *testing.T) {
+	w := genSmall(t)
+	routedBefore := len(w.gen.anns)
+	w2, err := w.Evolve(EvolveOptions{Seed: 3, NewDelegations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w2.gen.anns) - routedBefore; got < 15 {
+		t.Errorf("grew by %d announcements, want >= 15 (some may collide)", got)
+	}
+	// New blocks must not overlap existing direct delegations of other
+	// accounts (the allocators guarantee it); verify no duplicate block.
+	seen := map[netip.Prefix]bool{}
+	for _, acc := range w2.gen.accounts {
+		for _, p := range append(append([]netip.Prefix{}, acc.v4...), acc.v6...) {
+			if seen[p] {
+				t.Fatalf("duplicate direct block %s after evolve", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestEvolveAdoptersIncreaseROAs(t *testing.T) {
+	w := genSmall(t)
+	roasBefore := len(w.RPKI.ROAs)
+	w2, err := w.Evolve(EvolveOptions{Seed: 4, NewAdopters: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.RPKI.ROAs) <= roasBefore {
+		t.Errorf("ROAs did not grow: %d -> %d", roasBefore, len(w2.RPKI.ROAs))
+	}
+}
+
+func TestEvolveDetachedWorldRejected(t *testing.T) {
+	w := genSmall(t)
+	w.gen = nil
+	if _, err := w.Evolve(EvolveOptions{Seed: 5}); err == nil {
+		t.Error("detached world evolved")
+	}
+}
+
+func TestEvolvedWorldStillValid(t *testing.T) {
+	w := genSmall(t)
+	w2, err := w.Evolve(EvolveOptions{Seed: 6, Transfers: 8, NewDelegations: 8, Acquisitions: 3, NewAdopters: 10, MonthsLater: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All WHOIS records still resolve to known allocation types.
+	for reg, db := range w2.WHOIS {
+		if reg == alloc.JPNIC {
+			continue // types live in the query cache, not the records
+		}
+		for _, rec := range db.Records {
+			if rec.Status == "" {
+				continue
+			}
+			if _, err := rec.Type(); err != nil {
+				t.Errorf("evolved record %v: %v", rec.Prefixes, err)
+			}
+		}
+	}
+	// ROAs still inside their certificates (Build validated), and all
+	// direct blocks still inside registry pools.
+	for _, acc := range w2.gen.accounts {
+		for _, p := range acc.v4 {
+			inPool := false
+			for _, b := range v4PoolBlocks[acc.reg] {
+				if netx.Contains(netx.MustParse(b), p) {
+					inPool = true
+					break
+				}
+			}
+			if !inPool {
+				t.Fatalf("block %s escaped %s pools after evolve", p, acc.reg)
+			}
+		}
+	}
+}

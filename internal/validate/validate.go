@@ -1,0 +1,181 @@
+// Package validate implements the paper's §7 validation methodology:
+// Prefix2Org's inferences are compared against ground-truth IP range
+// lists per organization, producing the per-org TP/FP/FN, precision and
+// recall rows of Tables 5, 6, 13 and 14.
+//
+// Following the paper:
+//
+//   - "true prefixes" are the organization's published list restricted to
+//     BGP-routed prefixes;
+//   - "predicted prefixes" are the prefixes Prefix2Org attributes to the
+//     organization (its final cluster), queried through the
+//     organization's known WHOIS names;
+//   - a predicted prefix is a true positive when a true prefix equals or
+//     covers it (so TP can exceed the number of true prefixes when
+//     several announced more-specifics fall inside one listed range);
+//   - a true prefix is a false negative when no predicted prefix equals,
+//     covers, or falls inside it;
+//   - precision suffers when public lists are non-exhaustive — the
+//     paper's central caveat — while complete lists (Cloudflare/IIJ)
+//     yield 100% precision.
+package validate
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/netx"
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+// OrgResult is one validation row (one organization).
+type OrgResult struct {
+	Name     string
+	Complete bool // ground truth was exhaustive
+	True     int  // routed true prefixes
+	Pred     int  // predicted prefixes
+	TP       int
+	FP       int
+	FN       int
+}
+
+// Precision returns TP/(TP+FP) in percent.
+func (r *OrgResult) Precision() float64 {
+	if r.TP+r.FP == 0 {
+		return 0
+	}
+	return 100 * float64(r.TP) / float64(r.TP+r.FP)
+}
+
+// Recall returns (True-FN)/True in percent.
+func (r *OrgResult) Recall() float64 {
+	if r.True == 0 {
+		return 0
+	}
+	return 100 * float64(r.True-r.FN) / float64(r.True)
+}
+
+// Report is a full validation table.
+type Report struct {
+	Rows  []OrgResult
+	Total OrgResult
+}
+
+// Evaluate runs the §7 validation for one truth cohort and address
+// family.
+func Evaluate(ds *prefix2org.Dataset, truth *synth.Truth, group string, v6 bool) (*Report, error) {
+	if ds == nil || truth == nil {
+		return nil, fmt.Errorf("validate: nil input")
+	}
+	rep := &Report{Total: OrgResult{Name: "Total"}}
+	for _, ot := range truth.Validation(group) {
+		truePrefixes := ot.PublicV4
+		if v6 {
+			truePrefixes = ot.PublicV6
+		}
+		// Restrict to routed prefixes, as the paper does.
+		var routedTrue []netip.Prefix
+		for _, p := range truePrefixes {
+			if _, ok := ds.Lookup(p); ok {
+				routedTrue = append(routedTrue, p)
+			}
+		}
+		if len(routedTrue) == 0 {
+			continue
+		}
+		row := EvaluateOrg(ds, ot.Canonical, ot.Names, routedTrue)
+		row.Complete = ot.Complete
+		rep.Rows = append(rep.Rows, row)
+		rep.Total.True += row.True
+		rep.Total.Pred += row.Pred
+		rep.Total.TP += row.TP
+		rep.Total.FP += row.FP
+		rep.Total.FN += row.FN
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool { return rep.Rows[i].Name < rep.Rows[j].Name })
+	return rep, nil
+}
+
+// EvaluateOrg scores one organization given its known WHOIS names and its
+// routed true-prefix list.
+func EvaluateOrg(ds *prefix2org.Dataset, display string, names []string, routedTrue []netip.Prefix) OrgResult {
+	row := OrgResult{Name: display, True: len(routedTrue)}
+	predicted := predictedPrefixes(ds, names, routedTrue[0].Addr().Is4())
+	row.Pred = len(predicted)
+	for _, p := range predicted {
+		if coveredByAny(routedTrue, p) {
+			row.TP++
+		} else {
+			row.FP++
+		}
+	}
+	for _, t := range routedTrue {
+		if !matchedByAny(predicted, t) {
+			row.FN++
+		}
+	}
+	return row
+}
+
+// predictedPrefixes collects the prefixes Prefix2Org attributes to an
+// organization: the union of the final clusters reachable through any of
+// its WHOIS names, restricted to the requested family.
+func predictedPrefixes(ds *prefix2org.Dataset, names []string, v4 bool) []netip.Prefix {
+	var out []netip.Prefix
+	seenCluster := map[string]bool{}
+	for _, n := range names {
+		c, ok := ds.ClusterOfOwner(n)
+		if !ok || seenCluster[c.ID] {
+			continue
+		}
+		seenCluster[c.ID] = true
+		for _, p := range c.Prefixes {
+			if p.Addr().Is4() == v4 {
+				out = append(out, p)
+			}
+		}
+	}
+	return netx.Dedup(out)
+}
+
+// coveredByAny reports whether some true prefix equals or covers p.
+func coveredByAny(trueList []netip.Prefix, p netip.Prefix) bool {
+	for _, t := range trueList {
+		if netx.Contains(t, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchedByAny reports whether some predicted prefix equals, covers, or
+// falls inside the true prefix t.
+func matchedByAny(predicted []netip.Prefix, t netip.Prefix) bool {
+	for _, p := range predicted {
+		if netx.Contains(t, p) || netx.Contains(p, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// MedianRecall returns the median per-organization recall of the report's
+// rows — the §7.2 statistic (the paper reports a 100% median for the
+// Internet2 cohort in both families).
+func (r *Report) MedianRecall() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(r.Rows))
+	for i := range r.Rows {
+		vals[i] = r.Rows[i].Recall()
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

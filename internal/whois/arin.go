@@ -1,0 +1,143 @@
+package whois
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+// ParseARIN parses ARIN's NetRange-flavoured bulk data. Each paragraph is
+// one network registration:
+//
+//	NetRange:  206.238.0.0 - 206.238.255.255
+//	CIDR:      206.238.0.0/16
+//	NetName:   PSINET-B3
+//	NetType:   Direct Allocation
+//	OrgName:   PSINet, Inc.
+//	OrgId:     PSI
+//	Updated:   2024-05-01
+//
+// IPv6 registrations use NetRange in "first - last" form as well; the CIDR
+// line, when present and consistent, is preferred since it is already
+// canonical.
+func ParseARIN(r io.Reader) (*Database, error) {
+	db := NewDatabase()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	fields := map[string]string{}
+	lineNo := 0
+	flush := func() error {
+		if len(fields) == 0 {
+			return nil
+		}
+		defer func() { fields = map[string]string{} }()
+		spec := fields["CIDR"]
+		if spec == "" {
+			spec = fields["NetRange"]
+		}
+		if spec == "" {
+			return fmt.Errorf("whois: arin block before line %d has no NetRange/CIDR", lineNo)
+		}
+		ps, err := parseARINSpec(spec)
+		if err != nil {
+			return err
+		}
+		rec := Record{
+			Prefixes: ps,
+			Registry: alloc.ARIN,
+			Status:   fields["NetType"],
+			OrgName:  fields["OrgName"],
+			OrgID:    fields["OrgId"],
+			NetName:  fields["NetName"],
+			Country:  fields["Country"],
+		}
+		if u := fields["Updated"]; u != "" {
+			if t, err := parseTime(u); err == nil {
+				rec.Updated = t
+			}
+		}
+		db.Records = append(db.Records, rec)
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == "":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "#"):
+			// comment
+		default:
+			name, value, ok := strings.Cut(line, ":")
+			if !ok {
+				return nil, fmt.Errorf("whois: arin line %d: malformed %q", lineNo, line)
+			}
+			fields[strings.TrimSpace(name)] = strings.TrimSpace(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("whois: arin scan: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// parseARINSpec handles ARIN's CIDR field, which may list several
+// comma-separated CIDRs, or a NetRange.
+func parseARINSpec(spec string) ([]netip.Prefix, error) {
+	if strings.Contains(spec, ",") {
+		var out []netip.Prefix
+		for _, part := range strings.Split(spec, ",") {
+			ps, err := parseBlockSpec(part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ps...)
+		}
+		return out, nil
+	}
+	return parseBlockSpec(spec)
+}
+
+// WriteARIN serializes db in ARIN's NetRange flavour; ParseARIN
+// round-trips the output.
+func WriteARIN(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# ARIN bulk whois snapshot (synthetic)")
+	fmt.Fprintln(bw)
+	for _, rec := range db.Records {
+		for _, p := range rec.Prefixes {
+			fmt.Fprintf(bw, "NetRange: %s - %s\n", p.Addr(), netx.LastAddr(p))
+			fmt.Fprintf(bw, "CIDR: %s\n", p)
+			if rec.NetName != "" {
+				fmt.Fprintf(bw, "NetName: %s\n", rec.NetName)
+			}
+			if rec.Status != "" {
+				fmt.Fprintf(bw, "NetType: %s\n", rec.Status)
+			}
+			if rec.OrgName != "" {
+				fmt.Fprintf(bw, "OrgName: %s\n", rec.OrgName)
+			}
+			if rec.OrgID != "" {
+				fmt.Fprintf(bw, "OrgId: %s\n", rec.OrgID)
+			}
+			if rec.Country != "" {
+				fmt.Fprintf(bw, "Country: %s\n", rec.Country)
+			}
+			if !rec.Updated.IsZero() {
+				fmt.Fprintf(bw, "Updated: %s\n", rec.Updated.UTC().Format("2006-01-02"))
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,45 @@
+package whois
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+)
+
+func benchRPSL(n int) string {
+	rng := rand.New(rand.NewSource(3))
+	db := NewDatabase()
+	for i := 0; i < n; i++ {
+		db.Records = append(db.Records, randomRecord(rng, alloc.APNIC))
+	}
+	var sb strings.Builder
+	if err := WriteRPSL(&sb, db, alloc.APNIC); err != nil {
+		panic(err)
+	}
+	return sb.String()
+}
+
+func BenchmarkParseRPSL(b *testing.B) {
+	data := benchRPSL(2000)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRPSL(strings.NewReader(data), alloc.APNIC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlatten(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	db := NewDatabase()
+	for i := 0; i < 5000; i++ {
+		db.Records = append(db.Records, randomRecord(rng, alloc.ARIN))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Flatten()
+	}
+}

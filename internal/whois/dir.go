@@ -1,0 +1,221 @@
+package whois
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+)
+
+// Bulk-file naming inside a data directory's whois/ subdirectory. Each
+// registry's snapshot is stored in its native flavour.
+var registryFiles = []struct {
+	Registry alloc.Registry
+	File     string
+}{
+	{alloc.ARIN, "arin.db"},
+	{alloc.RIPE, "ripe.db"},
+	{alloc.APNIC, "apnic.db"},
+	{alloc.AFRINIC, "afrinic.db"},
+	{alloc.LACNIC, "lacnic.db"},
+	{alloc.KRNIC, "krnic.db"},
+	{alloc.TWNIC, "twnic.db"},
+	{alloc.JPNIC, "jpnic.db"},
+	{alloc.NICBR, "nicbr.db"},
+	{alloc.NICMX, "nicmx.db"},
+}
+
+// JPNICTypesFile is the cache of per-block allocation types retrieved via
+// individual JPNIC WHOIS queries (the paper performs these queries and we
+// persist the answers so offline runs need no live server).
+const JPNICTypesFile = "jpnic-alloctypes.db"
+
+// LoadOptions configures LoadDir.
+type LoadOptions struct {
+	// JPNICClient, when non-nil, is used to query allocation types for
+	// JPNIC blocks that are missing from the types cache file.
+	JPNICClient *Client
+}
+
+// LoadDir reads every registry bulk file present under dir/whois and
+// returns the merged database. Missing files are skipped (a data
+// directory need not contain all registries); malformed files are errors.
+// JPNIC records are enriched with allocation types from the cache file
+// and, if provided, the live client.
+func LoadDir(ctx context.Context, dir string, opts LoadOptions) (*Database, error) {
+	wdir := filepath.Join(dir, "whois")
+	merged := NewDatabase()
+	for _, rf := range registryFiles {
+		path := filepath.Join(wdir, rf.File)
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("whois: open %s: %w", path, err)
+		}
+		db, perr := parseRegistryFile(f, rf.Registry)
+		cerr := f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("whois: parse %s: %w", path, perr)
+		}
+		if cerr != nil {
+			return nil, fmt.Errorf("whois: close %s: %w", path, cerr)
+		}
+		merged.Merge(db)
+	}
+	// Enrich JPNIC allocation types: cache file first, then live queries.
+	typesPath := filepath.Join(wdir, JPNICTypesFile)
+	if f, err := os.Open(typesPath); err == nil {
+		cache, perr := ParseJPNICTypes(f)
+		f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("whois: parse %s: %w", typesPath, perr)
+		}
+		ApplyJPNICTypes(merged, cache)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("whois: open %s: %w", typesPath, err)
+	}
+	if opts.JPNICClient != nil {
+		if err := EnrichJPNIC(ctx, merged, opts.JPNICClient); err != nil {
+			return nil, fmt.Errorf("whois: jpnic enrichment: %w", err)
+		}
+	}
+	merged.ResolveOrgs()
+	return merged, nil
+}
+
+func parseRegistryFile(r io.Reader, reg alloc.Registry) (*Database, error) {
+	switch reg {
+	case alloc.ARIN:
+		return ParseARIN(r)
+	case alloc.RIPE, alloc.APNIC, alloc.AFRINIC, alloc.KRNIC, alloc.TWNIC:
+		return ParseRPSL(r, reg)
+	case alloc.LACNIC, alloc.NICBR, alloc.NICMX:
+		return ParseLACNIC(r, reg)
+	case alloc.JPNIC:
+		return ParseJPNICBulk(r)
+	default:
+		return nil, fmt.Errorf("whois: no parser for registry %s", reg)
+	}
+}
+
+// WriteDir serializes per-registry databases into dir/whois in each
+// registry's native flavour. dbs maps registry to its database.
+func WriteDir(dir string, dbs map[alloc.Registry]*Database, jpnicTypes map[netip.Prefix]string) error {
+	wdir := filepath.Join(dir, "whois")
+	if err := os.MkdirAll(wdir, 0o755); err != nil {
+		return fmt.Errorf("whois: mkdir %s: %w", wdir, err)
+	}
+	for _, rf := range registryFiles {
+		db, ok := dbs[rf.Registry]
+		if !ok {
+			continue
+		}
+		path := filepath.Join(wdir, rf.File)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("whois: create %s: %w", path, err)
+		}
+		werr := writeRegistryFile(f, db, rf.Registry)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("whois: write %s: %w", path, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("whois: close %s: %w", path, cerr)
+		}
+	}
+	if len(jpnicTypes) > 0 {
+		path := filepath.Join(wdir, JPNICTypesFile)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("whois: create %s: %w", path, err)
+		}
+		werr := WriteJPNICTypes(f, jpnicTypes)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
+
+func writeRegistryFile(w io.Writer, db *Database, reg alloc.Registry) error {
+	switch reg {
+	case alloc.ARIN:
+		return WriteARIN(w, db)
+	case alloc.RIPE, alloc.APNIC, alloc.AFRINIC, alloc.KRNIC, alloc.TWNIC:
+		return WriteRPSL(w, db, reg)
+	case alloc.LACNIC, alloc.NICBR, alloc.NICMX:
+		return WriteLACNIC(w, db)
+	case alloc.JPNIC:
+		return WriteJPNICBulk(w, db)
+	default:
+		return fmt.Errorf("whois: no writer for registry %s", reg)
+	}
+}
+
+// ParseJPNICTypes reads the allocation-type cache: "prefix|status" lines.
+func ParseJPNICTypes(r io.Reader) (map[netip.Prefix]string, error) {
+	out := map[netip.Prefix]string{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		spec, status, ok := strings.Cut(line, "|")
+		if !ok {
+			return nil, fmt.Errorf("whois: jpnic types line %d: malformed %q", lineNo, line)
+		}
+		p, err := netip.ParsePrefix(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, fmt.Errorf("whois: jpnic types line %d: %w", lineNo, err)
+		}
+		out[p.Masked()] = strings.TrimSpace(status)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteJPNICTypes writes the allocation-type cache in deterministic order.
+func WriteJPNICTypes(w io.Writer, types map[netip.Prefix]string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# JPNIC per-block allocation types (whois query cache)")
+	keys := make([]netip.Prefix, 0, len(types))
+	for p := range types {
+		keys = append(keys, p)
+	}
+	sortPrefixes(keys)
+	for _, p := range keys {
+		fmt.Fprintf(bw, "%s|%s\n", p, types[p])
+	}
+	return bw.Flush()
+}
+
+// ApplyJPNICTypes fills Status on JPNIC records from the cache.
+func ApplyJPNICTypes(db *Database, types map[netip.Prefix]string) {
+	for i := range db.Records {
+		r := &db.Records[i]
+		if r.Registry != alloc.JPNIC || r.Status != "" || len(r.Prefixes) == 0 {
+			continue
+		}
+		if s, ok := types[r.Prefixes[0]]; ok {
+			r.Status = s
+		}
+	}
+}

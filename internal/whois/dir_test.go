@@ -1,0 +1,134 @@
+package whois
+
+import (
+	"context"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+func TestWriteDirLoadDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(reg alloc.Registry, prefix, status, org string) *Database {
+		db := NewDatabase()
+		db.Records = append(db.Records, Record{
+			Prefixes: []netip.Prefix{netx.MustParse(prefix)},
+			Registry: reg, Status: status, OrgName: org,
+			Updated: time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC),
+		})
+		return db
+	}
+	dbs := map[alloc.Registry]*Database{
+		alloc.ARIN:    mk(alloc.ARIN, "206.238.0.0/16", "Allocation", "PSINet, Inc."),
+		alloc.RIPE:    mk(alloc.RIPE, "193.0.0.0/21", "ALLOCATED PA", "Example GmbH"),
+		alloc.APNIC:   mk(alloc.APNIC, "203.0.0.0/17", "ALLOCATED PORTABLE", "Acme Pty"),
+		alloc.AFRINIC: mk(alloc.AFRINIC, "196.0.0.0/16", "ALLOCATED PA", "Afri Net"),
+		alloc.LACNIC:  mk(alloc.LACNIC, "200.0.0.0/16", "ALLOCATED", "Latam SA"),
+		alloc.KRNIC:   mk(alloc.KRNIC, "211.0.0.0/16", "ALLOCATED PORTABLE", "Hanguk Co"),
+		alloc.TWNIC:   mk(alloc.TWNIC, "210.60.0.0/16", "ALLOCATED PORTABLE", "Taiwan Net"),
+		alloc.JPNIC:   mk(alloc.JPNIC, "203.180.0.0/16", "", "Example KK"),
+		alloc.NICBR:   mk(alloc.NICBR, "200.160.0.0/20", "ALLOCATED", "Ponto BR"),
+	}
+	jpnicTypes := map[netip.Prefix]string{
+		netx.MustParse("203.180.0.0/16"): "ALLOCATED PORTABLE",
+	}
+	if err := WriteDir(dir, dbs, jpnicTypes); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := LoadDir(context.Background(), dir, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Records) != 9 {
+		t.Fatalf("merged records = %d, want 9", len(merged.Records))
+	}
+	byReg := map[alloc.Registry]Record{}
+	for _, r := range merged.Records {
+		byReg[r.Registry] = r
+	}
+	for reg, want := range dbs {
+		got, ok := byReg[reg]
+		if !ok {
+			t.Errorf("registry %s missing after roundtrip", reg)
+			continue
+		}
+		if got.Prefixes[0] != want.Records[0].Prefixes[0] {
+			t.Errorf("%s prefix = %v, want %v", reg, got.Prefixes[0], want.Records[0].Prefixes[0])
+		}
+		if got.OrgName != want.Records[0].OrgName {
+			t.Errorf("%s org = %q, want %q", reg, got.OrgName, want.Records[0].OrgName)
+		}
+	}
+	// JPNIC enrichment from the types cache file.
+	if byReg[alloc.JPNIC].Status != "ALLOCATED PORTABLE" {
+		t.Errorf("jpnic status = %q, want enriched from cache", byReg[alloc.JPNIC].Status)
+	}
+	// Every record's type must resolve.
+	for _, r := range merged.Records {
+		if _, err := r.Type(); err != nil {
+			t.Errorf("record %v: type: %v", r.Prefixes, err)
+		}
+	}
+}
+
+func TestLoadDirMissingFilesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "whois"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadDir(context.Background(), dir, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Records) != 0 {
+		t.Errorf("records = %d, want 0", len(db.Records))
+	}
+}
+
+func TestLoadDirMalformedFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	wdir := filepath.Join(dir, "whois")
+	if err := os.MkdirAll(wdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(wdir, "ripe.db"), []byte("inetnum: banana\nstatus: X\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(context.Background(), dir, LoadOptions{}); err == nil {
+		t.Error("malformed ripe.db accepted")
+	}
+}
+
+func TestLoadDirWithLiveJPNICClient(t *testing.T) {
+	dir := t.TempDir()
+	jp := NewDatabase()
+	p := netx.MustParse("203.180.0.0/16")
+	jp.Records = append(jp.Records, Record{
+		Prefixes: []netip.Prefix{p}, Registry: alloc.JPNIC,
+		NetName: "N", OrgName: "Example KK",
+		Updated: time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC),
+	})
+	// Write the bulk file but no types cache: force live queries.
+	if err := WriteDir(dir, map[alloc.Registry]*Database{alloc.JPNIC: jp}, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	srv.Register(p, "Example KK", "N", "ASSIGNED PORTABLE")
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	db, err := LoadDir(context.Background(), dir, LoadOptions{JPNICClient: &Client{Addr: addr, Timeout: 5 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Records[0].Status != "ASSIGNED PORTABLE" {
+		t.Errorf("live enrichment status = %q", db.Records[0].Status)
+	}
+}

@@ -1,0 +1,61 @@
+package whois
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+)
+
+func FuzzParseRPSL(f *testing.F) {
+	f.Add(ripeSample)
+	f.Add(apnicSample)
+	f.Add("inetnum: 10.0.0.0 - 10.0.0.255\nstatus: ALLOCATED PA\n")
+	f.Add("")
+	f.Add("%% comment only\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		db, err := ParseRPSL(strings.NewReader(data), alloc.RIPE)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must flatten and re-serialize without panicking.
+		_ = db.Flatten()
+		var sb strings.Builder
+		_ = WriteRPSL(&sb, db, alloc.RIPE)
+	})
+}
+
+func FuzzParseARIN(f *testing.F) {
+	f.Add(arinSample)
+	f.Add("NetRange: 10.0.0.0 - 10.0.0.255\nNetType: Allocation\nOrgName: X\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		db, err := ParseARIN(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		_ = db.Flatten()
+		var sb strings.Builder
+		_ = WriteARIN(&sb, db)
+	})
+}
+
+func FuzzParseBlockSpec(f *testing.F) {
+	for _, s := range []string{"10.0.0.0/8", "10.0.0.0 - 10.0.3.255", "2001:db8::/32", "x", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		ps, err := parseBlockSpec(data)
+		if err != nil {
+			return
+		}
+		for _, p := range ps {
+			if !p.IsValid() {
+				t.Fatalf("parseBlockSpec(%q) returned invalid prefix", data)
+			}
+			if p != p.Masked() {
+				t.Fatalf("parseBlockSpec(%q) returned non-canonical %s", data, p)
+			}
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package whois
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+const jpnicSample = `# comment
+203.180.0.0/16|EXAMPLE-NET|Example Communications KK|20240501
+203.181.0.0/24|OTHER-NET|Other KK|20240502
+`
+
+func TestParseJPNICBulk(t *testing.T) {
+	db, err := ParseJPNICBulk(strings.NewReader(jpnicSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Records) != 2 {
+		t.Fatalf("records = %d", len(db.Records))
+	}
+	r := db.Records[0]
+	if r.Registry != alloc.JPNIC || r.Status != "" || r.OrgName != "Example Communications KK" {
+		t.Errorf("record = %+v", r)
+	}
+	if r.Country != "JP" {
+		t.Errorf("country = %q", r.Country)
+	}
+	if r.Updated.Format("20060102") != "20240501" {
+		t.Errorf("updated = %v", r.Updated)
+	}
+}
+
+func TestParseJPNICBulkErrors(t *testing.T) {
+	if _, err := ParseJPNICBulk(strings.NewReader("only|two\n")); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := ParseJPNICBulk(strings.NewReader("banana|X|Y|20240101\n")); err == nil {
+		t.Error("bad prefix accepted")
+	}
+}
+
+func TestRoundTripJPNICBulk(t *testing.T) {
+	db := NewDatabase()
+	db.Records = append(db.Records, Record{
+		Prefixes: []netip.Prefix{netx.MustParse("203.180.0.0/16")},
+		Registry: alloc.JPNIC, NetName: "EXAMPLE-NET", OrgName: "Example KK",
+		Country: "JP", Updated: time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC),
+	})
+	var sb strings.Builder
+	if err := WriteJPNICBulk(&sb, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJPNICBulk(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := back.Records[0]
+	if g.Prefixes[0] != db.Records[0].Prefixes[0] || g.OrgName != "Example KK" {
+		t.Errorf("roundtrip = %+v", g)
+	}
+}
+
+func TestWhoisServerAndClient(t *testing.T) {
+	srv := NewServer()
+	p := netx.MustParse("203.180.0.0/16")
+	srv.Register(p, "Example KK", "EXAMPLE-NET", "ALLOCATED PORTABLE")
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := &Client{Addr: addr, Timeout: 5 * time.Second}
+	status, err := c.QueryAllocationType(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "ALLOCATED PORTABLE" {
+		t.Errorf("status = %q", status)
+	}
+
+	// Unknown prefix: server answers "no match", client reports error.
+	if _, err := c.QueryAllocationType(context.Background(), netx.MustParse("198.51.100.0/24")); err == nil {
+		t.Error("unknown block did not error")
+	}
+
+	// Raw RFC3912 query returns the full body.
+	body, err := c.Query(context.Background(), p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "[Organization]       Example KK") {
+		t.Errorf("body = %q", body)
+	}
+	// Garbage query handled gracefully.
+	body, err = c.Query(context.Background(), "not a prefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "error") {
+		t.Errorf("garbage query body = %q", body)
+	}
+}
+
+func TestEnrichJPNIC(t *testing.T) {
+	srv := NewServer()
+	p1 := netx.MustParse("203.180.0.0/16")
+	p2 := netx.MustParse("203.181.0.0/24")
+	srv.Register(p1, "Example KK", "N1", "ALLOCATED PORTABLE")
+	srv.Register(p2, "Other KK", "N2", "ASSIGNED NON-PORTABLE")
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	db, err := ParseJPNICBulk(strings.NewReader(jpnicSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{Addr: addr, Timeout: 5 * time.Second}
+	if err := EnrichJPNIC(context.Background(), db, c); err != nil {
+		t.Fatal(err)
+	}
+	if db.Records[0].Status != "ALLOCATED PORTABLE" {
+		t.Errorf("record 0 status = %q", db.Records[0].Status)
+	}
+	if db.Records[1].Status != "ASSIGNED NON-PORTABLE" {
+		t.Errorf("record 1 status = %q", db.Records[1].Status)
+	}
+	// Types must now resolve through APNIC's vocabulary.
+	ty, err := db.Records[0].Type()
+	if err != nil || !ty.DirectOwner() {
+		t.Errorf("enriched type = %v %v", ty, err)
+	}
+}
+
+func TestEnrichJPNICErrorPropagates(t *testing.T) {
+	srv := NewServer()
+	// Register nothing: every query will fail.
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	db, err := ParseJPNICBulk(strings.NewReader(jpnicSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{Addr: addr, Timeout: 5 * time.Second}
+	if err := EnrichJPNIC(context.Background(), db, c); err == nil {
+		t.Error("enrichment with missing blocks did not error")
+	}
+}
+
+func TestJPNICTypesFileRoundTrip(t *testing.T) {
+	types := map[netip.Prefix]string{
+		netx.MustParse("203.180.0.0/16"): "ALLOCATED PORTABLE",
+		netx.MustParse("203.181.0.0/24"): "ASSIGNED NON-PORTABLE",
+	}
+	var sb strings.Builder
+	if err := WriteJPNICTypes(&sb, types); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJPNICTypes(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("roundtrip = %v", back)
+	}
+	for p, s := range types {
+		if back[p] != s {
+			t.Errorf("types[%s] = %q, want %q", p, back[p], s)
+		}
+	}
+	// Apply to a bulk database.
+	db, err := ParseJPNICBulk(strings.NewReader(jpnicSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ApplyJPNICTypes(db, back)
+	if db.Records[0].Status != "ALLOCATED PORTABLE" || db.Records[1].Status != "ASSIGNED NON-PORTABLE" {
+		t.Errorf("apply failed: %+v", db.Records)
+	}
+}
+
+func TestClientDialFailure(t *testing.T) {
+	c := &Client{Addr: "127.0.0.1:1", Timeout: 500 * time.Millisecond} // nothing listens on port 1
+	if _, err := c.Query(context.Background(), "x"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestClientContextCancelled(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Client{Addr: addr}
+	if _, err := c.Query(ctx, "x"); err == nil {
+		t.Error("cancelled context query succeeded")
+	}
+}
+
+func TestExtractAllocationType(t *testing.T) {
+	body := "a. [Network Number] 1.0.0.0/16\r\nm. [Allocation Type]   ASSIGNED PORTABLE \r\n"
+	got, ok := extractAllocationType(body)
+	if !ok || got != "ASSIGNED PORTABLE" {
+		t.Errorf("extract = %q,%v", got, ok)
+	}
+	if _, ok := extractAllocationType("% no match\r\n"); ok {
+		t.Error("extracted from no-match body")
+	}
+}
+
+func TestServerCloseIdempotentUsage(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Queries after close must fail to connect.
+	c := &Client{Addr: addr, Timeout: 500 * time.Millisecond}
+	if _, err := c.Query(context.Background(), "x"); err == nil {
+		t.Error("query after close succeeded")
+	}
+}

@@ -1,0 +1,124 @@
+package whois
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+)
+
+// ParseLACNIC parses the LACNIC bulk flavour, also used by the NIRs NIC.br
+// and NIC.mx. Records are compact paragraphs with CIDR-notation blocks:
+//
+//	inetnum: 200.160.0.0/20
+//	status:  allocated
+//	owner:   Nucleo de Inf. e Coord. do Ponto BR
+//	ownerid: BR-NUIC-LACNIC
+//	country: BR
+//	changed: 20240501
+//
+// reg selects which registry the records are attributed to (LACNIC, NIC.br
+// or NIC.mx); the allocation-type vocabulary is LACNIC's either way.
+func ParseLACNIC(r io.Reader, reg alloc.Registry) (*Database, error) {
+	if alloc.Parent(reg) != alloc.LACNIC {
+		return nil, fmt.Errorf("whois: ParseLACNIC: registry %s is not in the LACNIC zone", reg)
+	}
+	db := NewDatabase()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	fields := map[string]string{}
+	lineNo := 0
+	flush := func() error {
+		if len(fields) == 0 {
+			return nil
+		}
+		defer func() { fields = map[string]string{} }()
+		spec := fields["inetnum"]
+		if spec == "" {
+			spec = fields["inet6num"]
+		}
+		if spec == "" {
+			return fmt.Errorf("whois: lacnic block before line %d has no inetnum", lineNo)
+		}
+		ps, err := parseBlockSpec(spec)
+		if err != nil {
+			return err
+		}
+		rec := Record{
+			Prefixes: ps,
+			Registry: reg,
+			Status:   fields["status"],
+			OrgName:  fields["owner"],
+			OrgID:    fields["ownerid"],
+			Country:  fields["country"],
+		}
+		if c := fields["changed"]; c != "" {
+			if t, err := parseTime(c); err == nil {
+				rec.Updated = t
+			}
+		}
+		db.Records = append(db.Records, rec)
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == "":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#"):
+			// comment
+		default:
+			name, value, ok := strings.Cut(line, ":")
+			if !ok {
+				return nil, fmt.Errorf("whois: lacnic line %d: malformed %q", lineNo, line)
+			}
+			fields[strings.ToLower(strings.TrimSpace(name))] = strings.TrimSpace(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("whois: lacnic scan: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// WriteLACNIC serializes db in the LACNIC flavour; ParseLACNIC round-trips
+// the output.
+func WriteLACNIC(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "% LACNIC-zone bulk whois snapshot (synthetic)")
+	fmt.Fprintln(bw)
+	for _, rec := range db.Records {
+		for _, p := range rec.Prefixes {
+			class := "inetnum"
+			if !p.Addr().Is4() {
+				class = "inet6num"
+			}
+			fmt.Fprintf(bw, "%s: %s\n", class, p)
+			if rec.Status != "" {
+				fmt.Fprintf(bw, "status: %s\n", rec.Status)
+			}
+			if rec.OrgName != "" {
+				fmt.Fprintf(bw, "owner: %s\n", rec.OrgName)
+			}
+			if rec.OrgID != "" {
+				fmt.Fprintf(bw, "ownerid: %s\n", rec.OrgID)
+			}
+			if rec.Country != "" {
+				fmt.Fprintf(bw, "country: %s\n", rec.Country)
+			}
+			if !rec.Updated.IsZero() {
+				fmt.Fprintf(bw, "changed: %s\n", rec.Updated.UTC().Format("20060102"))
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}

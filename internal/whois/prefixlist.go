@@ -1,0 +1,54 @@
+package whois
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+)
+
+// Plain prefix-list files: one CIDR per line, '#' comments. Used for the
+// ARIN legacy non-signer list (the analogue of ARIN's published "Resources
+// Under RSA" report, which Prefix2Org uses to mark Allocation-Legacy
+// space) and for ground-truth IP range lists.
+
+// ARINLegacyFile names, inside a data directory's whois/ subdirectory,
+// the list of ARIN legacy blocks whose holders have NOT signed a registry
+// services agreement (and therefore cannot issue RPKI certificates).
+const ARINLegacyFile = "arin-legacy-nonsigners.db"
+
+// ParsePrefixList reads one canonical prefix per line.
+func ParsePrefixList(r io.Reader) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := netip.ParsePrefix(line)
+		if err != nil {
+			return nil, fmt.Errorf("whois: prefix list line %d: %w", lineNo, err)
+		}
+		out = append(out, p.Masked())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WritePrefixList writes prefixes one per line in the given order.
+func WritePrefixList(w io.Writer, header string, prefixes []netip.Prefix) error {
+	bw := bufio.NewWriter(w)
+	if header != "" {
+		fmt.Fprintf(bw, "# %s\n", header)
+	}
+	for _, p := range prefixes {
+		fmt.Fprintln(bw, p)
+	}
+	return bw.Flush()
+}

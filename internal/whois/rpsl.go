@@ -1,0 +1,202 @@
+package whois
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+// rpslObject is one paragraph of "attribute: value" lines. Repeated
+// attributes accumulate in order.
+type rpslObject struct {
+	class string // first attribute name, identifies the object type
+	attrs []rpslAttr
+}
+
+type rpslAttr struct{ name, value string }
+
+func (o *rpslObject) first(name string) (string, bool) {
+	for _, a := range o.attrs {
+		if a.name == name {
+			return a.value, true
+		}
+	}
+	return "", false
+}
+
+func (o *rpslObject) all(name string) []string {
+	var out []string
+	for _, a := range o.attrs {
+		if a.name == name {
+			out = append(out, a.value)
+		}
+	}
+	return out
+}
+
+// scanRPSL reads paragraph-separated RPSL objects. Lines beginning with
+// '%' or '#' are comments; a line starting with whitespace or '+' continues
+// the previous attribute value.
+func scanRPSL(r io.Reader, fn func(*rpslObject) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var cur *rpslObject
+	flush := func() error {
+		if cur == nil || len(cur.attrs) == 0 {
+			cur = nil
+			return nil
+		}
+		obj := cur
+		cur = nil
+		return fn(obj)
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#"):
+			// comment
+		case line[0] == ' ' || line[0] == '\t' || line[0] == '+':
+			if cur == nil || len(cur.attrs) == 0 {
+				return fmt.Errorf("whois: rpsl line %d: continuation with no attribute", lineNo)
+			}
+			last := &cur.attrs[len(cur.attrs)-1]
+			last.value = strings.TrimSpace(last.value + " " + strings.TrimSpace(strings.TrimPrefix(line, "+")))
+		default:
+			name, value, ok := strings.Cut(line, ":")
+			if !ok {
+				return fmt.Errorf("whois: rpsl line %d: malformed attribute %q", lineNo, line)
+			}
+			if cur == nil {
+				cur = &rpslObject{class: strings.ToLower(strings.TrimSpace(name))}
+			}
+			cur.attrs = append(cur.attrs, rpslAttr{
+				name:  strings.ToLower(strings.TrimSpace(name)),
+				value: strings.TrimSpace(value),
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("whois: rpsl scan: %w", err)
+	}
+	return flush()
+}
+
+// ParseRPSL parses an RPSL-flavoured bulk database (RIPE, APNIC, AFRINIC,
+// KRNIC, TWNIC) into a Database. inetnum and inet6num objects become
+// Records; organisation objects populate the Orgs index. For RIPE the
+// organization name is resolved later via the org: reference; for the
+// other registries it is taken from the first descr line.
+func ParseRPSL(r io.Reader, reg alloc.Registry) (*Database, error) {
+	db := NewDatabase()
+	useOrgRef := reg == alloc.RIPE
+	err := scanRPSL(r, func(o *rpslObject) error {
+		switch o.class {
+		case "inetnum", "inet6num":
+			spec, _ := o.first(o.class)
+			prefixes, err := parseBlockSpec(spec)
+			if err != nil {
+				return fmt.Errorf("%s %q: %w", o.class, spec, err)
+			}
+			rec := Record{Prefixes: prefixes, Registry: reg}
+			rec.Status, _ = o.first("status")
+			rec.NetName, _ = o.first("netname")
+			rec.Country, _ = o.first("country")
+			if useOrgRef {
+				rec.OrgID, _ = o.first("org")
+				// Legacy RIPE objects may carry the holder only in descr.
+				if rec.OrgID == "" {
+					if d := o.all("descr"); len(d) > 0 {
+						rec.OrgName = d[0]
+					}
+				}
+			} else if d := o.all("descr"); len(d) > 0 {
+				rec.OrgName = d[0]
+			}
+			if lm, ok := o.first("last-modified"); ok {
+				if t, err := parseTime(lm); err == nil {
+					rec.Updated = t
+				}
+			} else if ch := o.all("changed"); len(ch) > 0 {
+				if t, err := parseTime(ch[len(ch)-1]); err == nil {
+					rec.Updated = t
+				}
+			}
+			db.Records = append(db.Records, rec)
+		case "organisation":
+			id, _ := o.first("organisation")
+			name, _ := o.first("org-name")
+			country, _ := o.first("country")
+			if id != "" {
+				db.Orgs[id] = Org{ID: id, Name: name, Country: country}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// WriteRPSL serializes db into the RPSL flavour used by reg, producing
+// text that ParseRPSL round-trips. The synthetic-world generator uses it
+// to materialize registry dumps on disk.
+func WriteRPSL(w io.Writer, db *Database, reg alloc.Registry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%% %s bulk whois snapshot (synthetic)\n\n", reg)
+	useOrgRef := reg == alloc.RIPE
+	for _, rec := range db.Records {
+		for _, p := range rec.Prefixes {
+			class, spec := "inetnum", ""
+			if p.Addr().Is4() {
+				spec = fmt.Sprintf("%s - %s", p.Addr(), netx.LastAddr(p))
+			} else {
+				class, spec = "inet6num", p.String()
+			}
+			fmt.Fprintf(bw, "%s: %s\n", class, spec)
+			if rec.NetName != "" {
+				fmt.Fprintf(bw, "netname: %s\n", rec.NetName)
+			}
+			if useOrgRef && rec.OrgID != "" {
+				fmt.Fprintf(bw, "org: %s\n", rec.OrgID)
+			} else if rec.OrgName != "" {
+				fmt.Fprintf(bw, "descr: %s\n", rec.OrgName)
+			}
+			if rec.Country != "" {
+				fmt.Fprintf(bw, "country: %s\n", rec.Country)
+			}
+			if rec.Status != "" {
+				fmt.Fprintf(bw, "status: %s\n", rec.Status)
+			}
+			if !rec.Updated.IsZero() {
+				fmt.Fprintf(bw, "last-modified: %s\n", rec.Updated.UTC().Format("2006-01-02T15:04:05Z"))
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	ids := make([]string, 0, len(db.Orgs))
+	for id := range db.Orgs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		o := db.Orgs[id]
+		fmt.Fprintf(bw, "organisation: %s\norg-name: %s\n", o.ID, o.Name)
+		if o.Country != "" {
+			fmt.Fprintf(bw, "country: %s\n", o.Country)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,5 @@
+package whoisd
+
+import "os"
+
+func mkTemp() (string, error) { return os.MkdirTemp("", "p2o-whoisd-test") }

@@ -1,0 +1,173 @@
+// Package whoisd serves a Prefix2Org dataset over the WHOIS protocol
+// (RFC 3912): clients query a prefix, an address, or an organization
+// name and receive the Listing-1-style ownership record or the final
+// cluster — the natural "operators query our public dataset" deployment
+// of the paper's artifact.
+package whoisd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/radix"
+)
+
+// Server serves one dataset. Safe for concurrent queries.
+type Server struct {
+	ds *prefix2org.Dataset
+	// lpm finds the record of the most specific routed prefix covering
+	// an address-only query.
+	lpm *radix.Tree[*prefix2org.Record]
+
+	lis  net.Listener
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a server over ds.
+func New(ds *prefix2org.Dataset) *Server {
+	s := &Server{ds: ds, lpm: radix.New[*prefix2org.Record](), done: make(chan struct{})}
+	for i := range ds.Records {
+		s.lpm.Insert(ds.Records[i].Prefix, &ds.Records[i])
+	}
+	return s
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// until Close. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("whoisd: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return lis.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight queries.
+func (s *Server) Close() error {
+	close(s.done)
+	var err error
+	if s.lis != nil {
+		err = s.lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil && line == "" {
+		return
+	}
+	_, _ = io.WriteString(conn, s.Answer(strings.TrimSpace(line)))
+}
+
+// Answer resolves one query line to the response body. Exposed for tests
+// and for embedding in other transports.
+func (s *Server) Answer(q string) string {
+	var b strings.Builder
+	b.WriteString("% Prefix2Org whois (synthetic dataset)\r\n")
+	switch {
+	case q == "":
+		b.WriteString("% error: empty query\r\n")
+	case strings.Contains(q, "/"):
+		p, err := netip.ParsePrefix(q)
+		if err != nil {
+			fmt.Fprintf(&b, "%% error: bad prefix %q\r\n", q)
+			break
+		}
+		if rec, ok := s.ds.Lookup(p); ok {
+			writeRecord(&b, rec)
+			break
+		}
+		// Fall back to the most specific covering routed prefix.
+		if e, ok := s.lpm.LongestMatch(p); ok {
+			fmt.Fprintf(&b, "%% note: %s not announced; answering for covering %s\r\n", q, e.Value.Prefix)
+			writeRecord(&b, e.Value)
+			break
+		}
+		b.WriteString("% no match\r\n")
+	case parseAddr(q) != nil:
+		a := *parseAddr(q)
+		if e, ok := s.lpm.LongestMatch(netip.PrefixFrom(a, a.BitLen())); ok {
+			writeRecord(&b, e.Value)
+			break
+		}
+		b.WriteString("% no match\r\n")
+	default:
+		// Organization-name query.
+		c, ok := s.ds.ClusterOfOwner(q)
+		if !ok {
+			b.WriteString("% no match\r\n")
+			break
+		}
+		fmt.Fprintf(&b, "cluster:      %s\r\n", c.ID)
+		fmt.Fprintf(&b, "base-name:    %s\r\n", c.BaseName)
+		for _, n := range c.OwnerNames {
+			fmt.Fprintf(&b, "org-name:     %s\r\n", n)
+		}
+		for _, p := range c.Prefixes {
+			fmt.Fprintf(&b, "prefix:       %s\r\n", p)
+		}
+	}
+	return b.String()
+}
+
+func parseAddr(q string) *netip.Addr {
+	a, err := netip.ParseAddr(q)
+	if err != nil {
+		return nil
+	}
+	return &a
+}
+
+func writeRecord(b *strings.Builder, rec *prefix2org.Record) {
+	fmt.Fprintf(b, "prefix:        %s\r\n", rec.Prefix)
+	fmt.Fprintf(b, "rir:           %s\r\n", rec.RIR)
+	fmt.Fprintf(b, "direct-owner:  %s\r\n", rec.DirectOwner)
+	fmt.Fprintf(b, "do-prefix:     %s\r\n", rec.DOPrefix)
+	fmt.Fprintf(b, "do-type:       %s\r\n", rec.DOType)
+	for i, dc := range rec.DelegatedCustomers {
+		fmt.Fprintf(b, "customer:      %s (%s over %s)\r\n", dc, rec.DCTypes[i], rec.DCPrefixes[i])
+	}
+	fmt.Fprintf(b, "base-name:     %s\r\n", rec.BaseName)
+	if rec.RPKICert != "" {
+		fmt.Fprintf(b, "rpki-cert:     %s\r\n", rec.RPKICert)
+	}
+	if rec.OriginASN != 0 {
+		fmt.Fprintf(b, "origin-as:     AS%d (cluster %s)\r\n", rec.OriginASN, rec.ASNCluster)
+	}
+	fmt.Fprintf(b, "final-cluster: %s\r\n", rec.FinalCluster)
+}

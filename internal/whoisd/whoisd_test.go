@@ -1,0 +1,152 @@
+package whoisd
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/synth"
+	"github.com/prefix2org/prefix2org/internal/whois"
+)
+
+var (
+	dsOnce sync.Once
+	dsVal  *prefix2org.Dataset
+	dsErr  error
+)
+
+func dataset(t *testing.T) *prefix2org.Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		w, err := synth.Generate(synth.SmallConfig())
+		if err != nil {
+			dsErr = err
+			return
+		}
+		dir, err := mkTemp()
+		if err != nil {
+			dsErr = err
+			return
+		}
+		if err := w.WriteDir(dir); err != nil {
+			dsErr = err
+			return
+		}
+		dsVal, dsErr = prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsVal
+}
+
+func TestAnswerPrefixQuery(t *testing.T) {
+	ds := dataset(t)
+	srv := New(ds)
+	rec := &ds.Records[0]
+	out := srv.Answer(rec.Prefix.String())
+	for _, want := range []string{"direct-owner:", rec.DirectOwner, "final-cluster:", rec.FinalCluster} {
+		if !strings.Contains(out, want) {
+			t.Errorf("answer missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnswerAddressQuery(t *testing.T) {
+	ds := dataset(t)
+	srv := New(ds)
+	rec := &ds.Records[0]
+	out := srv.Answer(rec.Prefix.Addr().String())
+	if !strings.Contains(out, rec.DirectOwner) {
+		t.Errorf("address query missed owner:\n%s", out)
+	}
+}
+
+func TestAnswerCoveringFallback(t *testing.T) {
+	ds := dataset(t)
+	srv := New(ds)
+	// Query a /30 inside the first record's prefix: not announced, so the
+	// covering announcement answers.
+	rec := &ds.Records[0]
+	sub := rec.Prefix.Addr().String() + "/30"
+	if rec.Prefix.Bits() >= 30 {
+		t.Skip("first record too specific for this test")
+	}
+	out := srv.Answer(sub)
+	if !strings.Contains(out, "covering") || !strings.Contains(out, rec.DirectOwner) {
+		t.Errorf("covering fallback failed:\n%s", out)
+	}
+}
+
+func TestAnswerOrgQuery(t *testing.T) {
+	ds := dataset(t)
+	srv := New(ds)
+	owner := ds.Records[0].DirectOwner
+	out := srv.Answer(owner)
+	if !strings.Contains(out, "cluster:") || !strings.Contains(out, "prefix:") {
+		t.Errorf("org query failed:\n%s", out)
+	}
+}
+
+func TestAnswerErrors(t *testing.T) {
+	ds := dataset(t)
+	srv := New(ds)
+	if out := srv.Answer(""); !strings.Contains(out, "error") {
+		t.Errorf("empty query: %q", out)
+	}
+	if out := srv.Answer("300.1.2.3/8"); !strings.Contains(out, "error") {
+		t.Errorf("bad prefix: %q", out)
+	}
+	if out := srv.Answer("Totally Unknown Org"); !strings.Contains(out, "no match") {
+		t.Errorf("unknown org: %q", out)
+	}
+	if out := srv.Answer("192.0.2.0/24"); !strings.Contains(out, "no match") {
+		t.Errorf("unrouted prefix: %q", out)
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	ds := dataset(t)
+	srv := New(ds)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Use the whois.Client (RFC 3912) against it.
+	c := &whois.Client{Addr: addr, Timeout: 5 * time.Second}
+	body, err := c.Query(context.Background(), ds.Records[0].Prefix.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, ds.Records[0].DirectOwner) {
+		t.Errorf("TCP query body:\n%s", body)
+	}
+	// Concurrent clients.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := &ds.Records[i%len(ds.Records)]
+			body, err := c.Query(context.Background(), rec.Prefix.String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !strings.Contains(body, rec.DirectOwner) {
+				errs <- net.ErrClosed
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,529 @@
+// Package prefix2org maps BGP-routed prefixes to the organizations that
+// hold them, reproducing the Prefix2Org system (Gouda, Dainotti, Testart —
+// IMC 2025).
+//
+// For every routed prefix the pipeline determines:
+//
+//   - the Direct Owner — the organization holding the most authoritative
+//     control over the address block: provider independence (R1), usually
+//     the right to sub-delegate (R2), and the authority to issue RPKI
+//     certificates (R3);
+//   - the chain of Delegated Customers — holders of sub-delegated space,
+//     in hierarchical order;
+//   - the final cluster — prefixes whose Direct Owners are the same
+//     organization registered under different WHOIS names, aggregated via
+//     base-name extraction plus two independent signals: shared RPKI
+//     Resource Certificates and shared origin-ASN clusters.
+//
+// # Usage
+//
+//	ds, err := prefix2org.BuildFromDir(ctx, "data/", prefix2org.Options{})
+//	if err != nil { ... }
+//	rec, ok := ds.Lookup(netip.MustParsePrefix("63.80.52.0/24"))
+//	fmt.Println(rec.DirectOwner, rec.FinalCluster)
+//
+// The data directory layout (produced by cmd/p2o-synth, or by converters
+// from real snapshots) is:
+//
+//	whois/{arin,ripe,apnic,afrinic,lacnic,jpnic,krnic,twnic,nicbr,nicmx}.db
+//	whois/jpnic-alloctypes.db      (per-block WHOIS query cache)
+//	whois/arin-legacy-nonsigners.db
+//	bgp/rib.mrt
+//	rpki/snapshot.jsonl
+//	as2org/as2org.jsonl
+package prefix2org
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/as2org"
+	"github.com/prefix2org/prefix2org/internal/bgp"
+	"github.com/prefix2org/prefix2org/internal/cluster"
+	"github.com/prefix2org/prefix2org/internal/delegated"
+	"github.com/prefix2org/prefix2org/internal/names"
+	"github.com/prefix2org/prefix2org/internal/radix"
+	"github.com/prefix2org/prefix2org/internal/rpki"
+	"github.com/prefix2org/prefix2org/internal/whois"
+)
+
+// Options configures the pipeline.
+type Options struct {
+	// NameFreqThreshold is the corpus-frequency cutoff for the
+	// frequent-word drop in base-name cleaning. The paper uses 100 over
+	// its 81k-name WHOIS corpus. Zero selects an adaptive threshold
+	// proportional to corpus size (with a floor of 10), which preserves
+	// the paper's behaviour on smaller corpora.
+	NameFreqThreshold int
+	// JPNICWhoisAddr, when set, is the host:port of a WHOIS server used
+	// to resolve allocation types for JPNIC blocks missing from the
+	// types cache file.
+	JPNICWhoisAddr string
+
+	// Ablation switches, used by the §6 component analysis: disable the
+	// RPKI-certificate signal (no R clusters), the origin-ASN signal (no
+	// A clusters), or base-name cleaning (exact names only — clustering
+	// then degenerates to the paper's "Default Clusters" W).
+	DisableRPKIClusters bool
+	DisableASNClusters  bool
+	DisableNameCleaning bool
+}
+
+// Record is the Prefix2Org data for one routed prefix (Listing 1 of the
+// paper).
+type Record struct {
+	Prefix netip.Prefix `json:"-"`
+	// RIR is the registry zone of the most specific WHOIS record.
+	RIR string `json:"RIR"`
+	// DirectOwner is the exact WHOIS name of the Direct Owner
+	// organization.
+	DirectOwner string `json:"Direct Owner (DO)"`
+	// DOPrefix is the Direct Owner's delegated block covering the routed
+	// prefix.
+	DOPrefix netip.Prefix `json:"-"`
+	// DOType is the Direct Owner delegation's allocation type (with the
+	// Prefix2Org modified legacy types where applicable).
+	DOType string `json:"DO Allocation Type"`
+	// DelegatedCustomers lists the Delegated Customer organization names
+	// in hierarchical order (outermost first). When the prefix has no
+	// sub-delegation, it contains just the Direct Owner.
+	DelegatedCustomers []string `json:"Delegated Customer(s) (DC)"`
+	// DCPrefixes and DCTypes parallel DelegatedCustomers.
+	DCPrefixes []netip.Prefix `json:"-"`
+	DCTypes    []string       `json:"DC Allocation Type(s)"`
+	// BaseName is the cleaned Direct Owner base name.
+	BaseName string `json:"Base name"`
+	// RPKICert is the child-most Resource Certificate covering the
+	// prefix ("" when uncovered).
+	RPKICert string `json:"RPKI Certificate,omitempty"`
+	// OriginASN is the canonical BGP origin (0 if the prefix vanished
+	// from the table between listing and lookup — not expected in
+	// practice).
+	OriginASN uint32 `json:"-"`
+	// ASNCluster is the origin's ASN-cluster ID.
+	ASNCluster string `json:"Origin ASN Cluster,omitempty"`
+	// FinalCluster is the merged cluster ID ("verizon-076541" style).
+	FinalCluster string `json:"Final Cluster"`
+}
+
+// HasDistinctCustomer reports whether the prefix's most specific holder is
+// a Delegated Customer different from the Direct Owner (§6: 31.7% of IPv4,
+// 17% of IPv6 prefixes).
+func (r *Record) HasDistinctCustomer() bool {
+	return len(r.DelegatedCustomers) > 0 &&
+		r.DelegatedCustomers[len(r.DelegatedCustomers)-1] != r.DirectOwner
+}
+
+// Cluster is a final prefix cluster (one inferred organization).
+type Cluster struct {
+	ID         string
+	BaseName   string
+	OwnerNames []string
+	Prefixes   []netip.Prefix
+}
+
+// MultiName reports whether the cluster merged several exact WHOIS names.
+func (c *Cluster) MultiName() bool { return len(c.OwnerNames) > 1 }
+
+// Stats are the dataset-level metrics of the paper's Table 4 and §6.
+type Stats struct {
+	IPv4Prefixes, IPv6Prefixes int
+	// Unmapped counts routed prefixes with no covering WHOIS record
+	// (paper: 0.04%).
+	Unmapped int
+	// DirectOwners / DelegatedCustomers are unique exact names at each
+	// ownership level; OnlyCustomers are names never seen as Direct
+	// Owner.
+	DirectOwners, DelegatedCustomers, OnlyCustomers int
+	BaseNames                                       int
+	OriginASNs                                      int
+	PrefixRPKIGroups, PrefixASNGroups               int
+	RPKIMultiNameGroups, ASNMultiNameGroups         int
+	BaseClusters, FinalClusters                     int
+	MultiNameClusters                               int
+	PctV4InMultiName, PctV6InMultiName              float64
+	PctV4SpaceInMultiName                           float64
+	// PctV4DistinctDC / PctV6DistinctDC: prefixes whose most specific
+	// holder differs from the Direct Owner.
+	PctV4DistinctDC, PctV6DistinctDC float64
+	// PctV4InRPKI / PctV6InRPKI: routed prefixes covered by a Resource
+	// Certificate (paper: 88% / 96.7%).
+	PctV4InRPKI, PctV6InRPKI float64
+	// NameCleaning is the Table 2 step breakdown.
+	NameCleaning names.StepCounts
+}
+
+// Dataset is the full Prefix2Org mapping.
+type Dataset struct {
+	Records  []Record
+	Clusters []*Cluster
+	Stats    Stats
+
+	byPrefix  map[netip.Prefix]*Record
+	byCluster map[string]*Cluster
+	byOwner   map[string]*Cluster
+}
+
+// Lookup returns the record for a routed prefix.
+func (d *Dataset) Lookup(p netip.Prefix) (*Record, bool) {
+	r, ok := d.byPrefix[p.Masked()]
+	return r, ok
+}
+
+// ClusterByID returns a final cluster by its ID.
+func (d *Dataset) ClusterByID(id string) (*Cluster, bool) {
+	c, ok := d.byCluster[id]
+	return c, ok
+}
+
+// ClusterOfOwner returns the cluster containing the exact Direct Owner
+// name (matching is case-insensitive on the basic-cleaned form).
+func (d *Dataset) ClusterOfOwner(name string) (*Cluster, bool) {
+	c, ok := d.byOwner[basicClean(name)]
+	return c, ok
+}
+
+func basicClean(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// Build runs the full pipeline over in-memory inputs. Most callers use
+// BuildFromDir.
+func Build(db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *as2org.Dataset, arinLegacyNonSigned []netip.Prefix, opts Options) (*Dataset, error) {
+	if db == nil || table == nil || repo == nil || asData == nil {
+		return nil, fmt.Errorf("prefix2org: nil input")
+	}
+	entries := db.Flatten()
+	markARINLegacy(entries, arinLegacyNonSigned)
+
+	// Delegation trees: per prefix, all WHOIS entries (§5.2).
+	tree := radix.New[[]whois.Entry]()
+	for _, e := range entries {
+		cur, _ := tree.Get(e.Prefix)
+		tree.Insert(e.Prefix, append(cur, e))
+	}
+
+	routed := table.Prefixes()
+	asClusters := asData.BuildClusters()
+
+	// Pass 1: ownership resolution per routed prefix.
+	type resolved struct {
+		rec    Record
+		haveDO bool
+	}
+	results := make([]resolved, 0, len(routed))
+	unmapped := 0
+	for _, p := range routed {
+		rec, ok := resolveOwnership(tree, repo, p)
+		if !ok {
+			unmapped++
+			continue
+		}
+		if origin, has := table.Origin(p); has {
+			rec.OriginASN = origin
+			rec.ASNCluster = asClusters.ClusterID(origin)
+		}
+		if c, ok := repo.ChildMostRC(p); ok {
+			rec.RPKICert = c.SKI
+		}
+		results = append(results, resolved{rec: rec, haveDO: true})
+	}
+
+	// Pass 2: base names over the Direct Owner corpus.
+	corpus := make([]string, 0, len(results))
+	for i := range results {
+		corpus = append(corpus, results[i].rec.DirectOwner)
+	}
+	threshold := opts.NameFreqThreshold
+	if threshold == 0 {
+		threshold = adaptiveThreshold(corpus)
+	}
+	cleaner := names.NewCleaner(corpus, threshold)
+	for i := range results {
+		if opts.DisableNameCleaning {
+			// Ablation: the base name degenerates to the exact
+			// (basic-cleaned) WHOIS name, so only identical names can
+			// ever share an R or A group.
+			results[i].rec.BaseName = basicClean(results[i].rec.DirectOwner)
+		} else {
+			results[i].rec.BaseName = cleaner.BaseName(results[i].rec.DirectOwner)
+		}
+	}
+
+	// Pass 3: clustering (§5.3).
+	infos := make([]cluster.PrefixInfo, 0, len(results))
+	for i := range results {
+		r := &results[i].rec
+		info := cluster.PrefixInfo{
+			Prefix:     r.Prefix,
+			OwnerName:  basicClean(r.DirectOwner),
+			BaseName:   r.BaseName,
+			CertSKI:    r.RPKICert,
+			ASNCluster: r.ASNCluster,
+		}
+		if opts.DisableRPKIClusters {
+			info.CertSKI = ""
+		}
+		if opts.DisableASNClusters {
+			info.ASNCluster = ""
+		}
+		infos = append(infos, info)
+	}
+	cres := cluster.Build(infos)
+
+	ds := &Dataset{
+		byPrefix:  map[netip.Prefix]*Record{},
+		byCluster: map[string]*Cluster{},
+		byOwner:   map[string]*Cluster{},
+	}
+	for _, c := range cres.Final {
+		pc := &Cluster{ID: c.ID, BaseName: c.BaseName, OwnerNames: c.OwnerNames, Prefixes: c.Prefixes}
+		ds.Clusters = append(ds.Clusters, pc)
+		ds.byCluster[c.ID] = pc
+		for _, o := range c.OwnerNames {
+			ds.byOwner[o] = pc
+		}
+	}
+	for i := range results {
+		r := results[i].rec
+		if c, ok := cres.ClusterOfPrefix(r.Prefix); ok {
+			r.FinalCluster = c.ID
+		}
+		ds.Records = append(ds.Records, r)
+	}
+	sort.Slice(ds.Records, func(i, j int) bool {
+		return comparePrefix(ds.Records[i].Prefix, ds.Records[j].Prefix) < 0
+	})
+	for i := range ds.Records {
+		ds.byPrefix[ds.Records[i].Prefix] = &ds.Records[i]
+	}
+	ds.computeStats(cres, cleaner, corpus, repo, unmapped)
+	return ds, nil
+}
+
+func adaptiveThreshold(corpus []string) int {
+	// The paper's 100-occurrence cutoff over 81k names scales roughly as
+	// corpus/800; keep a floor so tiny corpora are not over-pruned.
+	t := len(corpus) / 800
+	if t < 10 {
+		t = 10
+	}
+	return t
+}
+
+// markARINLegacy rewrites ARIN allocations on the legacy non-signer list
+// to the Prefix2Org modified type (no R3).
+func markARINLegacy(entries []whois.Entry, legacy []netip.Prefix) {
+	if len(legacy) == 0 {
+		return
+	}
+	set := make(map[netip.Prefix]bool, len(legacy))
+	for _, p := range legacy {
+		set[p.Masked()] = true
+	}
+	for i := range entries {
+		e := &entries[i]
+		if e.Registry == alloc.ARIN && set[e.Prefix] {
+			if t, err := alloc.Lookup(alloc.ARIN, e.Status, famOf(e.Prefix)); err == nil && t.DirectOwner() {
+				e.Status = "Allocation-Legacy"
+			}
+		}
+	}
+}
+
+func famOf(p netip.Prefix) alloc.Family {
+	if p.Addr().Is4() {
+		return alloc.IPv4
+	}
+	return alloc.IPv6
+}
+
+// resolveOwnership implements §5.2: find the most specific covering WHOIS
+// record, resolve the Delegated Customer chain, walk up to the Direct
+// Owner.
+func resolveOwnership(tree *radix.Tree[[]whois.Entry], repo *rpki.Repository, p netip.Prefix) (Record, bool) {
+	chain := tree.CoveringChain(p)
+	if len(chain) == 0 {
+		return Record{}, false
+	}
+	rec := Record{Prefix: p}
+
+	resolve := func(es []whois.Entry) []typedEntry {
+		out := make([]typedEntry, 0, len(es))
+		for _, e := range es {
+			t, err := alloc.Lookup(e.Registry, e.Status, famOf(e.Prefix))
+			if err != nil {
+				continue // unresolvable status: skip the record
+			}
+			out = append(out, typedEntry{e, t})
+		}
+		// Hierarchical order: Direct Owner types first, then by
+		// sub-delegation depth (§5.2's Allocation→Reallocation→
+		// Reassignment ordering), then by name for determinism.
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].t.Depth != out[j].t.Depth {
+				return out[i].t.Depth < out[j].t.Depth
+			}
+			return out[i].e.OrgName < out[j].e.OrgName
+		})
+		return out
+	}
+
+	// Walk from most specific upwards.
+	level := len(chain) - 1
+	most := resolve(chain[level].Value)
+	if len(most) == 0 {
+		return Record{}, false
+	}
+	rec.RIR = string(alloc.Parent(most[0].e.Registry))
+
+	setDO := func(t typedEntry) {
+		rec.DirectOwner = t.e.OrgName
+		rec.DOPrefix = t.e.Prefix
+		rec.DOType = doTypeName(t, repo)
+	}
+	// Collect DC chain at the most specific level.
+	for _, t := range most {
+		if !t.t.DirectOwner() {
+			rec.DelegatedCustomers = append(rec.DelegatedCustomers, t.e.OrgName)
+			rec.DCPrefixes = append(rec.DCPrefixes, t.e.Prefix)
+			rec.DCTypes = append(rec.DCTypes, t.t.Name)
+		}
+	}
+	// If the most specific record set includes a Direct Owner type, that
+	// organization is the Direct Owner; when there are no sub-delegation
+	// records at all, it is also the Delegated Customer.
+	for _, t := range most {
+		if t.t.DirectOwner() {
+			setDO(t)
+			if len(rec.DelegatedCustomers) == 0 {
+				rec.DelegatedCustomers = []string{t.e.OrgName}
+				rec.DCPrefixes = []netip.Prefix{t.e.Prefix}
+				rec.DCTypes = []string{rec.DOType}
+			}
+			return rec, true
+		}
+	}
+	// Otherwise move up the tree through intermediate Delegated
+	// Customers until a Direct Owner delegation appears.
+	for level--; level >= 0; level-- {
+		ts := resolve(chain[level].Value)
+		for _, t := range ts {
+			if t.t.DirectOwner() {
+				setDO(t)
+				return rec, true
+			}
+		}
+		// Intermediate Delegated Customers, outermost last: prepend in
+		// hierarchical order.
+		for i := len(ts) - 1; i >= 0; i-- {
+			rec.DelegatedCustomers = append([]string{ts[i].e.OrgName}, rec.DelegatedCustomers...)
+			rec.DCPrefixes = append([]netip.Prefix{ts[i].e.Prefix}, rec.DCPrefixes...)
+			rec.DCTypes = append([]string{ts[i].t.Name}, rec.DCTypes...)
+		}
+	}
+	// No Direct Owner delegation found anywhere in the chain: attribute
+	// to the outermost holder but flag by leaving DOType empty is NOT
+	// done — the paper counts these prefixes as mapped to Delegated
+	// Customers only; we keep the outermost customer as owner-of-record.
+	if len(rec.DelegatedCustomers) > 0 {
+		rec.DirectOwner = rec.DelegatedCustomers[0]
+		rec.DOPrefix = rec.DCPrefixes[0]
+		rec.DOType = rec.DCTypes[0]
+		return rec, true
+	}
+	return Record{}, false
+}
+
+// typedEntry pairs a WHOIS entry with its resolved allocation type.
+type typedEntry struct {
+	e whois.Entry
+	t alloc.Type
+}
+
+// doTypeName maps a Direct Owner record to its reported type name,
+// applying the RIPE Legacy-Not-Sponsored inference: legacy space whose
+// child-most certificate is absent or shared (not a member account
+// certificate) cannot issue RPKI certificates.
+func doTypeName(t typedEntry, repo *rpki.Repository) string {
+	if t.t.Registry == alloc.RIPE && t.t.Name == "Legacy" {
+		c, ok := repo.ChildMostRC(t.e.Prefix)
+		if !ok || strings.Contains(c.Subject, "legacy") {
+			return "Legacy-Not-Sponsored"
+		}
+	}
+	return t.t.Name
+}
+
+func comparePrefix(a, b netip.Prefix) int {
+	a4, b4 := a.Addr().Is4(), b.Addr().Is4()
+	if a4 != b4 {
+		if a4 {
+			return -1
+		}
+		return 1
+	}
+	if c := a.Addr().Compare(b.Addr()); c != 0 {
+		return c
+	}
+	return a.Bits() - b.Bits()
+}
+
+// BuildFromDir loads a data directory and runs the pipeline.
+func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, error) {
+	var lopts whois.LoadOptions
+	if opts.JPNICWhoisAddr != "" {
+		lopts.JPNICClient = &whois.Client{Addr: opts.JPNICWhoisAddr}
+	}
+	db, err := whois.LoadDir(ctx, dir, lopts)
+	if err != nil {
+		return nil, fmt.Errorf("prefix2org: load whois: %w", err)
+	}
+	table, err := bgp.LoadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("prefix2org: load bgp: %w", err)
+	}
+	repo, err := rpki.LoadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("prefix2org: load rpki: %w", err)
+	}
+	asData, err := as2org.LoadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("prefix2org: load as2org: %w", err)
+	}
+	// Footnote-2 verification: when delegated-extended statistics files
+	// are present, confirm that no RIR delegation is coarser than /8
+	// (IPv4) or /16 (IPv6) — the justification for the BGP specificity
+	// filter.
+	if delFiles, err := delegated.LoadDir(dir); err != nil {
+		return nil, fmt.Errorf("prefix2org: load delegated files: %w", err)
+	} else {
+		for rir, f := range delFiles {
+			v4, v6, err := f.MinPrefixLens()
+			if err != nil {
+				return nil, fmt.Errorf("prefix2org: delegated file for %s: %w", rir, err)
+			}
+			if v4 < 8 || v6 < 16 {
+				return nil, fmt.Errorf("prefix2org: %s delegated a block coarser than /8 (v4 min /%d) or /16 (v6 min /%d); the BGP specificity filter would drop real delegations", rir, v4, v6)
+			}
+		}
+	}
+	var arinLegacy []netip.Prefix
+	legacyPath := filepath.Join(dir, "whois", whois.ARINLegacyFile)
+	if f, err := os.Open(legacyPath); err == nil {
+		arinLegacy, err = whois.ParsePrefixList(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("prefix2org: parse %s: %w", legacyPath, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("prefix2org: open %s: %w", legacyPath, err)
+	}
+	return Build(db, table, repo, asData, arinLegacy, opts)
+}

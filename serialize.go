@@ -1,0 +1,200 @@
+package prefix2org
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+)
+
+// Dataset snapshots are line-oriented JSON: one stats header, then
+// cluster lines, then record lines. The format is the public release
+// shape of the mapping (Listing 1 rows plus the cluster index), supports
+// streaming, and round-trips through Load — the basis for the periodic
+// snapshots and longitudinal diffs the paper proposes.
+
+type snapshotStats struct {
+	Kind  string `json:"kind"` // "stats"
+	Stats Stats  `json:"stats"`
+}
+
+type snapshotCluster struct {
+	Kind       string   `json:"kind"` // "cluster"
+	ID         string   `json:"id"`
+	BaseName   string   `json:"baseName"`
+	OwnerNames []string `json:"ownerNames"`
+	Prefixes   []string `json:"prefixes"`
+}
+
+type snapshotRecord struct {
+	Kind string `json:"kind"` // "record"
+	// Listing 1 fields.
+	Prefix             string   `json:"prefix"`
+	RIR                string   `json:"RIR"`
+	DirectOwner        string   `json:"Direct Owner (DO)"`
+	DOPrefix           string   `json:"DO Prefix"`
+	DOType             string   `json:"DO Allocation Type"`
+	DelegatedCustomers []string `json:"Delegated Customer(s) (DC)"`
+	DCPrefixes         []string `json:"DC Prefix(es)"`
+	DCTypes            []string `json:"DC Allocation Type(s)"`
+	BaseName           string   `json:"Base name"`
+	RPKICert           string   `json:"RPKI Certificate,omitempty"`
+	OriginASN          uint32   `json:"Origin ASN,omitempty"`
+	ASNCluster         string   `json:"Origin ASN Cluster,omitempty"`
+	FinalCluster       string   `json:"Final Cluster"`
+}
+
+// Save writes the dataset snapshot.
+func (d *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(snapshotStats{Kind: "stats", Stats: d.Stats}); err != nil {
+		return fmt.Errorf("prefix2org: encode stats: %w", err)
+	}
+	for _, c := range d.Clusters {
+		sc := snapshotCluster{Kind: "cluster", ID: c.ID, BaseName: c.BaseName, OwnerNames: c.OwnerNames}
+		for _, p := range c.Prefixes {
+			sc.Prefixes = append(sc.Prefixes, p.String())
+		}
+		if err := enc.Encode(sc); err != nil {
+			return fmt.Errorf("prefix2org: encode cluster %s: %w", c.ID, err)
+		}
+	}
+	for i := range d.Records {
+		r := &d.Records[i]
+		sr := snapshotRecord{
+			Kind: "record", Prefix: r.Prefix.String(), RIR: r.RIR,
+			DirectOwner: r.DirectOwner, DOPrefix: r.DOPrefix.String(), DOType: r.DOType,
+			DelegatedCustomers: r.DelegatedCustomers, DCTypes: r.DCTypes,
+			BaseName: r.BaseName, RPKICert: r.RPKICert,
+			OriginASN: r.OriginASN, ASNCluster: r.ASNCluster, FinalCluster: r.FinalCluster,
+		}
+		for _, p := range r.DCPrefixes {
+			sr.DCPrefixes = append(sr.DCPrefixes, p.String())
+		}
+		if err := enc.Encode(sr); err != nil {
+			return fmt.Errorf("prefix2org: encode record %s: %w", r.Prefix, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot written by Save and rebuilds all indexes.
+func Load(r io.Reader) (*Dataset, error) {
+	d := &Dataset{
+		byPrefix:  map[netip.Prefix]*Record{},
+		byCluster: map[string]*Cluster{},
+		byOwner:   map[string]*Cluster{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return nil, fmt.Errorf("prefix2org: snapshot line %d: %w", lineNo, err)
+		}
+		switch kind.Kind {
+		case "stats":
+			var ss snapshotStats
+			if err := json.Unmarshal(line, &ss); err != nil {
+				return nil, fmt.Errorf("prefix2org: snapshot line %d: %w", lineNo, err)
+			}
+			d.Stats = ss.Stats
+		case "cluster":
+			var scl snapshotCluster
+			if err := json.Unmarshal(line, &scl); err != nil {
+				return nil, fmt.Errorf("prefix2org: snapshot line %d: %w", lineNo, err)
+			}
+			c := &Cluster{ID: scl.ID, BaseName: scl.BaseName, OwnerNames: scl.OwnerNames}
+			for _, s := range scl.Prefixes {
+				p, err := netip.ParsePrefix(s)
+				if err != nil {
+					return nil, fmt.Errorf("prefix2org: snapshot line %d: cluster prefix %q: %w", lineNo, s, err)
+				}
+				c.Prefixes = append(c.Prefixes, p.Masked())
+			}
+			d.Clusters = append(d.Clusters, c)
+			d.byCluster[c.ID] = c
+			for _, o := range c.OwnerNames {
+				d.byOwner[o] = c
+			}
+		case "record":
+			var sr snapshotRecord
+			if err := json.Unmarshal(line, &sr); err != nil {
+				return nil, fmt.Errorf("prefix2org: snapshot line %d: %w", lineNo, err)
+			}
+			rec := Record{
+				RIR: sr.RIR, DirectOwner: sr.DirectOwner, DOType: sr.DOType,
+				DelegatedCustomers: sr.DelegatedCustomers, DCTypes: sr.DCTypes,
+				BaseName: sr.BaseName, RPKICert: sr.RPKICert,
+				OriginASN: sr.OriginASN, ASNCluster: sr.ASNCluster, FinalCluster: sr.FinalCluster,
+			}
+			var err error
+			if rec.Prefix, err = parseSnapshotPrefix(sr.Prefix); err != nil {
+				return nil, fmt.Errorf("prefix2org: snapshot line %d: %w", lineNo, err)
+			}
+			if rec.DOPrefix, err = parseSnapshotPrefix(sr.DOPrefix); err != nil {
+				return nil, fmt.Errorf("prefix2org: snapshot line %d: %w", lineNo, err)
+			}
+			for _, s := range sr.DCPrefixes {
+				p, err := parseSnapshotPrefix(s)
+				if err != nil {
+					return nil, fmt.Errorf("prefix2org: snapshot line %d: %w", lineNo, err)
+				}
+				rec.DCPrefixes = append(rec.DCPrefixes, p)
+			}
+			d.Records = append(d.Records, rec)
+		default:
+			return nil, fmt.Errorf("prefix2org: snapshot line %d: unknown kind %q", lineNo, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prefix2org: snapshot scan: %w", err)
+	}
+	for i := range d.Records {
+		d.byPrefix[d.Records[i].Prefix] = &d.Records[i]
+	}
+	return d, nil
+}
+
+func parseSnapshotPrefix(s string) (netip.Prefix, error) {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("prefix %q: %w", s, err)
+	}
+	return p.Masked(), nil
+}
+
+// SaveFile writes the snapshot to path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prefix2org: create %s: %w", path, err)
+	}
+	werr := d.Save(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("prefix2org: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f)
+}

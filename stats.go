@@ -1,0 +1,246 @@
+package prefix2org
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/prefix2org/prefix2org/internal/cluster"
+	"github.com/prefix2org/prefix2org/internal/names"
+	"github.com/prefix2org/prefix2org/internal/netx"
+	"github.com/prefix2org/prefix2org/internal/rpki"
+)
+
+func (d *Dataset) computeStats(cres *cluster.Result, cleaner *names.Cleaner, corpus []string, repo *rpki.Repository, unmapped int) {
+	s := &d.Stats
+	s.Unmapped = unmapped
+
+	doNames := map[string]bool{}
+	dcNames := map[string]bool{}
+	baseNames := map[string]bool{}
+	origins := map[uint32]bool{}
+	var v4, v6, v4DC, v6DC, v4RPKI, v6RPKI int
+	for i := range d.Records {
+		r := &d.Records[i]
+		doNames[basicClean(r.DirectOwner)] = true
+		for _, dc := range r.DelegatedCustomers {
+			dcNames[basicClean(dc)] = true
+		}
+		baseNames[r.BaseName] = true
+		if r.OriginASN != 0 {
+			origins[r.OriginASN] = true
+		}
+		if r.Prefix.Addr().Is4() {
+			v4++
+			if r.HasDistinctCustomer() {
+				v4DC++
+			}
+			if r.RPKICert != "" {
+				v4RPKI++
+			}
+		} else {
+			v6++
+			if r.HasDistinctCustomer() {
+				v6DC++
+			}
+			if r.RPKICert != "" {
+				v6RPKI++
+			}
+		}
+	}
+	s.IPv4Prefixes, s.IPv6Prefixes = v4, v6
+	s.DirectOwners = len(doNames)
+	s.DelegatedCustomers = len(dcNames)
+	for n := range dcNames {
+		if !doNames[n] {
+			s.OnlyCustomers++
+		}
+	}
+	s.BaseNames = len(baseNames)
+	s.OriginASNs = len(origins)
+	s.PrefixRPKIGroups = cres.RGroups
+	s.PrefixASNGroups = cres.AGroups
+	s.RPKIMultiNameGroups = cres.RMultiName
+	s.ASNMultiNameGroups = cres.AMultiName
+	s.BaseClusters = cres.WCount
+	s.FinalClusters = len(d.Clusters)
+
+	var mnV4, mnV6 int
+	var mnV4Space, totalV4Space float64
+	for i := range d.Records {
+		r := &d.Records[i]
+		c, ok := d.byCluster[r.FinalCluster]
+		multi := ok && c.MultiName()
+		if r.Prefix.Addr().Is4() {
+			addrs := netx.NumAddresses(r.Prefix)
+			totalV4Space += addrs
+			if multi {
+				mnV4++
+				mnV4Space += addrs
+			}
+		} else if multi {
+			mnV6++
+		}
+	}
+	for _, c := range d.Clusters {
+		if c.MultiName() {
+			s.MultiNameClusters++
+		}
+	}
+	s.PctV4InMultiName = pct(mnV4, v4)
+	s.PctV6InMultiName = pct(mnV6, v6)
+	if totalV4Space > 0 {
+		s.PctV4SpaceInMultiName = 100 * mnV4Space / totalV4Space
+	}
+	s.PctV4DistinctDC = pct(v4DC, v4)
+	s.PctV6DistinctDC = pct(v6DC, v6)
+	s.PctV4InRPKI = pct(v4RPKI, v4)
+	s.PctV6InRPKI = pct(v6RPKI, v6)
+	s.NameCleaning = cleaner.CountSteps(corpus)
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// ClusterSpace is one cluster's address-space accounting, used by the
+// Figure 4/5 rankings.
+type ClusterSpace struct {
+	Cluster   *Cluster
+	V4Space   float64 // IPv4 addresses held (covered more-specifics deduped)
+	V6Count   int     // IPv6 prefixes held
+	NameCount int     // distinct exact WHOIS names
+}
+
+// TopClustersBySpace returns the n largest final clusters by IPv4 address
+// space (Figure 4's ranking).
+func (d *Dataset) TopClustersBySpace(n int) []ClusterSpace {
+	out := make([]ClusterSpace, 0, len(d.Clusters))
+	for _, c := range d.Clusters {
+		var v4 []netip.Prefix
+		v6 := 0
+		for _, p := range c.Prefixes {
+			if p.Addr().Is4() {
+				v4 = append(v4, p)
+			} else {
+				v6++
+			}
+		}
+		out = append(out, ClusterSpace{
+			Cluster:   c,
+			V4Space:   netx.TotalAddresses(v4),
+			V6Count:   v6,
+			NameCount: len(c.OwnerNames),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].V4Space != out[j].V4Space {
+			return out[i].V4Space > out[j].V4Space
+		}
+		return out[i].Cluster.ID < out[j].Cluster.ID
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// TotalV4Space returns the total routed IPv4 address space in the dataset
+// (denominator of Figure 4).
+func (d *Dataset) TotalV4Space() float64 {
+	var ps []netip.Prefix
+	for i := range d.Records {
+		if d.Records[i].Prefix.Addr().Is4() {
+			ps = append(ps, d.Records[i].Prefix)
+		}
+	}
+	return netx.TotalAddresses(ps)
+}
+
+// WhoisNameClusters computes the baseline "Default Cluster" ranking: group
+// prefixes by the exact Direct Owner name only (the red curves of Figures
+// 4 and 5).
+func (d *Dataset) WhoisNameClusters() []ClusterSpace {
+	groups := map[string][]netip.Prefix{}
+	for i := range d.Records {
+		r := &d.Records[i]
+		groups[basicClean(r.DirectOwner)] = append(groups[basicClean(r.DirectOwner)], r.Prefix)
+	}
+	out := make([]ClusterSpace, 0, len(groups))
+	for name, ps := range groups {
+		var v4 []netip.Prefix
+		v6 := 0
+		for _, p := range ps {
+			if p.Addr().Is4() {
+				v4 = append(v4, p)
+			} else {
+				v6++
+			}
+		}
+		out = append(out, ClusterSpace{
+			Cluster:   &Cluster{ID: name, OwnerNames: []string{name}, Prefixes: netx.Dedup(ps)},
+			V4Space:   netx.TotalAddresses(v4),
+			V6Count:   v6,
+			NameCount: 1,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].V4Space != out[j].V4Space {
+			return out[i].V4Space > out[j].V4Space
+		}
+		return out[i].Cluster.ID < out[j].Cluster.ID
+	})
+	return out
+}
+
+// AS2OrgClusters computes the baseline that attributes each prefix to its
+// origin-ASN cluster (the green curves of Figures 4 and 5) — the
+// misattribution-prone method the paper compares against: providers
+// originating customer space absorb it.
+func (d *Dataset) AS2OrgClusters() []ClusterSpace {
+	type group struct {
+		prefixes []netip.Prefix
+		names    map[string]bool
+	}
+	groups := map[string]*group{}
+	for i := range d.Records {
+		r := &d.Records[i]
+		if r.ASNCluster == "" {
+			continue
+		}
+		g := groups[r.ASNCluster]
+		if g == nil {
+			g = &group{names: map[string]bool{}}
+			groups[r.ASNCluster] = g
+		}
+		g.prefixes = append(g.prefixes, r.Prefix)
+		g.names[basicClean(r.DirectOwner)] = true
+	}
+	out := make([]ClusterSpace, 0, len(groups))
+	for id, g := range groups {
+		var v4 []netip.Prefix
+		v6 := 0
+		for _, p := range g.prefixes {
+			if p.Addr().Is4() {
+				v4 = append(v4, p)
+			} else {
+				v6++
+			}
+		}
+		out = append(out, ClusterSpace{
+			Cluster:   &Cluster{ID: "as" + id, Prefixes: netx.Dedup(g.prefixes)},
+			V4Space:   netx.TotalAddresses(v4),
+			V6Count:   v6,
+			NameCount: len(g.names),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].V4Space != out[j].V4Space {
+			return out[i].V4Space > out[j].V4Space
+		}
+		return out[i].Cluster.ID < out[j].Cluster.ID
+	})
+	return out
+}

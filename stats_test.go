@@ -1,0 +1,89 @@
+package prefix2org
+
+import (
+	"testing"
+)
+
+func TestStatsBaselinesOnFigure1World(t *testing.T) {
+	db, tbl, repo, asd := figure1World(t)
+	ds, err := Build(db, tbl, repo, asd, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WHOIS-name baseline: one group per exact Direct Owner name.
+	whoisGroups := ds.WhoisNameClusters()
+	names := map[string]bool{}
+	for i := range ds.Records {
+		names[basicClean(ds.Records[i].DirectOwner)] = true
+	}
+	if len(whoisGroups) != len(names) {
+		t.Errorf("whois groups = %d, want %d", len(whoisGroups), len(names))
+	}
+	for i := 1; i < len(whoisGroups); i++ {
+		if whoisGroups[i-1].V4Space < whoisGroups[i].V4Space {
+			t.Error("whois groups not sorted by space")
+		}
+	}
+	// AS2Org baseline: one group per origin ASN cluster.
+	asGroups := ds.AS2OrgClusters()
+	if len(asGroups) == 0 {
+		t.Fatal("no AS2Org groups")
+	}
+	// The misattribution the paper warns about: Tcloudnet's AS399077
+	// originates 206.238.0.0/16, so the AS2Org baseline files PSINet's
+	// space under Tcloudnet's group.
+	found := false
+	for _, g := range asGroups {
+		if g.Cluster.ID != "as399077" {
+			continue
+		}
+		for _, p := range g.Cluster.Prefixes {
+			if p == mp("206.238.0.0/16") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("AS2Org baseline did not absorb PSINet's block under Tcloudnet's AS")
+	}
+	// Top-1 by space must be the Verizon /12 holder.
+	top := ds.TopClustersBySpace(1)
+	if len(top) != 1 {
+		t.Fatal("no top cluster")
+	}
+	if top[0].Cluster.OwnerNames[0] != "verizon business" {
+		t.Errorf("top cluster = %v", top[0].Cluster.OwnerNames)
+	}
+	// Total space counts the /12 once even though a covered /24 is routed.
+	total := ds.TotalV4Space()
+	want := float64(1<<20 + 2*(1<<16)) // 65.0.0.0/12 + two /16s
+	if total != want {
+		t.Errorf("TotalV4Space = %v, want %v", total, want)
+	}
+}
+
+func TestTopClustersBySpaceClamp(t *testing.T) {
+	db, tbl, repo, asd := figure1World(t)
+	ds, err := Build(db, tbl, repo, asd, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.TopClustersBySpace(1000); len(got) != len(ds.Clusters) {
+		t.Errorf("clamp failed: %d vs %d clusters", len(got), len(ds.Clusters))
+	}
+}
+
+func TestRecordHasDistinctCustomerEdge(t *testing.T) {
+	r := Record{}
+	if r.HasDistinctCustomer() {
+		t.Error("empty record has distinct customer")
+	}
+	r = Record{DirectOwner: "a", DelegatedCustomers: []string{"a"}}
+	if r.HasDistinctCustomer() {
+		t.Error("self-customer counted as distinct")
+	}
+	r = Record{DirectOwner: "a", DelegatedCustomers: []string{"b", "c"}}
+	if !r.HasDistinctCustomer() {
+		t.Error("distinct chain not detected")
+	}
+}
