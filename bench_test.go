@@ -208,10 +208,13 @@ func BenchmarkCaseStudyOrgsWithoutASN(b *testing.B) {
 // --- pipeline-stage micro-benchmarks ----------------------------------------
 
 // BenchmarkPipelineBuild measures the full pipeline over the paper-scale
-// world's serialized data directory (parse + resolve + clean + cluster).
+// world's serialized data directory (parse + resolve + clean + cluster)
+// and reports each stage's wall time from the build trace so regressions
+// can be localized without a profiler.
 func BenchmarkPipelineBuild(b *testing.B) {
 	e := env(b)
 	b.ResetTimer()
+	var trace *prefix2org.BuildTrace
 	for i := 0; i < b.N; i++ {
 		ds, err := prefix2org.BuildFromDir(context.Background(), e.Dir, prefix2org.Options{})
 		if err != nil {
@@ -220,6 +223,10 @@ func BenchmarkPipelineBuild(b *testing.B) {
 		if ds.Stats.IPv4Prefixes == 0 {
 			b.Fatal("empty dataset")
 		}
+		trace = ds.Trace
+	}
+	for _, sp := range trace.Spans() {
+		b.ReportMetric(sp.Duration.Seconds(), sp.Name+"_s")
 	}
 }
 

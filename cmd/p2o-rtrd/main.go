@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	p2o-rtrd -data DIR [-listen ADDR]
+//	p2o-rtrd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-log-level LEVEL] [-log-json]
+//
+// With -metrics-listen, an admin HTTP listener exposes /metrics (text or
+// ?format=json), /healthz, and /debug/pprof/.
 package main
 
 import (
@@ -15,27 +18,38 @@ import (
 	"os/signal"
 	"syscall"
 
+	"github.com/prefix2org/prefix2org/internal/obs"
 	"github.com/prefix2org/prefix2org/internal/rpki"
 	"github.com/prefix2org/prefix2org/internal/rtr"
 )
 
 func main() {
 	var (
-		dataDir = flag.String("data", "", "data directory containing rpki/snapshot.jsonl (required)")
-		listen  = flag.String("listen", "127.0.0.1:8282", "address to serve RTR on")
+		dataDir       = flag.String("data", "", "data directory containing rpki/snapshot.jsonl (required)")
+		listen        = flag.String("listen", "127.0.0.1:8282", "address to serve RTR on")
+		metricsListen = flag.String("metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, pprof); empty disables it")
+		logLevel      = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logJSON       = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
 	if *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "p2o-rtrd: -data is required")
 		os.Exit(2)
 	}
-	if err := run(*dataDir, *listen); err != nil {
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2o-rtrd:", err)
+		os.Exit(2)
+	}
+	obs.Configure(level, *logJSON, os.Stderr)
+	if err := run(*dataDir, *listen, *metricsListen); err != nil {
 		fmt.Fprintln(os.Stderr, "p2o-rtrd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataDir, listen string) error {
+func run(dataDir, listen, metricsListen string) error {
+	logger := obs.Logger("p2o-rtrd")
 	repo, err := rpki.LoadDir(dataDir)
 	if err != nil {
 		return err
@@ -46,11 +60,19 @@ func run(dataDir, listen string) error {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("serving %d VRPs on %s (RTR v1, serial %d)\n",
-		len(rtr.VRPsFromRepository(repo)), addr, srv.Serial())
+	if metricsListen != "" {
+		admin, err := obs.ServeAdmin(metricsListen, obs.Default())
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		logger.Info("admin listener up", "addr", admin.Addr())
+	}
+	logger.Info("serving rtr",
+		"addr", addr, "vrps", len(rtr.VRPsFromRepository(repo)), "serial", srv.Serial())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
+	s := <-sig
+	logger.Info("shutting down", "signal", s.String())
 	return nil
 }

@@ -3,65 +3,119 @@
 //
 // Usage:
 //
-//	p2o-whoisd -data DIR [-listen ADDR]
+//	p2o-whoisd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-log-level LEVEL] [-log-json]
 //	p2o-whoisd -snapshot FILE.jsonl [-listen ADDR]
 //
 // Then:  whois -h 127.0.0.1 -p 4343 63.80.52.0/24
+//
+// With -metrics-listen, an admin HTTP listener exposes /metrics (text or
+// ?format=json), /healthz, and /debug/pprof/.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
 	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/obs"
 	"github.com/prefix2org/prefix2org/internal/whoisd"
 )
 
+type config struct {
+	dataDir       string
+	snapshot      string
+	listen        string
+	metricsListen string
+	logLevel      string
+	logJSON       bool
+}
+
 func main() {
-	var (
-		dataDir  = flag.String("data", "", "data directory to build the dataset from")
-		snapshot = flag.String("snapshot", "", "pre-built dataset snapshot (alternative to -data)")
-		listen   = flag.String("listen", "127.0.0.1:4343", "address to serve WHOIS on")
-	)
+	var cfg config
+	flag.StringVar(&cfg.dataDir, "data", "", "data directory to build the dataset from")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "pre-built dataset snapshot (alternative to -data)")
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:4343", "address to serve WHOIS on")
+	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, pprof); empty disables it")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug|info|warn|error")
+	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
-	if (*dataDir == "") == (*snapshot == "") {
+	if (cfg.dataDir == "") == (cfg.snapshot == "") {
 		fmt.Fprintln(os.Stderr, "p2o-whoisd: exactly one of -data or -snapshot is required")
 		os.Exit(2)
 	}
-	if err := run(*dataDir, *snapshot, *listen); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "p2o-whoisd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataDir, snapshot, listen string) error {
-	var (
-		ds  *prefix2org.Dataset
-		err error
-	)
-	if snapshot != "" {
-		ds, err = prefix2org.LoadFile(snapshot)
+// app is one running daemon instance; tests drive start/Close directly.
+type app struct {
+	srv       *whoisd.Server
+	admin     *obs.Admin
+	logger    *slog.Logger
+	WhoisAddr string
+	AdminAddr string
+}
+
+func start(cfg config) (*app, error) {
+	level, err := obs.ParseLevel(cfg.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	obs.Configure(level, cfg.logJSON, os.Stderr)
+	logger := obs.Logger("p2o-whoisd")
+
+	var ds *prefix2org.Dataset
+	if cfg.snapshot != "" {
+		ds, err = prefix2org.LoadFile(cfg.snapshot)
 	} else {
-		ds, err = prefix2org.BuildFromDir(context.Background(), dataDir, prefix2org.Options{})
+		ds, err = prefix2org.BuildFromDir(context.Background(), cfg.dataDir, prefix2org.Options{})
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	srv := whoisd.New(ds)
-	addr, err := srv.Start(listen)
+	addr, err := srv.Start(cfg.listen)
+	if err != nil {
+		return nil, err
+	}
+	a := &app{srv: srv, logger: logger, WhoisAddr: addr}
+	if cfg.metricsListen != "" {
+		admin, err := obs.ServeAdmin(cfg.metricsListen, obs.Default())
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		a.admin, a.AdminAddr = admin, admin.Addr()
+		logger.Info("admin listener up", "addr", admin.Addr())
+	}
+	logger.Info("serving whois",
+		"addr", addr, "records", len(ds.Records), "clusters", len(ds.Clusters))
+	return a, nil
+}
+
+func (a *app) Close() {
+	if a.admin != nil {
+		_ = a.admin.Close()
+	}
+	_ = a.srv.Close()
+}
+
+func run(cfg config) error {
+	a, err := start(cfg)
 	if err != nil {
 		return err
 	}
-	defer srv.Close()
-	fmt.Printf("serving %d records / %d clusters on %s (whois -h HOST -p PORT QUERY)\n",
-		len(ds.Records), len(ds.Clusters), addr)
+	defer a.Close()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
+	s := <-sig
+	a.logger.Info("shutting down", "signal", s.String())
 	return nil
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+func dataDir(t *testing.T) string {
+	t.Helper()
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestStartServesWhoisAndMetrics boots the daemon exactly as main would
+// (ephemeral ports) and checks the WHOIS listener answers a query and the
+// admin listener serves /metrics and /healthz.
+func TestStartServesWhoisAndMetrics(t *testing.T) {
+	a, err := start(config{
+		dataDir:       dataDir(t),
+		listen:        "127.0.0.1:0",
+		metricsListen: "127.0.0.1:0",
+		logLevel:      "warn",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.AdminAddr == "" {
+		t.Fatal("admin listener not started")
+	}
+
+	conn, err := net.Dial("tcp", a.WhoisAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("1.0.0.0/16\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(conn)
+	conn.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "Prefix2Org whois") {
+		t.Fatalf("unexpected whois answer: %q", out)
+	}
+
+	c := http.Client{Timeout: 5 * time.Second}
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := c.Get("http://" + a.AdminAddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "whoisd_queries_total") {
+			t.Fatalf("/metrics missing whoisd counters:\n%s", body)
+		}
+	}
+}
+
+func TestStartRejectsBadLevel(t *testing.T) {
+	if _, err := start(config{dataDir: dataDir(t), listen: "127.0.0.1:0", logLevel: "loud"}); err == nil {
+		t.Fatal("bad log level accepted")
+	}
+}
+
+func TestStartSnapshotMode(t *testing.T) {
+	ds, err := prefix2org.BuildFromDir(context.Background(), dataDir(t), prefix2org.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "snap.jsonl")
+	if err := ds.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	a, err := start(config{snapshot: snap, listen: "127.0.0.1:0", logLevel: "warn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.WhoisAddr == "" {
+		t.Fatal("whois listener not started")
+	}
+}

@@ -13,7 +13,8 @@
 // "cluster" prints the final cluster containing an organization name;
 // "export" streams the whole dataset as JSON lines; "export-snapshot"
 // writes a reloadable snapshot for p2o-diff; "stats" prints the Table 4
-// metrics.
+// metrics. With -trace, the per-stage build trace (wall time and record
+// counts per pipeline pass) is printed to stderr after the build.
 package main
 
 import (
@@ -26,19 +27,29 @@ import (
 	"os"
 
 	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/obs"
 )
 
 func main() {
 	var (
-		dataDir = flag.String("data", "", "data directory (required)")
-		jpnic   = flag.String("jpnic", "", "JPNIC whois server address for live allocation-type queries")
+		dataDir  = flag.String("data", "", "data directory (required)")
+		jpnic    = flag.String("jpnic", "", "JPNIC whois server address for live allocation-type queries")
+		trace    = flag.Bool("trace", false, "print the per-stage build trace to stderr")
+		logLevel = flag.String("log-level", "warn", "log level: debug|info|warn|error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
 	if *dataDir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: prefix2org -data DIR [-jpnic ADDR] {stats|lookup PREFIX...|cluster NAME|export|export-snapshot OUT}")
+		fmt.Fprintln(os.Stderr, "usage: prefix2org -data DIR [-jpnic ADDR] [-trace] {stats|lookup PREFIX...|cluster NAME|export|export-snapshot OUT}")
 		os.Exit(2)
 	}
-	if err := run(*dataDir, *jpnic, flag.Args()); err != nil {
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prefix2org:", err)
+		os.Exit(2)
+	}
+	obs.Configure(level, *logJSON, os.Stderr)
+	if err := run(*dataDir, *jpnic, *trace, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "prefix2org:", err)
 		os.Exit(1)
 	}
@@ -60,10 +71,13 @@ func toExport(r *prefix2org.Record) exportRecord {
 	return exportRecord{Prefix: r.Prefix.String(), Record: r, DOPrefix: r.DOPrefix.String(), DCPrefixes: dcp}
 }
 
-func run(dataDir, jpnic string, args []string) error {
+func run(dataDir, jpnic string, trace bool, args []string) error {
 	ds, err := prefix2org.BuildFromDir(context.Background(), dataDir, prefix2org.Options{JPNICWhoisAddr: jpnic})
 	if err != nil {
 		return err
+	}
+	if trace && ds.Trace != nil {
+		fmt.Fprintln(os.Stderr, ds.Trace.String())
 	}
 	switch cmd := args[0]; cmd {
 	case "stats":

@@ -8,6 +8,8 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+
+	"github.com/prefix2org/prefix2org/internal/obs"
 )
 
 // MRT-style binary RIB snapshot format. The layout follows the spirit of
@@ -255,5 +257,11 @@ func LoadDir(dir string) (*Table, error) {
 	}
 	t := NewTable()
 	t.AddEntries(entries)
+	reg := obs.Default()
+	reg.Counter("bgp_mrt_entries_total").Add(int64(len(entries)))
+	reg.Counter("bgp_prefixes_filtered_total").Add(int64(t.FilteredCount()))
+	obs.Logger("bgp").Info("rib loaded",
+		"path", path, "entries", len(entries),
+		"prefixes", t.Len(), "specificity_filtered", t.FilteredCount())
 	return t, nil
 }

@@ -94,6 +94,9 @@ func (c *Collector) Dump() []Entry {
 // (several origins = MOAS).
 type Table struct {
 	origins map[netip.Prefix]map[uint32]bool
+	// entries counts the RIB entries merged via AddEntries, for the
+	// pipeline's load accounting.
+	entries int
 }
 
 // NewTable returns an empty table.
@@ -114,11 +117,27 @@ func (t *Table) Add(prefix netip.Prefix, origin uint32) {
 
 // AddEntries merges RIB entries into the table, skipping pathless entries.
 func (t *Table) AddEntries(entries []Entry) {
+	t.entries += len(entries)
 	for i := range entries {
 		if origin, ok := entries[i].Origin(); ok {
 			t.Add(entries[i].Prefix, origin)
 		}
 	}
+}
+
+// EntryCount returns the number of RIB entries merged via AddEntries.
+func (t *Table) EntryCount() int { return t.entries }
+
+// FilteredCount returns how many routed prefixes the specificity filter
+// (IPv4 coarser than /8, IPv6 coarser than /16) excludes from Prefixes.
+func (t *Table) FilteredCount() int {
+	n := 0
+	for p := range t.origins {
+		if tooCoarse(p) {
+			n++
+		}
+	}
+	return n
 }
 
 // Origins returns the origin set for prefix in ascending order.

@@ -1,6 +1,7 @@
 package casestudy
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 	"time"
@@ -56,7 +57,7 @@ func scenario(t *testing.T) (*prefix2org.Dataset, *rpki.Repository, *as2org.Data
 	// Customer One has its own (idle) ASN; Customer Two and NoASN don't.
 	asd.AddAS(200, "ORG-C1", "Customer One LLC", "US")
 
-	ds, err := prefix2org.Build(db, tbl, repo, asd, nil, prefix2org.Options{})
+	ds, err := prefix2org.Build(context.Background(), db, tbl, repo, asd, nil, prefix2org.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

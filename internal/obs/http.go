@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteText renders the registry in a Prometheus-style plain-text form,
+// sorted by metric name for deterministic output:
+//
+//	whoisd_queries_total 42
+//	whoisd_query_seconds_count 3
+//	whoisd_query_seconds_sum 0.004
+//	whoisd_query_seconds_bucket{le="0.001"} 1
+//	...
+//	whoisd_query_seconds_bucket{le="+Inf"} 3
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var lines []string
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %s", name, formatFloat(v)))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.Count))
+		lines = append(lines, fmt.Sprintf("%s_sum %s", name, formatFloat(h.Sum)))
+		for _, b := range h.Buckets {
+			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", name, b.Le, b.Count))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at a single endpoint: plain text by
+// default, JSON when the request carries ?format=json or an
+// application/json Accept header.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// Admin is the opt-in observability listener: /metrics, /healthz, and
+// the net/http/pprof endpoints under /debug/pprof/.
+type Admin struct {
+	lis  net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeAdmin starts the admin listener on addr (":0" for an ephemeral
+// port) exposing reg. Close releases it.
+func ServeAdmin(addr string, reg *Registry) (*Admin, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a := &Admin{
+		lis:  lis,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(a.done)
+		// ErrServerClosed (and the listener-closed error) are the normal
+		// shutdown path.
+		_ = a.srv.Serve(lis)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listener address.
+func (a *Admin) Addr() string { return a.lis.Addr().String() }
+
+// Close stops the admin listener.
+func (a *Admin) Close() error {
+	err := a.srv.Close()
+	<-a.done
+	return err
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"INFO":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestCaptureRecordsComponentLogs(t *testing.T) {
+	c := NewCapture(slog.LevelDebug)
+	prev := SetHandler(c)
+	prevLevel := levelVar.Level()
+	SetLevel(slog.LevelDebug)
+	defer func() {
+		SetHandler(prev)
+		SetLevel(prevLevel)
+	}()
+
+	Logger("whoisd").Info("query served", "type", "prefix", "n", 3)
+	entries := c.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("captured %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Message != "query served" || e.Level != slog.LevelInfo {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.Attrs["component"] != "whoisd" || e.Attrs["type"] != "prefix" || e.Attrs["n"] != "3" {
+		t.Errorf("attrs = %v", e.Attrs)
+	}
+	if !c.Contains("query served") {
+		t.Error("Contains miss")
+	}
+}
+
+func TestLoggerFollowsReconfiguration(t *testing.T) {
+	// A component logger created before Configure must pick up the new
+	// sink: daemons create loggers at init and configure in main.
+	logger := Logger("bgp")
+	var buf bytes.Buffer
+	prev := baseHandler.Load().h
+	prevLevel := levelVar.Level()
+	Configure(slog.LevelInfo, true, &buf)
+	defer func() {
+		SetHandler(prev)
+		SetLevel(prevLevel)
+	}()
+
+	logger.Info("rib loaded", "entries", 42)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("non-JSON output %q: %v", buf.String(), err)
+	}
+	if rec["msg"] != "rib loaded" || rec["component"] != "bgp" || rec["entries"] != float64(42) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestDefaultLevelSuppressesInfo(t *testing.T) {
+	var buf bytes.Buffer
+	prev := baseHandler.Load().h
+	prevLevel := levelVar.Level()
+	Configure(slog.LevelWarn, false, &buf)
+	defer func() {
+		SetHandler(prev)
+		SetLevel(prevLevel)
+	}()
+
+	Logger("quiet").Info("should not appear")
+	Logger("quiet").Warn("should appear")
+	out := buf.String()
+	if strings.Contains(out, "should not appear") {
+		t.Errorf("info leaked through warn level: %q", out)
+	}
+	if !strings.Contains(out, "should appear") {
+		t.Errorf("warn suppressed: %q", out)
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Get-or-create from every goroutine: the registry itself must
+			// be race-safe, not just the instrument.
+			c := reg.Counter("test_total")
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("test_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterIgnoresNegativeAdd(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 1.5+8*500 {
+		t.Errorf("gauge after concurrent adds = %v, want %v", g.Value(), 1.5+8*500)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+2; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("bounds/counts = %v/%v", bounds, counts)
+	}
+	// le semantics: 0.005 and 0.01 land in le=0.01; 0.05 in le=0.1; 0.5
+	// in le=1; 2 overflows to +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("conc_seconds", DefBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(i%4) * 0.01)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 8*500 {
+		t.Errorf("count = %d, want %d", h.Count(), 8*500)
+	}
+}
+
+func TestRegistryGetOrCreateReturnsSameInstrument(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a") != reg.Counter("a") {
+		t.Error("Counter returned distinct instances for one name")
+	}
+	if reg.Histogram("h", []float64{1}) != reg.Histogram("h", []float64{2}) {
+		t.Error("Histogram returned distinct instances for one name")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_total", "registry", "arin"); got != `x_total{registry="arin"}` {
+		t.Errorf("Label = %q", got)
+	}
+	if got := Label("x_total", "a", "1", "b", "2"); got != `x_total{a="1",b="2"}` {
+		t.Errorf("Label = %q", got)
+	}
+	if got := Label("bare"); got != "bare" {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`queries_total{type="prefix"}`).Add(3)
+	reg.Counter("errors_total").Inc()
+	reg.Gauge("vrps").Set(910)
+	h := reg.Histogram("query_seconds", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `errors_total 1
+queries_total{type="prefix"} 3
+query_seconds_bucket{le="+Inf"} 3
+query_seconds_bucket{le="0.01"} 2
+query_seconds_bucket{le="0.1"} 3
+query_seconds_count 3
+query_seconds_sum 0.060000000000000005
+vrps 910
+`
+	if b.String() != want {
+		t.Errorf("WriteText output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestMetricsHandlerJSONAndText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total").Add(7)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counters["hits_total"] != 7 {
+		t.Errorf("json counters = %v", snap.Counters)
+	}
+
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "hits_total 7") {
+		t.Errorf("text body = %q", body)
+	}
+}
+
+func TestServeAdmin(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("admin_test_total").Inc()
+	admin, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		c := http.Client{Timeout: 5 * time.Second}
+		resp, err := c.Get("http://" + admin.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "admin_test_total 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndCounts(t *testing.T) {
+	tr := NewTrace("build")
+	s := tr.Start("resolve")
+	s.Add("routed", 100)
+	s.Add("unmapped", 3)
+	s.Add("routed", 5)
+	time.Sleep(time.Millisecond)
+	s.End()
+	tr.Start("cluster").End()
+
+	if len(tr.Spans()) != 2 {
+		t.Fatalf("spans = %d", len(tr.Spans()))
+	}
+	got, ok := tr.Span("resolve")
+	if !ok {
+		t.Fatal("span lookup miss")
+	}
+	if got.Count("routed") != 105 || got.Count("unmapped") != 3 {
+		t.Errorf("counts: routed=%d unmapped=%d", got.Count("routed"), got.Count("unmapped"))
+	}
+	if got.Duration <= 0 {
+		t.Errorf("duration = %v", got.Duration)
+	}
+	if c, _ := tr.Span("cluster"); c.Duration <= 0 {
+		t.Errorf("zero-length span not clamped: %v", c.Duration)
+	}
+	if tr.Total() < got.Duration {
+		t.Errorf("total %v < span %v", tr.Total(), got.Duration)
+	}
+	// Keys keep first-Add order for stable rendering.
+	if keys := got.Counts(); len(keys) != 2 || keys[0] != "routed" || keys[1] != "unmapped" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestTraceEndIdempotent(t *testing.T) {
+	tr := NewTrace("t")
+	s := tr.Start("a")
+	time.Sleep(time.Millisecond)
+	d := s.End().Duration
+	if s.End().Duration != d {
+		t.Error("second End changed the duration")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	tr := NewTrace("build")
+	tr.Start("load-whois").Add("records", 10)
+	s, _ := tr.Span("load-whois")
+	s.End()
+	out := tr.String()
+	for _, want := range []string{"build:", "1 stages", "load-whois", "records=10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceLogValue(t *testing.T) {
+	tr := NewTrace("build")
+	tr.Start("resolve").Add("unmapped", 2)
+	s, _ := tr.Span("resolve")
+	s.End()
+	v := tr.LogValue()
+	if v.Kind().String() != "Group" {
+		t.Fatalf("kind = %v", v.Kind())
+	}
+	var sawTotal, sawResolve bool
+	for _, a := range v.Group() {
+		switch a.Key {
+		case "total":
+			sawTotal = true
+		case "resolve":
+			sawResolve = true
+		}
+	}
+	if !sawTotal || !sawResolve {
+		t.Errorf("LogValue groups missing: total=%v resolve=%v", sawTotal, sawResolve)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/obs"
 )
 
 // Snapshot (de)serialization: the repository is persisted as line-oriented
@@ -145,6 +146,7 @@ func LoadDir(dir string) (*Repository, error) {
 	path := filepath.Join(dir, SnapshotFile)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
+		obs.Logger("rpki").Info("no snapshot; clustering degrades to name+ASN signals", "path", path)
 		repo := NewRepository()
 		if err := repo.Build(); err != nil {
 			return nil, err
@@ -155,5 +157,14 @@ func LoadDir(dir string) (*Repository, error) {
 		return nil, fmt.Errorf("rpki: open %s: %w", path, err)
 	}
 	defer f.Close()
-	return Read(f)
+	repo, err := Read(f)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.Default()
+	reg.Counter("rpki_certs_loaded_total").Add(int64(len(repo.Certs)))
+	reg.Counter("rpki_roas_loaded_total").Add(int64(len(repo.ROAs)))
+	obs.Logger("rpki").Info("snapshot loaded",
+		"path", path, "certs", len(repo.Certs), "roas", len(repo.ROAs))
+	return repo, nil
 }

@@ -1,0 +1,60 @@
+package rtr
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/rpki"
+)
+
+func metricsRepo(t *testing.T) *rpki.Repository {
+	t.Helper()
+	repo := rpki.NewRepository()
+	res := []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")}
+	repo.AddCert(rpki.Certificate{SKI: "TA:X", Subject: "ta", Registry: alloc.ARIN,
+		Resources: []netip.Prefix{netip.MustParsePrefix("198.51.0.0/16")}, TrustAnchor: true})
+	repo.AddCert(rpki.Certificate{SKI: "M:1", AKI: "TA:X", Subject: "member", Registry: alloc.ARIN,
+		Resources: res})
+	repo.AddROA(rpki.ROA{Prefix: res[0], MaxLength: 24, ASN: 64500, CertSKI: "M:1"})
+	if err := repo.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// TestSyncMovesPDUCounters asserts that a full client synchronization is
+// accounted: one reset query, one snapshot, one latency observation.
+func TestSyncMovesPDUCounters(t *testing.T) {
+	srv := NewServer(metricsRepo(t))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resetBefore := mResetQueries.Value()
+	snapBefore := mSnapshots.Value()
+	latBefore := mSnapshotTime.Count()
+
+	c := &Client{Addr: addr}
+	vrps, serial, err := c.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrps) != 1 || serial != 1 {
+		t.Fatalf("sync = %d vrps, serial %d", len(vrps), serial)
+	}
+	if d := mResetQueries.Value() - resetBefore; d != 1 {
+		t.Errorf("reset query counter moved by %d, want 1", d)
+	}
+	if d := mSnapshots.Value() - snapBefore; d != 1 {
+		t.Errorf("snapshot counter moved by %d, want 1", d)
+	}
+	if d := mSnapshotTime.Count() - latBefore; d != 1 {
+		t.Errorf("snapshot latency count moved by %d, want 1", d)
+	}
+	if mVRPs.Value() < 1 {
+		t.Errorf("vrp gauge = %v, want >= 1", mVRPs.Value())
+	}
+}

@@ -20,7 +20,22 @@ import (
 	"sync"
 	"time"
 
+	"github.com/prefix2org/prefix2org/internal/obs"
 	"github.com/prefix2org/prefix2org/internal/rpki"
+)
+
+// Server metrics, registered on the process-wide registry.
+var (
+	mResetQueries  = obs.Default().Counter(obs.Label("rtr_pdus_total", "type", "reset_query"))
+	mSerialQueries = obs.Default().Counter(obs.Label("rtr_pdus_total", "type", "serial_query"))
+	mUnsupported   = obs.Default().Counter(obs.Label("rtr_pdus_total", "type", "unsupported"))
+	mSnapshots     = obs.Default().Counter("rtr_snapshots_sent_total")
+	mAcceptErrors  = obs.Default().Counter("rtr_accept_errors_total")
+	mServeErrors   = obs.Default().Counter("rtr_serve_errors_total")
+	mSnapshotTime  = obs.Default().Histogram("rtr_snapshot_seconds", obs.DefBuckets)
+	mVRPs          = obs.Default().Gauge("rtr_vrps")
+
+	logger = obs.Logger("rtr")
 )
 
 // Protocol constants (RFC 8210).
@@ -172,7 +187,9 @@ type Server struct {
 
 // NewServer builds a server over the repository's current ROA set.
 func NewServer(repo *rpki.Repository) *Server {
-	return &Server{vrps: VRPsFromRepository(repo), serial: 1, session: 0x2bad}
+	vrps := VRPsFromRepository(repo)
+	mVRPs.Set(float64(len(vrps)))
+	return &Server{vrps: vrps, serial: 1, session: 0x2bad}
 }
 
 // Update replaces the served VRP set (a new validation run), bumping the
@@ -182,6 +199,8 @@ func (s *Server) Update(repo *rpki.Repository) {
 	defer s.mu.Unlock()
 	s.vrps = VRPsFromRepository(repo)
 	s.serial++
+	mVRPs.Set(float64(len(s.vrps)))
+	logger.Info("vrp set updated", "vrps", len(s.vrps), "serial", s.serial)
 }
 
 // Serial returns the current serial number.
@@ -224,6 +243,8 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
+				mAcceptErrors.Inc()
+				logger.Warn("accept failed", "err", err)
 				continue
 			}
 		}
@@ -241,14 +262,27 @@ func (s *Server) handle(conn net.Conn) {
 		_ = conn.SetDeadline(time.Now().Add(60 * time.Second))
 		pduType, _, body, err := readPDU(conn)
 		if err != nil {
+			// EOF is the normal end of a session; anything else is a
+			// protocol or transport failure worth surfacing.
+			if err != io.EOF {
+				mServeErrors.Inc()
+				logger.Warn("pdu read failed", "remote", conn.RemoteAddr().String(), "err", err)
+			}
 			return
 		}
 		switch pduType {
 		case pduResetQuery:
+			mResetQueries.Inc()
+			start := time.Now()
 			if err := s.sendSnapshot(conn); err != nil {
+				mServeErrors.Inc()
+				logger.Warn("snapshot send failed", "remote", conn.RemoteAddr().String(), "err", err)
 				return
 			}
+			mSnapshots.Inc()
+			mSnapshotTime.ObserveSince(start)
 		case pduSerialQuery:
+			mSerialQueries.Inc()
 			if len(body) != 4 {
 				_ = writePDU(conn, pduErrorReport, 3, nil) // invalid request
 				return
@@ -273,6 +307,8 @@ func (s *Server) handle(conn net.Conn) {
 				}
 			}
 		default:
+			mUnsupported.Inc()
+			logger.Warn("unsupported pdu", "remote", conn.RemoteAddr().String(), "pdu", pduType)
 			_ = writePDU(conn, pduErrorReport, 5, nil) // unsupported PDU
 			return
 		}

@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 	"time"
@@ -42,7 +43,7 @@ func tinyDataset(t *testing.T) *prefix2org.Dataset {
 		t.Fatal(err)
 	}
 	asd := as2org.NewDataset()
-	ds, err := prefix2org.Build(db, tbl, repo, asd, nil, prefix2org.Options{})
+	ds, err := prefix2org.Build(context.Background(), db, tbl, repo, asd, nil, prefix2org.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

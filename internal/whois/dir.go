@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/obs"
 )
 
 // Bulk-file naming inside a data directory's whois/ subdirectory. Each
@@ -50,7 +51,10 @@ type LoadOptions struct {
 // and, if provided, the live client.
 func LoadDir(ctx context.Context, dir string, opts LoadOptions) (*Database, error) {
 	wdir := filepath.Join(dir, "whois")
+	logger := obs.Logger("whois")
+	reg := obs.Default()
 	merged := NewDatabase()
+	registries := 0
 	for _, rf := range registryFiles {
 		path := filepath.Join(wdir, rf.File)
 		f, err := os.Open(path)
@@ -68,6 +72,11 @@ func LoadDir(ctx context.Context, dir string, opts LoadOptions) (*Database, erro
 		if cerr != nil {
 			return nil, fmt.Errorf("whois: close %s: %w", path, cerr)
 		}
+		registries++
+		reg.Counter(obs.Label("whois_records_parsed_total", "registry", string(rf.Registry))).Add(int64(len(db.Records)))
+		logger.Debug("registry file parsed",
+			"registry", string(rf.Registry), "path", path,
+			"records", len(db.Records), "orgs", len(db.Orgs))
 		merged.Merge(db)
 	}
 	// Enrich JPNIC allocation types: cache file first, then live queries.
@@ -88,6 +97,22 @@ func LoadDir(ctx context.Context, dir string, opts LoadOptions) (*Database, erro
 		}
 	}
 	merged.ResolveOrgs()
+	// Per-registry skip accounting: records whose allocation type cannot
+	// be resolved are invisible to ownership resolution downstream.
+	skipped := map[alloc.Registry]int{}
+	for i := range merged.Records {
+		if _, err := merged.Records[i].Type(); err != nil {
+			skipped[merged.Records[i].Registry]++
+		}
+	}
+	totalSkipped := 0
+	for r, n := range skipped {
+		totalSkipped += n
+		reg.Counter(obs.Label("whois_records_skipped_total", "registry", string(r))).Add(int64(n))
+	}
+	logger.Info("whois databases loaded",
+		"registries", registries, "records", len(merged.Records),
+		"orgs", len(merged.Orgs), "unresolvable_type", totalSkipped)
 	return merged, nil
 }
 

@@ -127,19 +127,42 @@ type Entry struct {
 	Updated  time.Time
 }
 
+// FlattenStats accounts for one Flatten pass: Records in, Expanded
+// (prefix, status) pairs after range expansion, Entries surviving the
+// latest-record-wins dedup. Expanded - Entries is the number of
+// de-duplicated WHOIS registrations.
+type FlattenStats struct {
+	Records  int
+	Expanded int
+	Entries  int
+}
+
+// Deduped returns the number of registrations dropped by the
+// latest-record-wins rule.
+func (s FlattenStats) Deduped() int { return s.Expanded - s.Entries }
+
 // Flatten expands db into per-prefix entries. For each (prefix, normalized
 // status) pair only the most recently updated record survives — the
 // paper's rule for handling re-registered blocks. Entries are returned in
 // canonical prefix order, then by status, for determinism.
 func (db *Database) Flatten() []Entry {
+	entries, _ := db.FlattenWithStats()
+	return entries
+}
+
+// FlattenWithStats is Flatten plus the dedup accounting the pipeline
+// trace reports.
+func (db *Database) FlattenWithStats() ([]Entry, FlattenStats) {
 	db.ResolveOrgs()
 	type key struct {
 		p      netip.Prefix
 		status string
 	}
 	best := map[key]Entry{}
+	stats := FlattenStats{Records: len(db.Records)}
 	for _, r := range db.Records {
 		for _, p := range r.Prefixes {
+			stats.Expanded++
 			k := key{p, normStatus(r.Status)}
 			e := Entry{Prefix: p, Registry: r.Registry, Status: r.Status, OrgName: r.OrgName, Updated: r.Updated}
 			if prev, ok := best[k]; !ok || e.Updated.After(prev.Updated) {
@@ -157,7 +180,8 @@ func (db *Database) Flatten() []Entry {
 		}
 		return normStatus(out[i].Status) < normStatus(out[j].Status)
 	})
-	return out
+	stats.Entries = len(out)
+	return out, stats
 }
 
 func normStatus(s string) string {

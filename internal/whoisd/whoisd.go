@@ -16,7 +16,23 @@ import (
 	"time"
 
 	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/obs"
 	"github.com/prefix2org/prefix2org/internal/radix"
+)
+
+// Server metrics, registered on the process-wide registry so the admin
+// listener's /metrics page exposes them.
+var (
+	mQueriesPrefix = obs.Default().Counter(obs.Label("whoisd_queries_total", "type", "prefix"))
+	mQueriesAddr   = obs.Default().Counter(obs.Label("whoisd_queries_total", "type", "addr"))
+	mQueriesOrg    = obs.Default().Counter(obs.Label("whoisd_queries_total", "type", "org"))
+	mQueriesBad    = obs.Default().Counter(obs.Label("whoisd_queries_total", "type", "bad"))
+	mNoMatch       = obs.Default().Counter("whoisd_no_match_total")
+	mAcceptErrors  = obs.Default().Counter("whoisd_accept_errors_total")
+	mServeErrors   = obs.Default().Counter("whoisd_serve_errors_total")
+	mLatency       = obs.Default().Histogram("whoisd_query_seconds", obs.DefBuckets)
+
+	logger = obs.Logger("whoisd")
 )
 
 // Server serves one dataset. Safe for concurrent queries.
@@ -73,6 +89,8 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
+				mAcceptErrors.Inc()
+				logger.Warn("accept failed", "err", err)
 				continue
 			}
 		}
@@ -86,12 +104,20 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	start := time.Now()
+	_ = conn.SetDeadline(start.Add(30 * time.Second))
 	line, err := bufio.NewReader(conn).ReadString('\n')
 	if err != nil && line == "" {
+		mServeErrors.Inc()
+		logger.Warn("query read failed", "remote", conn.RemoteAddr().String(), "err", err)
 		return
 	}
-	_, _ = io.WriteString(conn, s.Answer(strings.TrimSpace(line)))
+	if _, err := io.WriteString(conn, s.Answer(strings.TrimSpace(line))); err != nil {
+		mServeErrors.Inc()
+		logger.Warn("response write failed", "remote", conn.RemoteAddr().String(), "err", err)
+		return
+	}
+	mLatency.ObserveSince(start)
 }
 
 // Answer resolves one query line to the response body. Exposed for tests
@@ -101,13 +127,16 @@ func (s *Server) Answer(q string) string {
 	b.WriteString("% Prefix2Org whois (synthetic dataset)\r\n")
 	switch {
 	case q == "":
+		mQueriesBad.Inc()
 		b.WriteString("% error: empty query\r\n")
 	case strings.Contains(q, "/"):
 		p, err := netip.ParsePrefix(q)
 		if err != nil {
+			mQueriesBad.Inc()
 			fmt.Fprintf(&b, "%% error: bad prefix %q\r\n", q)
 			break
 		}
+		mQueriesPrefix.Inc()
 		if rec, ok := s.ds.Lookup(p); ok {
 			writeRecord(&b, rec)
 			break
@@ -118,18 +147,23 @@ func (s *Server) Answer(q string) string {
 			writeRecord(&b, e.Value)
 			break
 		}
+		mNoMatch.Inc()
 		b.WriteString("% no match\r\n")
 	case parseAddr(q) != nil:
+		mQueriesAddr.Inc()
 		a := *parseAddr(q)
 		if e, ok := s.lpm.LongestMatch(netip.PrefixFrom(a, a.BitLen())); ok {
 			writeRecord(&b, e.Value)
 			break
 		}
+		mNoMatch.Inc()
 		b.WriteString("% no match\r\n")
 	default:
 		// Organization-name query.
+		mQueriesOrg.Inc()
 		c, ok := s.ds.ClusterOfOwner(q)
 		if !ok {
+			mNoMatch.Inc()
 			b.WriteString("% no match\r\n")
 			break
 		}

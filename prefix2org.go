@@ -48,10 +48,18 @@ import (
 	"github.com/prefix2org/prefix2org/internal/cluster"
 	"github.com/prefix2org/prefix2org/internal/delegated"
 	"github.com/prefix2org/prefix2org/internal/names"
+	"github.com/prefix2org/prefix2org/internal/obs"
 	"github.com/prefix2org/prefix2org/internal/radix"
 	"github.com/prefix2org/prefix2org/internal/rpki"
 	"github.com/prefix2org/prefix2org/internal/whois"
 )
+
+// BuildTrace is the per-stage accounting of one pipeline run: for every
+// stage its wall time plus the record counts flowing in, out, and
+// dropped (unmapped prefixes, specificity-filtered routes, de-duplicated
+// WHOIS registrations). It is attached to the Dataset, logged when the
+// build completes, and printed by cmd/prefix2org under -trace.
+type BuildTrace = obs.Trace
 
 // Options configures the pipeline.
 type Options struct {
@@ -164,6 +172,9 @@ type Dataset struct {
 	Records  []Record
 	Clusters []*Cluster
 	Stats    Stats
+	// Trace is the build's per-stage accounting. It is populated by
+	// Build/BuildFromDir and not persisted by Save/Load.
+	Trace *BuildTrace
 
 	byPrefix  map[netip.Prefix]*Record
 	byCluster map[string]*Cluster
@@ -194,12 +205,37 @@ func basicClean(s string) string {
 }
 
 // Build runs the full pipeline over in-memory inputs. Most callers use
-// BuildFromDir.
-func Build(db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *as2org.Dataset, arinLegacyNonSigned []netip.Prefix, opts Options) (*Dataset, error) {
+// BuildFromDir. The context cancels the build between passes and
+// periodically inside the per-prefix resolution pass; a cancelled build
+// returns ctx.Err().
+func Build(ctx context.Context, db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *as2org.Dataset, arinLegacyNonSigned []netip.Prefix, opts Options) (*Dataset, error) {
+	ds, err := build(ctx, obs.NewTrace("build"), db, table, repo, asData, arinLegacyNonSigned, opts)
+	if err != nil {
+		return nil, err
+	}
+	logTrace(ds)
+	return ds, nil
+}
+
+// cancelCheckEvery is how many prefixes pass 1 resolves between context
+// checks: frequent enough to cancel promptly, rare enough to stay off
+// the profile.
+const cancelCheckEvery = 1024
+
+func logTrace(ds *Dataset) {
+	obs.Logger("pipeline").Info("build complete",
+		"records", len(ds.Records), "clusters", len(ds.Clusters), "trace", ds.Trace)
+}
+
+func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *as2org.Dataset, arinLegacyNonSigned []netip.Prefix, opts Options) (*Dataset, error) {
 	if db == nil || table == nil || repo == nil || asData == nil {
 		return nil, fmt.Errorf("prefix2org: nil input")
 	}
-	entries := db.Flatten()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	span := tr.Start("flatten-whois")
+	entries, fstats := db.FlattenWithStats()
 	markARINLegacy(entries, arinLegacyNonSigned)
 
 	// Delegation trees: per prefix, all WHOIS entries (§5.2).
@@ -208,18 +244,30 @@ func Build(db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *
 		cur, _ := tree.Get(e.Prefix)
 		tree.Insert(e.Prefix, append(cur, e))
 	}
+	span.Add("records", int64(fstats.Records))
+	span.Add("entries", int64(fstats.Entries))
+	span.Add("deduped", int64(fstats.Deduped()))
+	span.End()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Pass 1: ownership resolution per routed prefix.
+	span = tr.Start("resolve")
 	routed := table.Prefixes()
 	asClusters := asData.BuildClusters()
-
-	// Pass 1: ownership resolution per routed prefix.
 	type resolved struct {
 		rec    Record
 		haveDO bool
 	}
 	results := make([]resolved, 0, len(routed))
 	unmapped := 0
-	for _, p := range routed {
+	for i, p := range routed {
+		if i%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rec, ok := resolveOwnership(tree, repo, p)
 		if !ok {
 			unmapped++
@@ -234,8 +282,17 @@ func Build(db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *
 		}
 		results = append(results, resolved{rec: rec, haveDO: true})
 	}
+	span.Add("routed", int64(len(routed)))
+	span.Add("specificity-filtered", int64(table.FilteredCount()))
+	span.Add("mapped", int64(len(results)))
+	span.Add("unmapped", int64(unmapped))
+	span.End()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Pass 2: base names over the Direct Owner corpus.
+	span = tr.Start("clean-names")
 	corpus := make([]string, 0, len(results))
 	for i := range results {
 		corpus = append(corpus, results[i].rec.DirectOwner)
@@ -245,6 +302,7 @@ func Build(db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *
 		threshold = adaptiveThreshold(corpus)
 	}
 	cleaner := names.NewCleaner(corpus, threshold)
+	baseNames := map[string]bool{}
 	for i := range results {
 		if opts.DisableNameCleaning {
 			// Ablation: the base name degenerates to the exact
@@ -254,9 +312,17 @@ func Build(db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *
 		} else {
 			results[i].rec.BaseName = cleaner.BaseName(results[i].rec.DirectOwner)
 		}
+		baseNames[results[i].rec.BaseName] = true
 	}
+	span.Add("names", int64(len(corpus)))
+	span.Add("base-names", int64(len(baseNames)))
+	span.End()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Pass 3: clustering (§5.3).
+	span = tr.Start("cluster")
 	infos := make([]cluster.PrefixInfo, 0, len(results))
 	for i := range results {
 		r := &results[i].rec
@@ -278,6 +344,7 @@ func Build(db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *
 	cres := cluster.Build(infos)
 
 	ds := &Dataset{
+		Trace:     tr,
 		byPrefix:  map[netip.Prefix]*Record{},
 		byCluster: map[string]*Cluster{},
 		byOwner:   map[string]*Cluster{},
@@ -303,7 +370,16 @@ func Build(db *whois.Database, table *bgp.Table, repo *rpki.Repository, asData *
 	for i := range ds.Records {
 		ds.byPrefix[ds.Records[i].Prefix] = &ds.Records[i]
 	}
+	span.Add("prefixes", int64(len(infos)))
+	span.Add("clusters", int64(len(cres.Final)))
+	span.End()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	span = tr.Start("stats")
 	ds.computeStats(cres, cleaner, corpus, repo, unmapped)
+	span.End()
 	return ds, nil
 }
 
@@ -475,28 +551,49 @@ func comparePrefix(a, b netip.Prefix) int {
 	return a.Bits() - b.Bits()
 }
 
-// BuildFromDir loads a data directory and runs the pipeline.
+// BuildFromDir loads a data directory and runs the pipeline. The
+// returned Dataset carries a BuildTrace covering both the load stages
+// and the build passes.
 func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, error) {
+	tr := obs.NewTrace("build")
 	var lopts whois.LoadOptions
 	if opts.JPNICWhoisAddr != "" {
 		lopts.JPNICClient = &whois.Client{Addr: opts.JPNICWhoisAddr}
 	}
+	span := tr.Start("load-whois")
 	db, err := whois.LoadDir(ctx, dir, lopts)
 	if err != nil {
 		return nil, fmt.Errorf("prefix2org: load whois: %w", err)
 	}
+	span.Add("records", int64(len(db.Records)))
+	span.Add("orgs", int64(len(db.Orgs)))
+	span.End()
+
+	span = tr.Start("load-bgp")
 	table, err := bgp.LoadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("prefix2org: load bgp: %w", err)
 	}
+	span.Add("mrt-entries", int64(table.EntryCount()))
+	span.Add("prefixes", int64(table.Len()))
+	span.Add("specificity-filtered", int64(table.FilteredCount()))
+	span.End()
+
+	span = tr.Start("load-rpki")
 	repo, err := rpki.LoadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("prefix2org: load rpki: %w", err)
 	}
+	span.Add("certs", int64(len(repo.Certs)))
+	span.Add("roas", int64(len(repo.ROAs)))
+	span.End()
+
+	span = tr.Start("load-as2org")
 	asData, err := as2org.LoadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("prefix2org: load as2org: %w", err)
 	}
+	span.Add("ases", int64(len(asData.ASes)))
 	// Footnote-2 verification: when delegated-extended statistics files
 	// are present, confirm that no RIR delegation is coarser than /8
 	// (IPv4) or /16 (IPv6) — the justification for the BGP specificity
@@ -525,5 +622,11 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("prefix2org: open %s: %w", legacyPath, err)
 	}
-	return Build(db, table, repo, asData, arinLegacy, opts)
+	span.End()
+	ds, err := build(ctx, tr, db, table, repo, asData, arinLegacy, opts)
+	if err != nil {
+		return nil, err
+	}
+	logTrace(ds)
+	return ds, nil
 }

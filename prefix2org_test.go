@@ -66,7 +66,7 @@ func figure1World(t *testing.T) (*whois.Database, *bgp.Table, *rpki.Repository, 
 
 func TestFigure1OwnershipResolution(t *testing.T) {
 	db, tbl, repo, asd := figure1World(t)
-	ds, err := Build(db, tbl, repo, asd, nil, Options{})
+	ds, err := Build(context.Background(), db, tbl, repo, asd, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestFigure1OwnershipResolution(t *testing.T) {
 
 func TestListing1ChainResolution(t *testing.T) {
 	db, tbl, repo, asd := figure1World(t)
-	ds, err := Build(db, tbl, repo, asd, nil, Options{})
+	ds, err := Build(context.Background(), db, tbl, repo, asd, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestListing1ChainResolution(t *testing.T) {
 }
 
 func TestBuildRejectsNilInputs(t *testing.T) {
-	if _, err := Build(nil, nil, nil, nil, nil, Options{}); err == nil {
+	if _, err := Build(context.Background(), nil, nil, nil, nil, nil, Options{}); err == nil {
 		t.Error("nil inputs accepted")
 	}
 }
@@ -150,7 +150,7 @@ func TestBuildRejectsNilInputs(t *testing.T) {
 func TestARINLegacyMarking(t *testing.T) {
 	db, tbl, repo, asd := figure1World(t)
 	legacy := []netip.Prefix{mp("206.200.0.0/16")}
-	ds, err := Build(db, tbl, repo, asd, legacy, Options{})
+	ds, err := Build(context.Background(), db, tbl, repo, asd, legacy, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestRIPELegacyNotSponsored(t *testing.T) {
 	if err := repo.Build(); err != nil {
 		t.Fatal(err)
 	}
-	ds, err := Build(db, tbl, repo, as2org.NewDataset(), nil, Options{})
+	ds, err := Build(context.Background(), db, tbl, repo, as2org.NewDataset(), nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,7 +470,7 @@ func TestOwnershipWithoutDirectOwnerRecord(t *testing.T) {
 	if err := repo.Build(); err != nil {
 		t.Fatal(err)
 	}
-	ds, err := Build(db, tbl, repo, as2org.NewDataset(), nil, Options{})
+	ds, err := Build(context.Background(), db, tbl, repo, as2org.NewDataset(), nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +504,7 @@ func TestUnresolvableStatusSkipped(t *testing.T) {
 	if err := repo.Build(); err != nil {
 		t.Fatal(err)
 	}
-	ds, err := Build(db, tbl, repo, as2org.NewDataset(), nil, Options{})
+	ds, err := Build(context.Background(), db, tbl, repo, as2org.NewDataset(), nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -537,7 +537,7 @@ func TestMultipleDirectOwnerRecordsDeterministic(t *testing.T) {
 		if err := repo.Build(); err != nil {
 			t.Fatal(err)
 		}
-		ds, err := Build(db, tbl, repo, as2org.NewDataset(), nil, Options{})
+		ds, err := Build(context.Background(), db, tbl, repo, as2org.NewDataset(), nil, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

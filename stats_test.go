@@ -1,12 +1,13 @@
 package prefix2org
 
 import (
+	"context"
 	"testing"
 )
 
 func TestStatsBaselinesOnFigure1World(t *testing.T) {
 	db, tbl, repo, asd := figure1World(t)
-	ds, err := Build(db, tbl, repo, asd, nil, Options{})
+	ds, err := Build(context.Background(), db, tbl, repo, asd, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestStatsBaselinesOnFigure1World(t *testing.T) {
 
 func TestTopClustersBySpaceClamp(t *testing.T) {
 	db, tbl, repo, asd := figure1World(t)
-	ds, err := Build(db, tbl, repo, asd, nil, Options{})
+	ds, err := Build(context.Background(), db, tbl, repo, asd, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
