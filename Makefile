@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench verify
+.PHONY: build test vet vet-concurrency race bench bench-all verify
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,30 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Concurrency-focused analyzers run explicitly: copylocks (locks copied
+# by value), atomic (misuse of sync/atomic), lostcancel (leaked
+# context.CancelFunc). The shadow analyzer is a separate binary that may
+# not be installed; it is used when present and skipped otherwise.
+vet-concurrency:
+	$(GO) vet -copylocks -atomic -lostcancel ./...
+	@if command -v shadow >/dev/null 2>&1; then \
+		$(GO) vet -vettool="$$(command -v shadow)" ./...; \
+	else \
+		echo "vet-concurrency: shadow analyzer not installed, skipping"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
+# bench runs the pipeline benchmark at 1, 4 and GOMAXPROCS workers and
+# renders the per-stage wall times as a stage x worker-count table.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench='^BenchmarkPipelineBuild$$' -run='^$$' . | awk -f scripts/benchtable.awk
 
-# verify is the tier-1 gate: vet + build + race-enabled tests.
-verify: vet build race
+# bench-all runs the full benchmark suite, raw output.
+bench-all:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# verify is the tier-1 gate: vet (+ concurrency analyzers) + build +
+# race-enabled tests.
+verify: vet vet-concurrency build race

@@ -12,8 +12,10 @@ package prefix2org_test
 
 import (
 	"context"
+	"fmt"
 	"net/netip"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -207,26 +209,42 @@ func BenchmarkCaseStudyOrgsWithoutASN(b *testing.B) {
 
 // --- pipeline-stage micro-benchmarks ----------------------------------------
 
+// benchWorkerCounts returns the serial-vs-parallel dimensions of the
+// pipeline benchmark: 1 (the serial baseline), 4, and GOMAXPROCS when
+// it differs from both.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
 // BenchmarkPipelineBuild measures the full pipeline over the paper-scale
 // world's serialized data directory (parse + resolve + clean + cluster)
 // and reports each stage's wall time from the build trace so regressions
-// can be localized without a profiler.
+// can be localized without a profiler. One sub-benchmark per worker
+// count (serial baseline, 4, GOMAXPROCS) exposes how the load and
+// resolve stages scale; `make bench` renders the comparison table.
 func BenchmarkPipelineBuild(b *testing.B) {
 	e := env(b)
-	b.ResetTimer()
-	var trace *prefix2org.BuildTrace
-	for i := 0; i < b.N; i++ {
-		ds, err := prefix2org.BuildFromDir(context.Background(), e.Dir, prefix2org.Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if ds.Stats.IPv4Prefixes == 0 {
-			b.Fatal("empty dataset")
-		}
-		trace = ds.Trace
-	}
-	for _, sp := range trace.Spans() {
-		b.ReportMetric(sp.Duration.Seconds(), sp.Name+"_s")
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var trace *prefix2org.BuildTrace
+			for i := 0; i < b.N; i++ {
+				ds, err := prefix2org.BuildFromDir(context.Background(), e.Dir, prefix2org.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ds.Stats.IPv4Prefixes == 0 {
+					b.Fatal("empty dataset")
+				}
+				trace = ds.Trace
+			}
+			for _, sp := range trace.Spans() {
+				b.ReportMetric(sp.Duration.Seconds(), sp.Name+"_s")
+			}
+		})
 	}
 }
 

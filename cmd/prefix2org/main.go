@@ -35,6 +35,7 @@ func main() {
 		dataDir  = flag.String("data", "", "data directory (required)")
 		jpnic    = flag.String("jpnic", "", "JPNIC whois server address for live allocation-type queries")
 		trace    = flag.Bool("trace", false, "print the per-stage build trace to stderr")
+		workers  = flag.Int("workers", 0, "build parallelism: goroutines for corpus loading and prefix resolution (0 = GOMAXPROCS, 1 = serial)")
 		logLevel = flag.String("log-level", "warn", "log level: debug|info|warn|error")
 		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
@@ -49,7 +50,7 @@ func main() {
 		os.Exit(2)
 	}
 	obs.Configure(level, *logJSON, os.Stderr)
-	if err := run(*dataDir, *jpnic, *trace, flag.Args()); err != nil {
+	if err := run(*dataDir, *jpnic, *trace, *workers, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "prefix2org:", err)
 		os.Exit(1)
 	}
@@ -71,8 +72,8 @@ func toExport(r *prefix2org.Record) exportRecord {
 	return exportRecord{Prefix: r.Prefix.String(), Record: r, DOPrefix: r.DOPrefix.String(), DCPrefixes: dcp}
 }
 
-func run(dataDir, jpnic string, trace bool, args []string) error {
-	ds, err := prefix2org.BuildFromDir(context.Background(), dataDir, prefix2org.Options{JPNICWhoisAddr: jpnic})
+func run(dataDir, jpnic string, trace bool, workers int, args []string) error {
+	ds, err := prefix2org.BuildFromDir(context.Background(), dataDir, prefix2org.Options{JPNICWhoisAddr: jpnic, Workers: workers})
 	if err != nil {
 		return err
 	}

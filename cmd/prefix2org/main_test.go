@@ -22,13 +22,13 @@ func dataDir(t *testing.T) string {
 }
 
 func TestRunStats(t *testing.T) {
-	if err := run(dataDir(t), "", false, []string{"stats"}); err != nil {
+	if err := run(dataDir(t), "", false, 0, []string{"stats"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStatsWithTrace(t *testing.T) {
-	if err := run(dataDir(t), "", true, []string{"stats"}); err != nil {
+	if err := run(dataDir(t), "", true, 0, []string{"stats"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -37,32 +37,32 @@ func TestRunLookupAndCluster(t *testing.T) {
 	dir := dataDir(t)
 	// Find a routed prefix by exporting a snapshot first.
 	snap := filepath.Join(t.TempDir(), "snap.jsonl")
-	if err := run(dir, "", false, []string{"export-snapshot", snap}); err != nil {
+	if err := run(dir, "", false, 0, []string{"export-snapshot", snap}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
 		t.Fatalf("snapshot not written: %v", err)
 	}
-	if err := run(dir, "", false, []string{"lookup", "1.0.0.0/16"}); err != nil {
+	if err := run(dir, "", false, 0, []string{"lookup", "1.0.0.0/16"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, "", false, []string{"lookup", "banana"}); err == nil {
+	if err := run(dir, "", false, 0, []string{"lookup", "banana"}); err == nil {
 		t.Error("bad prefix accepted")
 	}
-	if err := run(dir, "", false, []string{"cluster", "No Such Org"}); err == nil {
+	if err := run(dir, "", false, 0, []string{"cluster", "No Such Org"}); err == nil {
 		t.Error("unknown org accepted")
 	}
-	if err := run(dir, "", false, []string{"wat"}); err == nil {
+	if err := run(dir, "", false, 0, []string{"wat"}); err == nil {
 		t.Error("unknown subcommand accepted")
 	}
-	if err := run(dir, "", false, []string{"lookup"}); err == nil {
+	if err := run(dir, "", false, 0, []string{"lookup"}); err == nil {
 		t.Error("lookup without args accepted")
 	}
 }
 
 func TestRunBadDir(t *testing.T) {
 	// An empty directory has no BGP snapshot: the pipeline must error.
-	if err := run(t.TempDir(), "", false, []string{"stats"}); err == nil {
+	if err := run(t.TempDir(), "", false, 0, []string{"stats"}); err == nil {
 		t.Error("empty data dir accepted")
 	}
 }

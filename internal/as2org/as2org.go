@@ -87,9 +87,15 @@ func (d *Dataset) OrgName(asn uint32) (string, bool) {
 
 // Clusters is the ASN-cluster equivalence relation: ASNs owned by the
 // same organization map to the same cluster ID.
+//
+// A Clusters is frozen at BuildClusters time — the union-find that
+// computes it is discarded and the relation is kept as plain lookup
+// maps — so ClusterID, Same and Members are pure reads, safe for
+// concurrent use by the pipeline's parallel resolve workers.
 type Clusters struct {
-	d *dsu.DSU
-	// id caches the canonical cluster ID per representative.
+	// id maps every ASN seen in the dataset to its canonical cluster ID.
+	id map[uint32]string
+	// members maps a cluster ID to its sorted member ASNs.
 	members map[string][]uint32
 }
 
@@ -120,9 +126,8 @@ func (d *Dataset) BuildClusters() *Clusters {
 			u.Union(key(s.ASNs[0]), key(s.ASNs[i]))
 		}
 	}
-	c := &Clusters{d: u, members: map[string][]uint32{}}
+	c := &Clusters{id: map[uint32]string{}, members: map[string][]uint32{}}
 	for _, set := range u.Sets() {
-		rep := u.Find(set[0])
 		ms := make([]uint32, 0, len(set))
 		for _, k := range set {
 			asn, err := strconv.ParseUint(k, 10, 32)
@@ -132,7 +137,14 @@ func (d *Dataset) BuildClusters() *Clusters {
 			ms = append(ms, uint32(asn))
 		}
 		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
-		c.members[rep] = ms
+		if len(ms) == 0 {
+			continue
+		}
+		id := key(ms[0])
+		c.members[id] = ms
+		for _, m := range ms {
+			c.id[m] = id
+		}
 	}
 	return c
 }
@@ -143,25 +155,21 @@ func key(asn uint32) string { return strconv.FormatUint(uint64(asn), 10) }
 // ASN in its cluster, as a decimal string. ASNs never seen in the dataset
 // form singleton clusters.
 func (c *Clusters) ClusterID(asn uint32) string {
-	rep := c.d.Find(key(asn))
-	ms, ok := c.members[rep]
-	if !ok || len(ms) == 0 {
-		return key(asn)
+	if id, ok := c.id[asn]; ok {
+		return id
 	}
-	return key(ms[0])
+	return key(asn)
 }
 
 // Same reports whether two ASNs are in the same cluster.
-func (c *Clusters) Same(a, b uint32) bool { return c.d.Same(key(a), key(b)) }
+func (c *Clusters) Same(a, b uint32) bool { return c.ClusterID(a) == c.ClusterID(b) }
 
 // Members returns the sorted ASNs in asn's cluster (at least asn itself).
 func (c *Clusters) Members(asn uint32) []uint32 {
-	rep := c.d.Find(key(asn))
-	ms, ok := c.members[rep]
-	if !ok || len(ms) == 0 {
-		return []uint32{asn}
+	if ms, ok := c.members[c.ClusterID(asn)]; ok && len(ms) > 0 {
+		return ms
 	}
-	return ms
+	return []uint32{asn}
 }
 
 // --- serialization -------------------------------------------------------

@@ -1,0 +1,34 @@
+// Package cluster implements Prefix2Org's prefix aggregation (§5.3.2 and
+// §5.3.3 of the paper).
+//
+// Input: one row per routed prefix carrying the prefix's exact Direct
+// Owner name, the cleaned base name, the child-most RPKI Resource
+// Certificate identity (if any), and the origin ASN cluster (if any).
+//
+// Three families of clusters are formed:
+//
+//	W — Default Clusters: prefixes grouped by the exact Direct Owner
+//	    name (after basic string processing).
+//	R — prefixes sharing a base name AND listed in the same Resource
+//	    Certificate (shared management).
+//	A — prefixes sharing a base name AND originated by ASNs of the same
+//	    ASN cluster (shared operation).
+//
+// Finally, W clusters that share membership in any R or A group are
+// merged (Figure 3): the result is the connected-component fixpoint of
+// the bipartite membership graph, computed with a disjoint-set union.
+// Because R and A groups are keyed by base name, only same-base-name W
+// clusters can ever merge — organizations with similar names but disjoint
+// routing and RPKI management (Fastly, Inc. vs Fastly Network Solution)
+// stay separate.
+//
+// # Goroutine safety
+//
+// Build is a pure function: it reads its input slice, works on local
+// state (including a function-local DSU), and returns a freshly
+// allocated Result. Distinct Build calls may run concurrently; a single
+// Result is immutable afterwards and safe to share. In the pipeline this
+// stage runs single-threaded, after the parallel resolve pool has been
+// drained and merged deterministically, so its input order — and
+// therefore its cluster IDs — never depends on Options.Workers.
+package cluster

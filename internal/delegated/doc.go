@@ -1,0 +1,31 @@
+// Package delegated implements the NRO "extended delegated statistics"
+// file format — the daily per-RIR file listing the status of every
+// resource the registry manages.
+//
+// The paper uses these files in footnote 2: before filtering BGP data it
+// verifies against the delegation files that no RIR has ever delegated a
+// block larger than /8 (IPv4) or /16 (IPv6), which justifies dropping
+// less-specific routes. This package provides the parser/writer pair,
+// the summary bookkeeping, and that verification; BuildFromDir runs the
+// check inside its load-as2org stage whenever the files are present.
+//
+// Format (pipe-separated, RFC-less but documented by the NRO):
+//
+//	2|arin|20240901|3|19700101|20240901|+0000          <- version header
+//	arin|*|ipv4|*|2|summary                            <- summary lines
+//	arin|*|asn|*|1|summary
+//	arin|US|ipv4|206.238.0.0|65536|20240501|allocated|acct-1
+//	arin|US|ipv6|2600::|32|20110101|allocated|acct-1
+//	arin|US|asn|701|1|19910101|assigned|acct-2
+//
+// IPv4 records carry an address *count*; IPv6 records carry a prefix
+// *length*; ASN records carry a count of consecutive ASNs.
+//
+// # Goroutine safety
+//
+// Parsing builds a File on local state; a File is never mutated by this
+// package afterwards, so distinct goroutines may parse distinct readers
+// concurrently and share parsed Files for reading (MinPrefixLens,
+// summaries). A single File must not be read while a caller mutates its
+// exported slices.
+package delegated

@@ -1,10 +1,3 @@
-// Package dsu provides a disjoint-set union (union-find) structure over
-// string keys, with path compression and union by size.
-//
-// It backs both the ASN-cluster construction (sibling ASNs collapse into
-// one cluster) and the final prefix-cluster merge of §5.3.3, where WHOIS
-// name clusters sharing membership in an RPKI or ASN prefix group are
-// united into connected components.
 package dsu
 
 import "sort"

@@ -1,15 +1,3 @@
-// Package leasing infers IP-leasing activity from the Prefix2Org dataset
-// combined with BGP data — the §9 future-work direction the paper
-// sketches ("whether Prefix2Org combined with BGP data could be used to
-// infer IP leasing activity", following Du et al.'s observation that
-// ~4.1% of routed IPv4 prefixes were involved in leasing).
-//
-// The detector looks for the leasing fingerprint the paper's Cloud
-// Innovation case exhibits: one Direct Owner cluster whose prefixes are
-// originated by many *unrelated* ASNs — origins that are neither the
-// owner's own ASNs nor its delegated customers' upstream pattern — at a
-// granularity (mostly /24s, fully sub-delegated or bare) consistent with
-// per-customer usage agreements rather than connectivity service.
 package leasing
 
 import (

@@ -1,30 +1,3 @@
-// Package names implements Prefix2Org's rule-based organization-name
-// cleaning (§5.3.1 of the paper).
-//
-// Direct Owners register address space under many variations of their
-// name ("Google LLC", "Google Cloud", "GOOGLE INDIA PVT LTD"). The paper
-// found character-level fuzzy matching and generic entity resolution
-// inadequate and instead iteratively designed a four-step rule pipeline,
-// reproduced here:
-//
-//	(i)   initial cleaning and formatting — case folding, punctuation and
-//	      mojibake scrubbing, removal of generic remark phrases;
-//	(ii)  spelling standardization — "Centre"→"Center",
-//	      "Telecommunications"→"Telecom", ...;
-//	(iii) corporate + frequent word drop — legal-entity endings (from the
-//	      worldwide legal-entity list) and words whose corpus frequency
-//	      exceeds a threshold (100 in the paper) are removed when they are
-//	      not the first word;
-//	(iv)  geographic filtering — ISO-3166 country names, million-inhabitant
-//	      cities and hand-added endonyms are removed when not leading.
-//
-// Finally, a processed name shorter than three characters is refilled
-// with the form from after the corporate-word drop, since very short
-// base names cause false associations.
-//
-// Two distinct organizations may legitimately share a base name (Fastly,
-// Inc. vs Fastly Network Solution); disambiguation is the clustering
-// stage's job, not this package's.
 package names
 
 import (

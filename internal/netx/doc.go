@@ -1,0 +1,17 @@
+// Package netx provides prefix utilities used throughout Prefix2Org.
+//
+// All prefixes are represented by net/netip.Prefix in canonical (masked)
+// form. The helpers here add what the pipeline needs on top of the standard
+// library: address-space accounting, containment tests, deterministic
+// ordering, and prefix subdivision for the delegation-tree builders.
+// Canonicalization at the parse boundary is what lets every later stage
+// compare prefixes with == and key maps on them directly.
+//
+// # Goroutine safety
+//
+// Every function in this package is pure — no package-level mutable
+// state, no mutation of arguments except the explicitly in-place Sort —
+// so all of them are safe to call from any number of goroutines. The
+// pipeline's parallel resolve workers rely on this for containment and
+// ordering checks.
+package netx

@@ -1,9 +1,3 @@
-// Package netx provides prefix utilities used throughout Prefix2Org.
-//
-// All prefixes are represented by net/netip.Prefix in canonical (masked)
-// form. The helpers here add what the pipeline needs on top of the standard
-// library: address-space accounting, containment tests, deterministic
-// ordering, and prefix subdivision for the delegation-tree builders.
 package netx
 
 import (

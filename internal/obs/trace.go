@@ -4,27 +4,41 @@ import (
 	"fmt"
 	"log/slog"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Trace records the per-stage accounting of one batch pipeline run:
 // ordered spans with wall time and named record counts (inputs, outputs,
-// drops). A Trace is built by a single goroutine; read it only after the
-// run completes.
+// drops).
+//
+// Concurrency contract: the span list is locked, so Start may be called
+// from multiple goroutines (the parallel loaders each own a span), but
+// each individual Span must have a single writer at a time — stages that
+// fan work out over a pool accumulate counts locally and Add them once
+// the pool has drained. Read the trace only after the run completes.
 type Trace struct {
 	// Name identifies the traced operation ("build").
 	Name string
 	// Started is the trace's creation time.
 	Started time.Time
-	spans   []*Span
+
+	mu    sync.Mutex
+	spans []*Span
 }
 
-// Span is one pipeline stage.
+// Span is one pipeline stage. A Span is written by one goroutine at a
+// time: Add/End/SetWorkers are not synchronized.
 type Span struct {
 	// Name identifies the stage ("resolve", "load-whois", ...).
 	Name string
 	// Duration is the stage's wall time, set by End.
 	Duration time.Duration
+	// Workers is the stage's degree of parallelism (0 when the stage is
+	// inherently serial; set with SetWorkers otherwise). It is rendered
+	// in String and LogValue but is not a record count, so serial and
+	// parallel runs of the same build still produce identical counts.
+	Workers int
 
 	start  time.Time
 	keys   []string // count keys in first-Add order
@@ -36,11 +50,14 @@ func NewTrace(name string) *Trace {
 	return &Trace{Name: name, Started: time.Now()}
 }
 
-// Start opens a new span. Close it with End before starting the next
-// stage.
+// Start opens a new span. Close it with End when the stage finishes.
+// Stages that run concurrently may each Start (or be handed) their own
+// span; spans appear in the trace in Start order.
 func (t *Trace) Start(name string) *Span {
 	s := &Span{Name: name, start: time.Now(), counts: map[string]int64{}}
+	t.mu.Lock()
 	t.spans = append(t.spans, s)
+	t.mu.Unlock()
 	return s
 }
 
@@ -67,6 +84,13 @@ func (s *Span) Add(key string, n int64) {
 	s.counts[key] += n
 }
 
+// SetWorkers records the stage's degree of parallelism. It returns the
+// span for chaining.
+func (s *Span) SetWorkers(n int) *Span {
+	s.Workers = n
+	return s
+}
+
 // Count returns the span's accumulated count for key (0 when absent).
 func (s *Span) Count(key string) int64 { return s.counts[key] }
 
@@ -74,10 +98,16 @@ func (s *Span) Count(key string) int64 { return s.counts[key] }
 func (s *Span) Counts() []string { return append([]string(nil), s.keys...) }
 
 // Spans returns the trace's spans in start order.
-func (t *Trace) Spans() []*Span { return append([]*Span(nil), t.spans...) }
+func (t *Trace) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
 
 // Span returns the named span.
 func (t *Trace) Span(name string) (*Span, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, s := range t.spans {
 		if s.Name == name {
 			return s, true
@@ -86,10 +116,11 @@ func (t *Trace) Span(name string) (*Span, bool) {
 	return nil, false
 }
 
-// Total returns the summed duration of all spans.
+// Total returns the summed duration of all spans. When stages overlap
+// (parallel loads), Total exceeds the trace's wall time.
 func (t *Trace) Total() time.Duration {
 	var d time.Duration
-	for _, s := range t.spans {
+	for _, s := range t.Spans() {
 		d += s.Duration
 	}
 	return d
@@ -101,16 +132,20 @@ func (t *Trace) Total() time.Duration {
 //	  load-whois   4.1ms  records=1234 entries=1200 deduped=34
 //	  ...
 func (t *Trace) String() string {
+	spans := t.Spans()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %d stages, %s total\n", t.Name, len(t.spans), t.Total().Round(time.Microsecond))
+	fmt.Fprintf(&b, "%s: %d stages, %s total\n", t.Name, len(spans), t.Total().Round(time.Microsecond))
 	width := 0
-	for _, s := range t.spans {
+	for _, s := range spans {
 		if len(s.Name) > width {
 			width = len(s.Name)
 		}
 	}
-	for _, s := range t.spans {
+	for _, s := range spans {
 		fmt.Fprintf(&b, "  %-*s %10s", width, s.Name, s.Duration.Round(time.Microsecond))
+		if s.Workers > 0 {
+			fmt.Fprintf(&b, " [x%d]", s.Workers)
+		}
 		for _, k := range s.keys {
 			fmt.Fprintf(&b, "  %s=%d", k, s.counts[k])
 		}
@@ -122,11 +157,15 @@ func (t *Trace) String() string {
 // LogValue renders the trace as structured attributes, so a trace logs
 // cleanly via logger.Info("build complete", "trace", trace).
 func (t *Trace) LogValue() slog.Value {
-	attrs := make([]slog.Attr, 0, len(t.spans)+1)
+	spans := t.Spans()
+	attrs := make([]slog.Attr, 0, len(spans)+1)
 	attrs = append(attrs, slog.Duration("total", t.Total()))
-	for _, s := range t.spans {
-		sub := make([]slog.Attr, 0, len(s.keys)+1)
+	for _, s := range spans {
+		sub := make([]slog.Attr, 0, len(s.keys)+2)
 		sub = append(sub, slog.Duration("duration", s.Duration))
+		if s.Workers > 0 {
+			sub = append(sub, slog.Int("workers", s.Workers))
+		}
 		for _, k := range s.keys {
 			sub = append(sub, slog.Int64(k, s.counts[k]))
 		}

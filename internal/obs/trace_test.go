@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -84,5 +86,65 @@ func TestTraceLogValue(t *testing.T) {
 	}
 	if !sawTotal || !sawResolve {
 		t.Errorf("LogValue groups missing: total=%v resolve=%v", sawTotal, sawResolve)
+	}
+}
+
+func TestTraceConcurrentStart(t *testing.T) {
+	// The span list is locked: parallel loaders each Start their own
+	// span from their own goroutine (validated under -race by make
+	// verify). Each span still has a single writer.
+	tr := NewTrace("build")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := tr.Start(fmt.Sprintf("stage-%d", i))
+			s.Add("records", int64(i))
+			s.End()
+		}(i)
+	}
+	wg.Wait()
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("spans = %d, want 8", len(spans))
+	}
+	if tr.Total() <= 0 {
+		t.Errorf("Total() = %v, want > 0", tr.Total())
+	}
+}
+
+func TestSpanWorkersRendering(t *testing.T) {
+	tr := NewTrace("build")
+	tr.Start("resolve").SetWorkers(4).Add("routed", 100)
+	s, _ := tr.Span("resolve")
+	s.End()
+	tr.Start("stats").End()
+
+	out := tr.String()
+	if !strings.Contains(out, "resolve") || !strings.Contains(out, "[x4]") {
+		t.Errorf("String() missing workers annotation:\n%s", out)
+	}
+	if strings.Contains(out, "stats") && strings.Contains(strings.Split(out, "stats")[1], "[x") {
+		t.Errorf("serial span rendered a workers annotation:\n%s", out)
+	}
+	// Workers is an annotation, not a count: the count keys must be
+	// unchanged so serial and parallel traces stay comparable.
+	if got := s.Counts(); len(got) != 1 || got[0] != "routed" {
+		t.Errorf("Counts() = %v, want [routed]", got)
+	}
+	var sawWorkers bool
+	for _, a := range tr.LogValue().Group() {
+		if a.Key != "resolve" {
+			continue
+		}
+		for _, sub := range a.Value.Group() {
+			if sub.Key == "workers" && sub.Value.Int64() == 4 {
+				sawWorkers = true
+			}
+		}
+	}
+	if !sawWorkers {
+		t.Error("LogValue missing workers=4 on the resolve span")
 	}
 }

@@ -1,0 +1,26 @@
+// Package radix implements a compressed binary radix (patricia) tree keyed
+// by IP prefixes.
+//
+// It is the substrate for Prefix2Org's IP delegation trees (§5.2 of the
+// paper): WHOIS address blocks are inserted with their registration data,
+// and for every BGP-routed prefix the pipeline asks for the chain of
+// covering blocks, ordered from least to most specific, to establish the
+// delegation chain. The RPKI repository reuses the same structure for its
+// certificate-cover and ROA indexes.
+//
+// A single Tree transparently holds both IPv4 and IPv6 prefixes; the two
+// families live under separate roots and never interact. The zero value is
+// not ready to use; call New.
+//
+// # Goroutine safety
+//
+// A Tree is not safe for concurrent mutation, and readers must not
+// overlap with writers. Once building is done, any number of goroutines
+// may call the read-only methods (Get, CoveringChain, LongestMatch,
+// Walk, WalkCovered, Entries, Len) concurrently: they touch no shared
+// mutable state. This build-then-freeze contract is what lets the
+// pipeline's parallel resolve stage fan routed prefixes out over the
+// delegation tree without locks — the tree is completed in the
+// single-threaded flatten-whois stage and is read-only for the rest of
+// the run (see ARCHITECTURE.md).
+package radix

@@ -1,15 +1,3 @@
-// Package radix implements a compressed binary radix (patricia) tree keyed
-// by IP prefixes.
-//
-// It is the substrate for Prefix2Org's IP delegation trees (§5.2 of the
-// paper): WHOIS address blocks are inserted with their registration data,
-// and for every BGP-routed prefix the pipeline asks for the chain of
-// covering blocks, ordered from least to most specific, to establish the
-// delegation chain.
-//
-// A single Tree transparently holds both IPv4 and IPv6 prefixes; the two
-// families live under separate roots and never interact. The zero value is
-// not ready to use; call New.
 package radix
 
 import (

@@ -8,7 +8,9 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 
 	"github.com/prefix2org/prefix2org/internal/alloc"
 	"github.com/prefix2org/prefix2org/internal/obs"
@@ -42,40 +44,92 @@ type LoadOptions struct {
 	// JPNICClient, when non-nil, is used to query allocation types for
 	// JPNIC blocks that are missing from the types cache file.
 	JPNICClient *Client
+
+	// Workers bounds how many registry bulk files parse concurrently.
+	// 0 and negative values normalize to runtime.GOMAXPROCS(0); 1
+	// parses sequentially. The de-duplicating merge always runs
+	// single-threaded in fixed registry order, so the merged database
+	// is identical for every worker count.
+	Workers int
+}
+
+func (o LoadOptions) workerCount() int {
+	if o.Workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 // LoadDir reads every registry bulk file present under dir/whois and
 // returns the merged database. Missing files are skipped (a data
 // directory need not contain all registries); malformed files are errors.
+// The per-registry files parse concurrently (see LoadOptions.Workers);
+// errors are reported for the first failing registry in file order.
 // JPNIC records are enriched with allocation types from the cache file
 // and, if provided, the live client.
 func LoadDir(ctx context.Context, dir string, opts LoadOptions) (*Database, error) {
 	wdir := filepath.Join(dir, "whois")
 	logger := obs.Logger("whois")
 	reg := obs.Default()
+
+	// Fan out: each registry file parses into its own slot; sem bounds
+	// the parallelism. Missing files leave a nil slot.
+	parsed := make([]*Database, len(registryFiles))
+	errs := make([]error, len(registryFiles))
+	sem := make(chan struct{}, opts.workerCount())
+	var wg sync.WaitGroup
+	for i, rf := range registryFiles {
+		wg.Add(1)
+		go func(i int, registry alloc.Registry, file string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			path := filepath.Join(wdir, file)
+			f, err := os.Open(path)
+			if os.IsNotExist(err) {
+				return
+			}
+			if err != nil {
+				errs[i] = fmt.Errorf("whois: open %s: %w", path, err)
+				return
+			}
+			db, perr := parseRegistryFile(f, registry)
+			cerr := f.Close()
+			if perr != nil {
+				errs[i] = fmt.Errorf("whois: parse %s: %w", path, perr)
+				return
+			}
+			if cerr != nil {
+				errs[i] = fmt.Errorf("whois: close %s: %w", path, cerr)
+				return
+			}
+			parsed[i] = db
+		}(i, rf.Registry, rf.File)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Merge single-threaded, in fixed registry order: the last-updated
+	// de-duplication inside Merge is order-sensitive bookkeeping that
+	// must stay deterministic.
 	merged := NewDatabase()
 	registries := 0
-	for _, rf := range registryFiles {
-		path := filepath.Join(wdir, rf.File)
-		f, err := os.Open(path)
-		if os.IsNotExist(err) {
+	for i, rf := range registryFiles {
+		db := parsed[i]
+		if db == nil {
 			continue
-		}
-		if err != nil {
-			return nil, fmt.Errorf("whois: open %s: %w", path, err)
-		}
-		db, perr := parseRegistryFile(f, rf.Registry)
-		cerr := f.Close()
-		if perr != nil {
-			return nil, fmt.Errorf("whois: parse %s: %w", path, perr)
-		}
-		if cerr != nil {
-			return nil, fmt.Errorf("whois: close %s: %w", path, cerr)
 		}
 		registries++
 		reg.Counter(obs.Label("whois_records_parsed_total", "registry", string(rf.Registry))).Add(int64(len(db.Records)))
 		logger.Debug("registry file parsed",
-			"registry", string(rf.Registry), "path", path,
+			"registry", string(rf.Registry), "path", filepath.Join(wdir, rf.File),
 			"records", len(db.Records), "orgs", len(db.Orgs))
 		merged.Merge(db)
 	}

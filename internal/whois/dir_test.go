@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -130,5 +131,68 @@ func TestLoadDirWithLiveJPNICClient(t *testing.T) {
 	}
 	if db.Records[0].Status != "ASSIGNED PORTABLE" {
 		t.Errorf("live enrichment status = %q", db.Records[0].Status)
+	}
+}
+
+// TestLoadDirParallelMatchesSerial pins the LoadOptions.Workers contract:
+// per-registry files may parse concurrently, but the single-threaded
+// in-order merge makes the resulting database identical to a serial load.
+func TestLoadDirParallelMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(reg alloc.Registry, prefix, status, org string) *Database {
+		db := NewDatabase()
+		db.Records = append(db.Records, Record{
+			Prefixes: []netip.Prefix{netx.MustParse(prefix)},
+			Registry: reg, Status: status, OrgName: org,
+			Updated: time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC),
+		})
+		return db
+	}
+	dbs := map[alloc.Registry]*Database{
+		alloc.ARIN:  mk(alloc.ARIN, "206.238.0.0/16", "Allocation", "PSINet, Inc."),
+		alloc.RIPE:  mk(alloc.RIPE, "193.0.0.0/21", "ALLOCATED PA", "Example GmbH"),
+		alloc.APNIC: mk(alloc.APNIC, "203.0.0.0/17", "ALLOCATED PORTABLE", "Acme Pty"),
+		alloc.NICBR: mk(alloc.NICBR, "200.160.0.0/20", "ALLOCATED", "Ponto BR"),
+	}
+	if err := WriteDir(dir, dbs, nil); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := LoadDir(context.Background(), dir, LoadOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, -1, 4} {
+		par, err := LoadDir(context.Background(), dir, LoadOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial.Records, par.Records) {
+			t.Errorf("Workers=%d: records differ from serial load", workers)
+		}
+		if !reflect.DeepEqual(serial.Orgs, par.Orgs) {
+			t.Errorf("Workers=%d: orgs differ from serial load", workers)
+		}
+	}
+}
+
+// TestLoadDirCancelled verifies the parse fan-out honors context
+// cancellation.
+func TestLoadDirCancelled(t *testing.T) {
+	dir := t.TempDir()
+	dbs := map[alloc.Registry]*Database{}
+	db := NewDatabase()
+	db.Records = append(db.Records, Record{
+		Prefixes: []netip.Prefix{netx.MustParse("206.238.0.0/16")},
+		Registry: alloc.ARIN, Status: "Allocation", OrgName: "PSINet, Inc.",
+		Updated: time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC),
+	})
+	dbs[alloc.ARIN] = db
+	if err := WriteDir(dir, dbs, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := LoadDir(ctx, dir, LoadOptions{Workers: 4}); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,146 @@
+package prefix2org
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+// buildWorld writes one synthetic data directory shared by the
+// parallelism tests.
+func buildWorld(t *testing.T, cfg synth.Config) string {
+	t.Helper()
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestParallelBuildDeterminism is the contract behind Options.Workers:
+// the same dataset built serially and with a worker pool must agree on
+// every Record, every Cluster, the Stats, and every Trace count — only
+// wall times and the per-stage Workers annotation may differ.
+func TestParallelBuildDeterminism(t *testing.T) {
+	dir := buildWorld(t, synth.DefaultConfig())
+	serial, err := BuildFromDir(context.Background(), dir, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := BuildFromDir(context.Background(), dir, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial.Records) == 0 {
+		t.Fatal("serial build produced no records")
+	}
+	if !reflect.DeepEqual(serial.Records, parallel.Records) {
+		if len(serial.Records) != len(parallel.Records) {
+			t.Fatalf("record counts differ: serial=%d parallel=%d", len(serial.Records), len(parallel.Records))
+		}
+		for i := range serial.Records {
+			if !reflect.DeepEqual(serial.Records[i], parallel.Records[i]) {
+				t.Fatalf("record %d differs:\nserial:   %+v\nparallel: %+v",
+					i, serial.Records[i], parallel.Records[i])
+			}
+		}
+		t.Fatal("records differ")
+	}
+	if len(serial.Clusters) != len(parallel.Clusters) {
+		t.Fatalf("cluster counts differ: serial=%d parallel=%d", len(serial.Clusters), len(parallel.Clusters))
+	}
+	for i := range serial.Clusters {
+		if !reflect.DeepEqual(*serial.Clusters[i], *parallel.Clusters[i]) {
+			t.Errorf("cluster %d differs:\nserial:   %+v\nparallel: %+v",
+				i, *serial.Clusters[i], *parallel.Clusters[i])
+		}
+	}
+	if !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+		t.Errorf("stats differ:\nserial:   %+v\nparallel: %+v", serial.Stats, parallel.Stats)
+	}
+
+	// Traces: same stages in the same order, same count keys, same count
+	// values — in/out/drop accounting must not depend on the pool shape.
+	ss, ps := serial.Trace.Spans(), parallel.Trace.Spans()
+	if len(ss) != len(ps) {
+		t.Fatalf("trace span counts differ: serial=%d parallel=%d", len(ss), len(ps))
+	}
+	for i := range ss {
+		if ss[i].Name != ps[i].Name {
+			t.Fatalf("span %d name differs: serial=%q parallel=%q", i, ss[i].Name, ps[i].Name)
+		}
+		sk, pk := ss[i].Counts(), ps[i].Counts()
+		if !reflect.DeepEqual(sk, pk) {
+			t.Errorf("span %q count keys differ: serial=%v parallel=%v", ss[i].Name, sk, pk)
+			continue
+		}
+		for _, k := range sk {
+			if sv, pv := ss[i].Count(k), ps[i].Count(k); sv != pv {
+				t.Errorf("span %q count %q differs: serial=%d parallel=%d", ss[i].Name, k, sv, pv)
+			}
+		}
+	}
+	rs, _ := serial.Trace.Span("resolve")
+	rp, _ := parallel.Trace.Span("resolve")
+	if rs.Workers != 1 {
+		t.Errorf("serial resolve span workers = %d, want 1", rs.Workers)
+	}
+	if rp.Workers != 8 {
+		t.Errorf("parallel resolve span workers = %d, want 8", rp.Workers)
+	}
+}
+
+// TestWorkersNormalization pins the Options.Workers zero-value contract:
+// 0 and negative values select GOMAXPROCS instead of configuring an
+// empty pool, and the build completes with the same output either way.
+func TestWorkersNormalization(t *testing.T) {
+	for _, tc := range []struct {
+		workers, want int
+	}{
+		{workers: 0, want: runtime.GOMAXPROCS(0)},
+		{workers: -3, want: runtime.GOMAXPROCS(0)},
+		{workers: 1, want: 1},
+		{workers: 7, want: 7},
+	} {
+		if got := (Options{Workers: tc.workers}).workerCount(); got != tc.want {
+			t.Errorf("Options{Workers: %d}.workerCount() = %d, want %d", tc.workers, got, tc.want)
+		}
+	}
+
+	dir := buildWorld(t, synth.SmallConfig())
+	want, err := BuildFromDir(context.Background(), dir, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, -3} {
+		ds, err := BuildFromDir(context.Background(), dir, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want.Records, ds.Records) {
+			t.Errorf("Workers=%d records differ from serial build", workers)
+		}
+	}
+}
+
+// TestParallelBuildCancellation drives the pooled resolve path and the
+// concurrent loaders with an already-cancelled context: both must abort
+// with the bare context error regardless of worker count.
+func TestParallelBuildCancellation(t *testing.T) {
+	dir := buildWorld(t, synth.SmallConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 8} {
+		if _, err := BuildFromDir(ctx, dir, Options{Workers: workers}); err != context.Canceled {
+			t.Errorf("Workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}

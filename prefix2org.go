@@ -35,12 +35,16 @@ package prefix2org
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/prefix2org/prefix2org/internal/alloc"
 	"github.com/prefix2org/prefix2org/internal/as2org"
@@ -73,6 +77,19 @@ type Options struct {
 	// to resolve allocation types for JPNIC blocks missing from the
 	// types cache file.
 	JPNICWhoisAddr string
+
+	// Workers bounds the parallelism of the build: the per-prefix
+	// ownership-resolution worker pool, the concurrent corpus loads in
+	// BuildFromDir, and the per-registry WHOIS bulk-file parses.
+	//
+	// Zero-value semantics: 0 — and, defensively, any negative value —
+	// normalizes to runtime.GOMAXPROCS(0), so the zero Options remains a
+	// working default and can never configure an empty (deadlocking)
+	// pool. Workers=1 runs every stage sequentially, preserving the
+	// serial pipeline's behaviour exactly. Any worker count produces
+	// identical Records, Clusters, Stats and Trace counts — only wall
+	// times (and the per-stage Workers annotation) differ.
+	Workers int
 
 	// Ablation switches, used by the §6 component analysis: disable the
 	// RPKI-certificate signal (no R clusters), the origin-ASN signal (no
@@ -222,6 +239,24 @@ func Build(ctx context.Context, db *whois.Database, table *bgp.Table, repo *rpki
 // the profile.
 const cancelCheckEvery = 1024
 
+// resolveChunk is the number of prefixes a resolve worker claims at a
+// time. Chunked claiming keeps the pool balanced when covering-chain
+// depth varies across the address space, while staying coarse enough
+// that the shared claim counter is off the profile; workers check the
+// context once per chunk, so cancellation latency stays below the
+// serial path's cancelCheckEvery.
+const resolveChunk = 256
+
+// workerCount normalizes Options.Workers: zero and negative values
+// select runtime.GOMAXPROCS(0) (see the field's godoc), so callers can
+// never configure an empty pool.
+func (o Options) workerCount() int {
+	if o.Workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
 func logTrace(ds *Dataset) {
 	obs.Logger("pipeline").Info("build complete",
 		"records", len(ds.Records), "clusters", len(ds.Clusters), "trace", ds.Trace)
@@ -252,26 +287,29 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Pass 1: ownership resolution per routed prefix.
-	span = tr.Start("resolve")
+	// Pass 1: ownership resolution per routed prefix. The pass fans the
+	// routed prefixes out over Options.Workers goroutines; every shared
+	// structure it touches — the delegation radix tree, the RPKI
+	// repository indexes, the BGP table, and the frozen ASN clusters —
+	// is read-only from here on (see ARCHITECTURE.md for the audited
+	// contracts). Each worker writes only its own slots of the
+	// pre-sized result slice, so output order (and therefore every
+	// downstream stage) is identical to the serial path.
+	workers := opts.workerCount()
+	span = tr.Start("resolve").SetWorkers(workers)
+	obs.Default().Gauge("pipeline_workers").Set(float64(workers))
 	routed := table.Prefixes()
 	asClusters := asData.BuildClusters()
 	type resolved struct {
 		rec    Record
 		haveDO bool
 	}
-	results := make([]resolved, 0, len(routed))
-	unmapped := 0
-	for i, p := range routed {
-		if i%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
+	slots := make([]resolved, len(routed))
+	resolveOne := func(i int) {
+		p := routed[i]
 		rec, ok := resolveOwnership(tree, repo, p)
 		if !ok {
-			unmapped++
-			continue
+			return
 		}
 		if origin, has := table.Origin(p); has {
 			rec.OriginASN = origin
@@ -280,7 +318,55 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 		if c, ok := repo.ChildMostRC(p); ok {
 			rec.RPKICert = c.SKI
 		}
-		results = append(results, resolved{rec: rec, haveDO: true})
+		slots[i] = resolved{rec: rec, haveDO: true}
+	}
+	if workers == 1 {
+		for i := range routed {
+			if i%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			resolveOne(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		spawn := workers
+		if chunks := (len(routed) + resolveChunk - 1) / resolveChunk; spawn > chunks {
+			spawn = chunks // never spawn workers with nothing to claim
+		}
+		for w := 0; w < spawn; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					start := int(next.Add(resolveChunk)) - resolveChunk
+					if start >= len(routed) || ctx.Err() != nil {
+						return
+					}
+					end := min(start+resolveChunk, len(routed))
+					for i := start; i < end; i++ {
+						resolveOne(i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	// Deterministic merge: compact the slots in routed order. Counts are
+	// added by this single goroutine after the pool has drained.
+	results := make([]resolved, 0, len(routed))
+	unmapped := 0
+	for i := range slots {
+		if !slots[i].haveDO {
+			unmapped++
+			continue
+		}
+		results = append(results, slots[i])
 	}
 	span.Add("routed", int64(len(routed)))
 	span.Add("specificity-filtered", int64(table.FilteredCount()))
@@ -554,75 +640,166 @@ func comparePrefix(a, b netip.Prefix) int {
 // BuildFromDir loads a data directory and runs the pipeline. The
 // returned Dataset carries a BuildTrace covering both the load stages
 // and the build passes.
+//
+// The four corpora — WHOIS directory, BGP RIBs, the RPKI repository,
+// and AS2Org (with the delegated-statistics verification and the ARIN
+// legacy list) — load concurrently when Options.Workers permits, each
+// under its own trace span; Workers=1 loads them sequentially in the
+// historical order. The first loader error wins (reported in fixed
+// whois, bgp, rpki, as2org order when several fail), and a context
+// cancellation surfaces as ctx.Err() unwrapped.
 func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, error) {
 	tr := obs.NewTrace("build")
-	var lopts whois.LoadOptions
-	if opts.JPNICWhoisAddr != "" {
-		lopts.JPNICClient = &whois.Client{Addr: opts.JPNICWhoisAddr}
-	}
-	span := tr.Start("load-whois")
-	db, err := whois.LoadDir(ctx, dir, lopts)
-	if err != nil {
-		return nil, fmt.Errorf("prefix2org: load whois: %w", err)
-	}
-	span.Add("records", int64(len(db.Records)))
-	span.Add("orgs", int64(len(db.Orgs)))
-	span.End()
-
-	span = tr.Start("load-bgp")
-	table, err := bgp.LoadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("prefix2org: load bgp: %w", err)
-	}
-	span.Add("mrt-entries", int64(table.EntryCount()))
-	span.Add("prefixes", int64(table.Len()))
-	span.Add("specificity-filtered", int64(table.FilteredCount()))
-	span.End()
-
-	span = tr.Start("load-rpki")
-	repo, err := rpki.LoadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("prefix2org: load rpki: %w", err)
-	}
-	span.Add("certs", int64(len(repo.Certs)))
-	span.Add("roas", int64(len(repo.ROAs)))
-	span.End()
-
-	span = tr.Start("load-as2org")
-	asData, err := as2org.LoadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("prefix2org: load as2org: %w", err)
-	}
-	span.Add("ases", int64(len(asData.ASes)))
-	// Footnote-2 verification: when delegated-extended statistics files
-	// are present, confirm that no RIR delegation is coarser than /8
-	// (IPv4) or /16 (IPv6) — the justification for the BGP specificity
-	// filter.
-	if delFiles, err := delegated.LoadDir(dir); err != nil {
-		return nil, fmt.Errorf("prefix2org: load delegated files: %w", err)
-	} else {
-		for rir, f := range delFiles {
-			v4, v6, err := f.MinPrefixLens()
+	var (
+		db         *whois.Database
+		table      *bgp.Table
+		repo       *rpki.Repository
+		asData     *as2org.Dataset
+		arinLegacy []netip.Prefix
+	)
+	loaders := []struct {
+		name string
+		run  func(ctx context.Context, span *obs.Span) error
+	}{
+		{"load-whois", func(ctx context.Context, span *obs.Span) error {
+			lopts := whois.LoadOptions{Workers: opts.Workers}
+			if opts.JPNICWhoisAddr != "" {
+				lopts.JPNICClient = &whois.Client{Addr: opts.JPNICWhoisAddr}
+			}
+			var err error
+			db, err = whois.LoadDir(ctx, dir, lopts)
 			if err != nil {
-				return nil, fmt.Errorf("prefix2org: delegated file for %s: %w", rir, err)
+				return fmt.Errorf("prefix2org: load whois: %w", err)
 			}
-			if v4 < 8 || v6 < 16 {
-				return nil, fmt.Errorf("prefix2org: %s delegated a block coarser than /8 (v4 min /%d) or /16 (v6 min /%d); the BGP specificity filter would drop real delegations", rir, v4, v6)
+			span.Add("records", int64(len(db.Records)))
+			span.Add("orgs", int64(len(db.Orgs)))
+			return nil
+		}},
+		{"load-bgp", func(ctx context.Context, span *obs.Span) error {
+			var err error
+			table, err = bgp.LoadDir(dir)
+			if err != nil {
+				return fmt.Errorf("prefix2org: load bgp: %w", err)
+			}
+			span.Add("mrt-entries", int64(table.EntryCount()))
+			span.Add("prefixes", int64(table.Len()))
+			span.Add("specificity-filtered", int64(table.FilteredCount()))
+			return nil
+		}},
+		{"load-rpki", func(ctx context.Context, span *obs.Span) error {
+			var err error
+			repo, err = rpki.LoadDir(dir)
+			if err != nil {
+				return fmt.Errorf("prefix2org: load rpki: %w", err)
+			}
+			span.Add("certs", int64(len(repo.Certs)))
+			span.Add("roas", int64(len(repo.ROAs)))
+			return nil
+		}},
+		{"load-as2org", func(ctx context.Context, span *obs.Span) error {
+			var err error
+			asData, err = as2org.LoadDir(dir)
+			if err != nil {
+				return fmt.Errorf("prefix2org: load as2org: %w", err)
+			}
+			span.Add("ases", int64(len(asData.ASes)))
+			// Footnote-2 verification: when delegated-extended statistics
+			// files are present, confirm that no RIR delegation is coarser
+			// than /8 (IPv4) or /16 (IPv6) — the justification for the BGP
+			// specificity filter.
+			if delFiles, err := delegated.LoadDir(dir); err != nil {
+				return fmt.Errorf("prefix2org: load delegated files: %w", err)
+			} else {
+				for rir, f := range delFiles {
+					v4, v6, err := f.MinPrefixLens()
+					if err != nil {
+						return fmt.Errorf("prefix2org: delegated file for %s: %w", rir, err)
+					}
+					if v4 < 8 || v6 < 16 {
+						return fmt.Errorf("prefix2org: %s delegated a block coarser than /8 (v4 min /%d) or /16 (v6 min /%d); the BGP specificity filter would drop real delegations", rir, v4, v6)
+					}
+				}
+			}
+			legacyPath := filepath.Join(dir, "whois", whois.ARINLegacyFile)
+			if f, err := os.Open(legacyPath); err == nil {
+				arinLegacy, err = whois.ParsePrefixList(f)
+				f.Close()
+				if err != nil {
+					return fmt.Errorf("prefix2org: parse %s: %w", legacyPath, err)
+				}
+			} else if !os.IsNotExist(err) {
+				return fmt.Errorf("prefix2org: open %s: %w", legacyPath, err)
+			}
+			return nil
+		}},
+	}
+	if opts.workerCount() == 1 {
+		for _, l := range loaders {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			span := tr.Start(l.name)
+			err := l.run(ctx, span)
+			span.End()
+			if err != nil {
+				// A load aborted by cancellation surfaces as the bare
+				// context error, matching the historical contract.
+				if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+					return nil, ctxErr
+				}
+				return nil, err
 			}
 		}
-	}
-	var arinLegacy []netip.Prefix
-	legacyPath := filepath.Join(dir, "whois", whois.ARINLegacyFile)
-	if f, err := os.Open(legacyPath); err == nil {
-		arinLegacy, err = whois.ParsePrefixList(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("prefix2org: parse %s: %w", legacyPath, err)
+	} else {
+		// errgroup-style fan-out on the standard library: one goroutine
+		// per corpus, first-error capture in fixed loader order, and a
+		// derived context so a failing loader cancels ctx-aware siblings.
+		lctx, stop := context.WithCancel(ctx)
+		defer stop()
+		errs := make([]error, len(loaders))
+		var wg sync.WaitGroup
+		for i, l := range loaders {
+			// Spans are pre-created here, in fixed order, so the trace
+			// renders deterministically; each loader goroutine is the
+			// single writer of its own span.
+			span := tr.Start(l.name)
+			wg.Add(1)
+			go func(i int, run func(context.Context, *obs.Span) error, span *obs.Span) {
+				defer wg.Done()
+				defer span.End()
+				if err := lctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				if err := run(lctx, span); err != nil {
+					errs[i] = err
+					stop()
+				}
+			}(i, l.run, span)
 		}
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("prefix2org: open %s: %w", legacyPath, err)
+		wg.Wait()
+		// Prefer a real loader failure over the cancellations it induced
+		// in its siblings; when every failure is a cancellation, surface
+		// the parent context's error unwrapped.
+		var firstCancel error
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			if firstCancel == nil {
+				firstCancel = err
+			}
+		}
+		if firstCancel != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, firstCancel
+		}
 	}
-	span.End()
 	ds, err := build(ctx, tr, db, table, repo, asData, arinLegacy, opts)
 	if err != nil {
 		return nil, err

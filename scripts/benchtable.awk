@@ -1,0 +1,46 @@
+# Renders `go test -bench BenchmarkPipelineBuild` output as a
+# per-stage x worker-count wall-time table. The benchmark reports each
+# pipeline stage's duration as a "<stage>_s" metric on sub-benchmarks
+# named workers=N; this script pivots those metrics into columns, adds
+# a total row from ns/op, and passes every other line through.
+#
+# Usage: go test -bench='^BenchmarkPipelineBuild$' -run='^$' . | awk -f scripts/benchtable.awk
+
+/^BenchmarkPipelineBuild\/workers=/ {
+	w = $1
+	sub(/^.*workers=/, "", w)
+	sub(/-[0-9]+$/, "", w)
+	if (!(w in seenw)) { seenw[w] = 1; wcols[++nw] = w }
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		if (unit == "ns/op") {
+			total[w] = sprintf("%.3fs", $i / 1e9)
+		} else if (unit ~ /_s$/) {
+			stage = unit
+			sub(/_s$/, "", stage)
+			# Stage rows keep first-encounter order, which is the
+			# pipeline's own stage order.
+			if (!(stage in seens)) { seens[stage] = 1; srows[++ns] = stage }
+			cell[stage, w] = sprintf("%.3fs", $i)
+		}
+	}
+	next
+}
+{ print }
+END {
+	if (nw == 0) {
+		print "benchtable: no BenchmarkPipelineBuild/workers=N lines found" > "/dev/stderr"
+		exit 1
+	}
+	printf "\n%-24s", "stage"
+	for (j = 1; j <= nw; j++) printf " %12s", "workers=" wcols[j]
+	printf "\n"
+	for (i = 1; i <= ns; i++) {
+		printf "%-24s", srows[i]
+		for (j = 1; j <= nw; j++) printf " %12s", cell[srows[i], wcols[j]]
+		printf "\n"
+	}
+	printf "%-24s", "total (ns/op)"
+	for (j = 1; j <= nw; j++) printf " %12s", total[wcols[j]]
+	printf "\n"
+}
