@@ -26,10 +26,11 @@ vet-concurrency:
 race:
 	$(GO) test -race ./...
 
-# bench runs the pipeline benchmark at 1, 4 and GOMAXPROCS workers and
+# bench runs the pipeline benchmark at 1, 4 and GOMAXPROCS workers plus
+# the serving-layer benchmarks (LPM lookups, snapshot swap under load) and
 # renders the per-stage wall times as a stage x worker-count table.
 bench:
-	$(GO) test -bench='^BenchmarkPipelineBuild$$' -run='^$$' . | awk -f scripts/benchtable.awk
+	$(GO) test -bench='^(BenchmarkPipelineBuild|BenchmarkLookupAddr|BenchmarkStoreSwapUnderLoad)$$' -run='^$$' . | awk -f scripts/benchtable.awk
 
 # bench-all runs the full benchmark suite, raw output.
 bench-all:

@@ -18,11 +18,13 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	prefix2org "github.com/prefix2org/prefix2org"
 	"github.com/prefix2org/prefix2org/internal/experiments"
 	"github.com/prefix2org/prefix2org/internal/radix"
+	"github.com/prefix2org/prefix2org/internal/store"
 	"github.com/prefix2org/prefix2org/internal/synth"
 )
 
@@ -274,6 +276,67 @@ func BenchmarkLookup(b *testing.B) {
 			b.Fatal("lookup miss")
 		}
 	}
+}
+
+// BenchmarkLookupAddr measures longest-prefix-match address queries —
+// the whoisd hot path (one LPM per IP query).
+func BenchmarkLookupAddr(b *testing.B) {
+	e := env(b)
+	addrs := make([]netip.Addr, 0, 1024)
+	for i := range e.DS.Records {
+		addrs = append(addrs, e.DS.Records[i].Prefix.Addr())
+		if len(addrs) == cap(addrs) {
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.DS.LookupAddr(addrs[i%len(addrs)]); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+// BenchmarkStoreSwapUnderLoad measures snapshot publication while
+// GOMAXPROCS readers hammer Current()+LookupAddr — the serving-layer
+// hot-swap cost. reads_per_swap reports how much reader throughput fits
+// between consecutive swaps; readers never block on the swap path.
+func BenchmarkStoreSwapUnderLoad(b *testing.B) {
+	e := env(b)
+	st := store.New(&store.Snapshot{Dataset: e.DS})
+	addr := e.DS.Records[0].Prefix.Addr()
+	stop := make(chan struct{})
+	var reads int64
+	var wg sync.WaitGroup
+	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := int64(0)
+			for {
+				select {
+				case <-stop:
+					atomic.AddInt64(&reads, n)
+					return
+				default:
+				}
+				ds := st.Current().Dataset
+				if _, ok := ds.LookupAddr(addr); !ok {
+					panic("lookup miss")
+				}
+				n++
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh wrapper per swap: published snapshots are immutable.
+		st.Swap(&store.Snapshot{Dataset: e.DS})
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(reads)/float64(b.N), "reads_per_swap")
 }
 
 // BenchmarkRadixCoveringChain measures the delegation-tree primitive.

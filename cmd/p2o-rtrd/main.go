@@ -5,74 +5,142 @@
 //
 // Usage:
 //
-//	p2o-rtrd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-log-level LEVEL] [-log-json]
+//	p2o-rtrd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-reload-interval D] [-log-level LEVEL] [-log-json]
+//
+// The daemon serves immutable repository snapshots from a hot-swappable
+// store: SIGHUP reloads the repository and bumps the RTR serial (routers
+// polling with Serial Queries resynchronize), -reload-interval does the
+// same on a timer, and the admin listener's /reload endpoint reloads
+// synchronously. A failed reload leaves the current VRP set serving.
 //
 // With -metrics-listen, an admin HTTP listener exposes /metrics (text or
-// ?format=json), /healthz, and /debug/pprof/.
+// ?format=json), /healthz, /reload, and /debug/pprof/.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/prefix2org/prefix2org/internal/obs"
-	"github.com/prefix2org/prefix2org/internal/rpki"
 	"github.com/prefix2org/prefix2org/internal/rtr"
+	"github.com/prefix2org/prefix2org/internal/store"
 )
 
+type config struct {
+	dataDir        string
+	listen         string
+	metricsListen  string
+	reloadInterval time.Duration
+	logLevel       string
+	logJSON        bool
+}
+
 func main() {
-	var (
-		dataDir       = flag.String("data", "", "data directory containing rpki/snapshot.jsonl (required)")
-		listen        = flag.String("listen", "127.0.0.1:8282", "address to serve RTR on")
-		metricsListen = flag.String("metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, pprof); empty disables it")
-		logLevel      = flag.String("log-level", "info", "log level: debug|info|warn|error")
-		logJSON       = flag.Bool("log-json", false, "emit logs as JSON instead of text")
-	)
+	var cfg config
+	flag.StringVar(&cfg.dataDir, "data", "", "data directory containing rpki/snapshot.jsonl (required)")
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8282", "address to serve RTR on")
+	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, /reload, pprof); empty disables it")
+	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0, "reload the RPKI repository periodically (e.g. 10m); 0 reloads only on SIGHUP or /reload")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug|info|warn|error")
+	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
-	if *dataDir == "" {
+	if cfg.dataDir == "" {
 		fmt.Fprintln(os.Stderr, "p2o-rtrd: -data is required")
 		os.Exit(2)
 	}
-	level, err := obs.ParseLevel(*logLevel)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "p2o-rtrd:", err)
-		os.Exit(2)
-	}
-	obs.Configure(level, *logJSON, os.Stderr)
-	if err := run(*dataDir, *listen, *metricsListen); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "p2o-rtrd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataDir, listen, metricsListen string) error {
+// app is one running daemon instance; tests drive start/Close directly.
+type app struct {
+	srv       *rtr.Server
+	admin     *obs.Admin
+	store     *store.Store
+	reloader  *store.Reloader
+	detach    func()
+	stop      context.CancelFunc
+	logger    *slog.Logger
+	RTRAddr   string
+	AdminAddr string
+}
+
+func start(cfg config) (*app, error) {
+	level, err := obs.ParseLevel(cfg.logLevel)
+	if err != nil {
+		return nil, err
+	}
+	obs.Configure(level, cfg.logJSON, os.Stderr)
 	logger := obs.Logger("p2o-rtrd")
-	repo, err := rpki.LoadDir(dataDir)
+
+	build := store.RepoBuilder(cfg.dataDir)
+	snap, err := build(context.Background())
 	if err != nil {
-		return err
+		return nil, err
 	}
-	srv := rtr.NewServer(repo)
-	addr, err := srv.Start(listen)
+	st := store.New(snap)
+	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval})
+	ctx, cancel := context.WithCancel(context.Background())
+	go rel.Run(ctx)
+
+	srv := rtr.NewServer(snap.Repo)
+	detach := srv.Track(st)
+	addr, err := srv.Start(cfg.listen)
 	if err != nil {
-		return err
+		detach()
+		cancel()
+		return nil, err
 	}
-	defer srv.Close()
-	if metricsListen != "" {
-		admin, err := obs.ServeAdmin(metricsListen, obs.Default())
+	a := &app{srv: srv, store: st, reloader: rel, detach: detach, stop: cancel, logger: logger, RTRAddr: addr}
+	if cfg.metricsListen != "" {
+		admin, err := obs.ServeAdmin(cfg.metricsListen, obs.Default(),
+			obs.Route{Pattern: "/reload", Handler: rel.Handler()})
 		if err != nil {
-			return err
+			a.Close()
+			return nil, err
 		}
-		defer admin.Close()
+		a.admin, a.AdminAddr = admin, admin.Addr()
 		logger.Info("admin listener up", "addr", admin.Addr())
 	}
 	logger.Info("serving rtr",
-		"addr", addr, "vrps", len(rtr.VRPsFromRepository(repo)), "serial", srv.Serial())
+		"addr", addr, "snapshot", snap.Version,
+		"vrps", len(rtr.VRPsFromRepository(snap.Repo)), "serial", srv.Serial())
+	return a, nil
+}
+
+func (a *app) Close() {
+	a.stop()
+	a.detach()
+	if a.admin != nil {
+		_ = a.admin.Close()
+	}
+	_ = a.srv.Close()
+}
+
+func run(cfg config) error {
+	a, err := start(cfg)
+	if err != nil {
+		return err
+	}
+	defer a.Close()
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	s := <-sig
-	logger.Info("shutting down", "signal", s.String())
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP {
+			a.logger.Info("SIGHUP received, reloading snapshot")
+			a.reloader.Trigger()
+			continue
+		}
+		a.logger.Info("shutting down", "signal", s.String())
+		return nil
+	}
 	return nil
 }

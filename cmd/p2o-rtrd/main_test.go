@@ -1,0 +1,90 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/prefix2org/prefix2org/internal/rtr"
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+func dataDir(t *testing.T) (*synth.World, string) {
+	t.Helper()
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return w, dir
+}
+
+// TestStartServesRTRAndReloads boots the daemon as main would and checks
+// a router can sync, then reloads via the admin endpoint and checks the
+// serial bumps so routers resynchronize.
+func TestStartServesRTRAndReloads(t *testing.T) {
+	w, dir := dataDir(t)
+	a, err := start(config{
+		dataDir:       dir,
+		listen:        "127.0.0.1:0",
+		metricsListen: "127.0.0.1:0",
+		logLevel:      "warn",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.AdminAddr == "" {
+		t.Fatal("admin listener not started")
+	}
+
+	rc := &rtr.Client{Addr: a.RTRAddr, Timeout: 5 * time.Second}
+	vrps, serial1, err := rc.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrps) == 0 {
+		t.Fatal("synced zero VRPs from a world with RPKI adopters")
+	}
+
+	// New adopters change the ROA set; /reload must publish it and bump
+	// the serial.
+	w2, err := w.Evolve(synth.EvolveOptions{Seed: 5, NewAdopters: 2, MonthsLater: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c := http.Client{Timeout: 30 * time.Second}
+	resp, err := c.Get("http://" + a.AdminAddr + "/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /reload = %d", resp.StatusCode)
+	}
+	if ok, err := rc.CheckSerial(serial1); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Error("stale serial still current after /reload")
+	}
+	_, serial2, err := rc.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial2 == serial1 {
+		t.Errorf("serial did not bump across /reload (still %d)", serial1)
+	}
+}
+
+func TestStartRejectsBadLevel(t *testing.T) {
+	_, dir := dataDir(t)
+	if _, err := start(config{dataDir: dir, listen: "127.0.0.1:0", logLevel: "loud"}); err == nil {
+		t.Fatal("bad log level accepted")
+	}
+}

@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	p2o-whoisd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-log-level LEVEL] [-log-json]
+//	p2o-whoisd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-reload-interval D] [-log-level LEVEL] [-log-json]
 //	p2o-whoisd -snapshot FILE.jsonl [-listen ADDR]
 //
 // Then:  whois -h 127.0.0.1 -p 4343 63.80.52.0/24
 //
+// The daemon serves immutable dataset snapshots from a hot-swappable
+// store and can pick up new data without restarting: SIGHUP rebuilds
+// from the data source and swaps the new snapshot in (in-flight queries
+// keep their old snapshot), -reload-interval does the same on a timer,
+// and the admin listener's /reload endpoint reloads synchronously. A
+// failed rebuild leaves the current snapshot serving.
+//
 // With -metrics-listen, an admin HTTP listener exposes /metrics (text or
-// ?format=json), /healthz, and /debug/pprof/.
+// ?format=json), /healthz, /reload, and /debug/pprof/.
 package main
 
 import (
@@ -20,19 +27,22 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	prefix2org "github.com/prefix2org/prefix2org"
 	"github.com/prefix2org/prefix2org/internal/obs"
+	"github.com/prefix2org/prefix2org/internal/store"
 	"github.com/prefix2org/prefix2org/internal/whoisd"
 )
 
 type config struct {
-	dataDir       string
-	snapshot      string
-	listen        string
-	metricsListen string
-	logLevel      string
-	logJSON       bool
+	dataDir        string
+	snapshot       string
+	listen         string
+	metricsListen  string
+	reloadInterval time.Duration
+	logLevel       string
+	logJSON        bool
 }
 
 func main() {
@@ -40,7 +50,8 @@ func main() {
 	flag.StringVar(&cfg.dataDir, "data", "", "data directory to build the dataset from")
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "pre-built dataset snapshot (alternative to -data)")
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:4343", "address to serve WHOIS on")
-	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, pprof); empty disables it")
+	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, /reload, pprof); empty disables it")
+	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0, "rebuild and swap the dataset periodically (e.g. 1h); 0 reloads only on SIGHUP or /reload")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug|info|warn|error")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -58,6 +69,9 @@ func main() {
 type app struct {
 	srv       *whoisd.Server
 	admin     *obs.Admin
+	store     *store.Store
+	reloader  *store.Reloader
+	stop      context.CancelFunc
 	logger    *slog.Logger
 	WhoisAddr string
 	AdminAddr string
@@ -71,36 +85,46 @@ func start(cfg config) (*app, error) {
 	obs.Configure(level, cfg.logJSON, os.Stderr)
 	logger := obs.Logger("p2o-whoisd")
 
-	var ds *prefix2org.Dataset
+	var build store.BuildFunc
 	if cfg.snapshot != "" {
-		ds, err = prefix2org.LoadFile(cfg.snapshot)
+		build = store.FileBuilder(cfg.snapshot)
 	} else {
-		ds, err = prefix2org.BuildFromDir(context.Background(), cfg.dataDir, prefix2org.Options{})
+		build = store.DirBuilder(cfg.dataDir, prefix2org.Options{})
 	}
+	snap, err := build(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	srv := whoisd.New(ds)
+	st := store.New(snap)
+	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval})
+	ctx, cancel := context.WithCancel(context.Background())
+	go rel.Run(ctx)
+
+	srv := whoisd.New(st)
 	addr, err := srv.Start(cfg.listen)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
-	a := &app{srv: srv, logger: logger, WhoisAddr: addr}
+	a := &app{srv: srv, store: st, reloader: rel, stop: cancel, logger: logger, WhoisAddr: addr}
 	if cfg.metricsListen != "" {
-		admin, err := obs.ServeAdmin(cfg.metricsListen, obs.Default())
+		admin, err := obs.ServeAdmin(cfg.metricsListen, obs.Default(),
+			obs.Route{Pattern: "/reload", Handler: rel.Handler()})
 		if err != nil {
-			srv.Close()
+			a.Close()
 			return nil, err
 		}
 		a.admin, a.AdminAddr = admin, admin.Addr()
 		logger.Info("admin listener up", "addr", admin.Addr())
 	}
+	ds := snap.Dataset
 	logger.Info("serving whois",
-		"addr", addr, "records", len(ds.Records), "clusters", len(ds.Clusters))
+		"addr", addr, "snapshot", snap.Version, "records", len(ds.Records), "clusters", len(ds.Clusters))
 	return a, nil
 }
 
 func (a *app) Close() {
+	a.stop()
 	if a.admin != nil {
 		_ = a.admin.Close()
 	}
@@ -114,8 +138,15 @@ func run(cfg config) error {
 	}
 	defer a.Close()
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	s := <-sig
-	a.logger.Info("shutting down", "signal", s.String())
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s == syscall.SIGHUP {
+			a.logger.Info("SIGHUP received, reloading snapshot")
+			a.reloader.Trigger()
+			continue
+		}
+		a.logger.Info("shutting down", "signal", s.String())
+		return nil
+	}
 	return nil
 }

@@ -102,3 +102,48 @@ func TestStartSnapshotMode(t *testing.T) {
 		t.Fatal("whois listener not started")
 	}
 }
+
+// TestReloadEndpointSwapsSnapshot exercises the admin /reload wiring:
+// rewrite the data directory with an evolved world, hit /reload, and
+// check the daemon serves the new snapshot.
+func TestReloadEndpointSwapsSnapshot(t *testing.T) {
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	a, err := start(config{
+		dataDir:       dir,
+		listen:        "127.0.0.1:0",
+		metricsListen: "127.0.0.1:0",
+		logLevel:      "warn",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	v1 := a.store.Current().Version
+
+	w2, err := w.Evolve(synth.EvolveOptions{Seed: 3, Transfers: 4, MonthsLater: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c := http.Client{Timeout: 30 * time.Second}
+	resp, err := c.Get("http://" + a.AdminAddr + "/reload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /reload = %d", resp.StatusCode)
+	}
+	if got := a.store.Current().Version; got != v1+1 {
+		t.Errorf("version after /reload = %d, want %d", got, v1+1)
+	}
+}

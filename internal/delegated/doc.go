@@ -7,7 +7,8 @@
 // block larger than /8 (IPv4) or /16 (IPv6), which justifies dropping
 // less-specific routes. This package provides the parser/writer pair,
 // the summary bookkeeping, and that verification; BuildFromDir runs the
-// check inside its load-as2org stage whenever the files are present.
+// check in its own verify-delegated stage whenever the files are
+// present.
 //
 // Format (pipe-separated, RFC-less but documented by the NRO):
 //

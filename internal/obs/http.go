@@ -62,17 +62,25 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// Admin is the opt-in observability listener: /metrics, /healthz, and
-// the net/http/pprof endpoints under /debug/pprof/.
+// Admin is the opt-in observability listener: /metrics, /healthz, the
+// net/http/pprof endpoints under /debug/pprof/, and any extra Routes
+// the daemon mounts (p2o-whoisd and p2o-rtrd mount /reload here).
 type Admin struct {
 	lis  net.Listener
 	srv  *http.Server
 	done chan struct{}
 }
 
+// Route is an extra admin endpoint mounted by ServeAdmin alongside the
+// built-in handlers.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeAdmin starts the admin listener on addr (":0" for an ephemeral
-// port) exposing reg. Close releases it.
-func ServeAdmin(addr string, reg *Registry) (*Admin, error) {
+// port) exposing reg plus any extra routes. Close releases it.
+func ServeAdmin(addr string, reg *Registry, extra ...Route) (*Admin, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
@@ -88,6 +96,9 @@ func ServeAdmin(addr string, reg *Registry) (*Admin, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	a := &Admin{
 		lis:  lis,
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second},

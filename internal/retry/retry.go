@@ -1,0 +1,52 @@
+// Package retry provides capped exponential backoff for retry loops
+// that must survive persistent failures without spinning hot: the
+// daemons' accept loops (a bad file descriptor or exhausted fd table
+// makes Accept fail instantly, forever) and the snapshot reloader's
+// rebuild-retry schedule.
+package retry
+
+import "time"
+
+// DefaultMin and DefaultMax are the zero-value Backoff bounds.
+const (
+	DefaultMin = 100 * time.Millisecond
+	DefaultMax = 30 * time.Second
+)
+
+// Backoff yields an exponentially growing, capped delay sequence:
+// Min, 2*Min, 4*Min, ... up to Max. The zero value uses DefaultMin and
+// DefaultMax. Backoff is not safe for concurrent use; each retry loop
+// owns its own instance.
+type Backoff struct {
+	// Min is the first delay after a failure (DefaultMin when zero).
+	Min time.Duration
+	// Max caps the delay growth (DefaultMax when zero).
+	Max time.Duration
+
+	cur time.Duration
+}
+
+// Next returns the delay to wait before the upcoming retry and advances
+// the sequence.
+func (b *Backoff) Next() time.Duration {
+	min, max := b.Min, b.Max
+	if min <= 0 {
+		min = DefaultMin
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	if b.cur < min {
+		b.cur = min
+	}
+	d := b.cur
+	if d > max {
+		d = max
+	}
+	b.cur = d * 2
+	return d
+}
+
+// Reset restarts the sequence at Min, the call sites' reaction to one
+// success.
+func (b *Backoff) Reset() { b.cur = 0 }

@@ -1,0 +1,44 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffSequenceAndCap(t *testing.T) {
+	b := Backoff{Min: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Errorf("Next()[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := Backoff{Min: 10 * time.Millisecond, Max: time.Second}
+	b.Next()
+	b.Next()
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Errorf("Next() after Reset = %v, want 10ms", got)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.Next(); got != DefaultMin {
+		t.Errorf("zero-value first delay = %v, want %v", got, DefaultMin)
+	}
+	for i := 0; i < 20; i++ {
+		if got := b.Next(); got > DefaultMax {
+			t.Fatalf("delay %v exceeds default cap %v", got, DefaultMax)
+		}
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"github.com/prefix2org/prefix2org/internal/obs"
+	"github.com/prefix2org/prefix2org/internal/retry"
 	"github.com/prefix2org/prefix2org/internal/rpki"
+	"github.com/prefix2org/prefix2org/internal/store"
 )
 
 // Server metrics, registered on the process-wide registry.
@@ -210,6 +212,19 @@ func (s *Server) Serial() uint32 {
 	return s.serial
 }
 
+// Track subscribes the server to a snapshot store: every swap that
+// carries an RPKI repository re-derives the VRP set and bumps the
+// serial, so routers polling with Serial Queries learn to resync — the
+// hot-reload path replacing manual Update calls. The returned cancel
+// detaches the server from the store.
+func (s *Server) Track(st *store.Store) (cancel func()) {
+	return st.Subscribe(func(snap *store.Snapshot) {
+		if snap.Repo != nil {
+			s.Update(snap.Repo)
+		}
+	})
+}
+
 // Start listens on addr and returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
 	lis, err := net.Listen("tcp", addr)
@@ -236,6 +251,9 @@ func (s *Server) Close() error {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	// Persistent Accept failures must not spin the loop hot; back off
+	// exponentially, recovering as soon as one accept succeeds.
+	bo := retry.Backoff{Min: 5 * time.Millisecond, Max: time.Second}
 	for {
 		conn, err := s.lis.Accept()
 		if err != nil {
@@ -243,11 +261,17 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
-				mAcceptErrors.Inc()
-				logger.Warn("accept failed", "err", err)
-				continue
 			}
+			mAcceptErrors.Inc()
+			logger.Warn("accept failed", "err", err)
+			select {
+			case <-s.done:
+				return
+			case <-time.After(bo.Next()):
+			}
+			continue
 		}
+		bo.Reset()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()

@@ -1,0 +1,176 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/prefix2org/prefix2org/internal/diff"
+	"github.com/prefix2org/prefix2org/internal/obs"
+	"github.com/prefix2org/prefix2org/internal/retry"
+)
+
+var (
+	mReloads        = obs.Default().Counter("store_reloads_total")
+	mReloadFailures = obs.Default().Counter("store_reload_failures_total")
+	mReloadSeconds  = obs.Default().Histogram("store_reload_seconds", reloadBuckets)
+)
+
+// reloadBuckets span the rebuild durations this repo sees: from a
+// repo-only load (milliseconds) to a full paper-scale pipeline run.
+var reloadBuckets = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// ReloaderConfig tunes a Reloader. The zero value reloads only on
+// demand and retries failed builds on the default backoff schedule.
+type ReloaderConfig struct {
+	// Interval rebuilds periodically when positive; zero disables the
+	// timer (reloads then happen only via Trigger, Reload, or the
+	// /reload handler).
+	Interval time.Duration
+	// MinBackoff is the delay before the first automatic retry after a
+	// failed build (default 1s).
+	MinBackoff time.Duration
+	// MaxBackoff caps the retry delay growth (default 2m).
+	MaxBackoff time.Duration
+}
+
+// Reloader rebuilds snapshots and swaps them into a Store. All builds
+// run on the Run goroutine, so concurrent triggers (SIGHUP, /reload,
+// the interval timer, backoff retries) serialize rather than racing two
+// pipeline runs; a failed build leaves the current snapshot serving
+// (serve-stale) and schedules a capped-exponential-backoff retry that
+// resets on the next success.
+type Reloader struct {
+	store *Store
+	build BuildFunc
+	cfg   ReloaderConfig
+	reqs  chan chan error
+}
+
+// NewReloader wires a reloader for st. Run must be started for
+// Trigger/Reload/the handler to make progress.
+func NewReloader(st *Store, build BuildFunc, cfg ReloaderConfig) *Reloader {
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Minute
+	}
+	return &Reloader{
+		store: st,
+		build: build,
+		cfg:   cfg,
+		// A small buffer lets Trigger coalesce: if a reload is already
+		// queued, further triggers are satisfied by that pending run.
+		reqs: make(chan chan error, 1),
+	}
+}
+
+// Run services reload requests until ctx is cancelled. Call it on a
+// dedicated goroutine.
+func (r *Reloader) Run(ctx context.Context) {
+	var tick <-chan time.Time
+	if r.cfg.Interval > 0 {
+		t := time.NewTicker(r.cfg.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	bo := retry.Backoff{Min: r.cfg.MinBackoff, Max: r.cfg.MaxBackoff}
+	var retryCh <-chan time.Time
+	handle := func(reply chan error) {
+		err := r.reloadOnce(ctx)
+		if reply != nil {
+			reply <- err
+		}
+		if err != nil && ctx.Err() == nil {
+			retryCh = time.After(bo.Next())
+		} else {
+			retryCh = nil
+			bo.Reset()
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case reply := <-r.reqs:
+			handle(reply)
+		case <-tick:
+			handle(nil)
+		case <-retryCh:
+			handle(nil)
+		}
+	}
+}
+
+// Trigger requests an asynchronous reload (the SIGHUP path). If a
+// reload is already queued the trigger coalesces into it.
+func (r *Reloader) Trigger() {
+	select {
+	case r.reqs <- nil:
+	default:
+	}
+}
+
+// Reload performs one reload synchronously through the Run loop and
+// returns the build error; on failure the previous snapshot stays
+// served. It blocks until the Run goroutine picks the request up, so it
+// requires Run to be active.
+func (r *Reloader) Reload(ctx context.Context) error {
+	reply := make(chan error, 1)
+	select {
+	case r.reqs <- reply:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler serves the admin /reload endpoint: each request performs one
+// synchronous reload and reports the outcome (500 with the build error
+// — and the still-served stale version — on failure).
+func (r *Reloader) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if err := r.Reload(req.Context()); err != nil {
+			http.Error(w, fmt.Sprintf("reload failed (still serving snapshot v%d): %v",
+				r.store.Current().Version, err), http.StatusInternalServerError)
+			return
+		}
+		cur := r.store.Current()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "reloaded: serving snapshot %s from %s\n", describe(cur), cur.Source)
+	})
+}
+
+// reloadOnce builds one snapshot and swaps it in, publishing the reload
+// metrics and — when both the outgoing and incoming snapshots carry
+// datasets — the internal/diff change summary of what the swap changed.
+func (r *Reloader) reloadOnce(ctx context.Context) error {
+	start := time.Now()
+	next, err := r.build(ctx)
+	if err != nil {
+		mReloadFailures.Inc()
+		logger.Error("rebuild failed; serving stale snapshot",
+			"version", r.store.Current().Version, "err", err)
+		return err
+	}
+	old := r.store.Swap(next)
+	dur := time.Since(start)
+	mReloads.Inc()
+	mReloadSeconds.Observe(dur.Seconds())
+	if old.Dataset != nil && next.Dataset != nil {
+		if rep, derr := diff.Compare(old.Dataset, next.Dataset); derr == nil {
+			logger.Info("snapshot swapped",
+				"snapshot", describe(next), "duration", dur, "changes", rep.Summary())
+			return nil
+		}
+	}
+	logger.Info("snapshot swapped", "snapshot", describe(next), "duration", dur)
+	return nil
+}

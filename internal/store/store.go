@@ -1,0 +1,206 @@
+// Package store separates the serving read path from the build
+// pipeline. A Snapshot is one immutable, versioned view of the world:
+// the built Prefix2Org Dataset (whose read indexes — the exact-match
+// map, the longest-prefix-match radix, and the cluster maps — travel
+// with it) plus the RPKI repository the RTR daemon derives its VRP set
+// from. A Store holds the current Snapshot behind an atomic pointer, so
+// concurrent readers grab a consistent view with one load and never
+// block on — or observe a torn state from — a swap. A Reloader rebuilds
+// snapshots from the data directory on demand (signal, admin endpoint,
+// timer) and swaps them in with serve-stale-on-failure semantics.
+//
+// The contract that makes the lock-free read path sound: a Snapshot and
+// everything reachable from it is frozen once published. Writers build
+// a complete new Snapshot off to the side and publish it with a single
+// Swap; readers that loaded the old pointer keep a valid, internally
+// consistent view for as long as they hold it.
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/obs"
+	"github.com/prefix2org/prefix2org/internal/rpki"
+)
+
+var (
+	mSnapshotVersion = obs.Default().Gauge("store_snapshot_version")
+	mSwaps           = obs.Default().Counter("store_swaps_total")
+
+	logger = obs.Logger("store")
+)
+
+// Snapshot is one immutable serving view. Version and the contents are
+// fixed once the snapshot has been published via New or Swap; building
+// code must not mutate a snapshot after handing it to a Store.
+type Snapshot struct {
+	// Version is assigned on publication: 1 for a Store's initial
+	// snapshot, then incremented by every Swap.
+	Version uint64
+	// BuiltAt is when the snapshot was produced.
+	BuiltAt time.Time
+	// Source describes what produced the snapshot ("dir:data/",
+	// "file:snap.jsonl") for logs and the /reload endpoint.
+	Source string
+	// Dataset is the built Prefix2Org mapping; nil for repository-only
+	// snapshots (an RTR-only daemon has no use for the full pipeline).
+	Dataset *prefix2org.Dataset
+	// Repo is the RPKI repository backing RTR serving; nil when the
+	// snapshot was loaded from a serialized dataset file, which carries
+	// no repository.
+	Repo *rpki.Repository
+}
+
+// Store publishes the current Snapshot to concurrent readers. The zero
+// value is not usable; construct with New.
+type Store struct {
+	cur atomic.Pointer[Snapshot]
+
+	// mu serializes swaps and subscription changes; the read path never
+	// takes it.
+	mu   sync.Mutex
+	subs []subscription
+	next uint64 // subscription id seed
+}
+
+type subscription struct {
+	id uint64
+	fn func(*Snapshot)
+}
+
+// New builds a store serving initial, which receives version 1 (unless
+// the caller pre-assigned a version, preserved for restore flows).
+func New(initial *Snapshot) *Store {
+	if initial == nil {
+		panic("store: nil initial snapshot")
+	}
+	if initial.Version == 0 {
+		initial.Version = 1
+	}
+	s := &Store{}
+	s.cur.Store(initial)
+	mSnapshotVersion.Set(float64(initial.Version))
+	return s
+}
+
+// Current returns the snapshot being served. The result is immutable
+// and remains internally consistent for as long as the caller holds it,
+// no matter how many swaps happen meanwhile; per-request readers call
+// Current once and answer entirely from that snapshot.
+func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// Swap publishes next as the current snapshot, assigns it the next
+// version, notifies subscribers (in subscription order, on the caller's
+// goroutine), and returns the previous snapshot. In-flight readers
+// holding the previous snapshot are undisturbed.
+func (s *Store) Swap(next *Snapshot) (old *Snapshot) {
+	if next == nil {
+		panic("store: nil snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old = s.cur.Load()
+	next.Version = old.Version + 1
+	s.cur.Store(next)
+	mSnapshotVersion.Set(float64(next.Version))
+	mSwaps.Inc()
+	for _, sub := range s.subs {
+		sub.fn(next)
+	}
+	return old
+}
+
+// Subscribe registers fn to run after every future Swap, receiving the
+// newly published snapshot. Callbacks run synchronously on the swapping
+// goroutine, in subscription order — keep them short (the RTR server's
+// serial bump re-derives its VRP set, the intended scale). The returned
+// cancel removes the subscription.
+func (s *Store) Subscribe(fn func(*Snapshot)) (cancel func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	id := s.next
+	s.subs = append(s.subs, subscription{id: id, fn: fn})
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i := range s.subs {
+			if s.subs[i].id == id {
+				s.subs = append(s.subs[:i], s.subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// --- snapshot builders -------------------------------------------------------
+
+// BuildFunc produces one fresh Snapshot (version left zero — the Store
+// assigns it at publication). Builders are invoked by the Reloader and
+// by daemons for their startup snapshot.
+type BuildFunc func(ctx context.Context) (*Snapshot, error)
+
+// DirBuilder runs the full pipeline over a data directory and also
+// loads the directory's RPKI repository, so one snapshot can back both
+// the WHOIS and RTR serving paths. (The repository is re-read rather
+// than threaded out of the pipeline: it is a single JSONL file, noise
+// next to the build itself.)
+func DirBuilder(dir string, opts prefix2org.Options) BuildFunc {
+	return func(ctx context.Context) (*Snapshot, error) {
+		ds, err := prefix2org.BuildFromDir(ctx, dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		repo, err := rpki.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{BuiltAt: time.Now(), Source: "dir:" + dir, Dataset: ds, Repo: repo}, nil
+	}
+}
+
+// FileBuilder loads a serialized dataset snapshot (prefix2org.Save
+// output). Such snapshots carry no RPKI repository, so Repo stays nil.
+func FileBuilder(path string) BuildFunc {
+	return func(ctx context.Context) (*Snapshot, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ds, err := prefix2org.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{BuiltAt: time.Now(), Source: "file:" + path, Dataset: ds}, nil
+	}
+}
+
+// RepoBuilder loads only the RPKI repository from a data directory —
+// what an RTR-only daemon needs, skipping the full pipeline.
+func RepoBuilder(dir string) BuildFunc {
+	return func(ctx context.Context) (*Snapshot, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		repo, err := rpki.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{BuiltAt: time.Now(), Source: "dir:" + dir, Repo: repo}, nil
+	}
+}
+
+// describe renders a snapshot for logs.
+func describe(s *Snapshot) string {
+	if s.Dataset != nil {
+		return fmt.Sprintf("v%d (%d records, %d clusters)", s.Version, len(s.Dataset.Records), len(s.Dataset.Clusters))
+	}
+	if s.Repo != nil {
+		return fmt.Sprintf("v%d (%d certs, %d roas)", s.Version, len(s.Repo.Certs), len(s.Repo.ROAs))
+	}
+	return fmt.Sprintf("v%d", s.Version)
+}

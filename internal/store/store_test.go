@@ -1,0 +1,211 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/prefix2org/prefix2org/internal/obs"
+)
+
+func TestNewAssignsVersionOne(t *testing.T) {
+	st := New(&Snapshot{})
+	if got := st.Current().Version; got != 1 {
+		t.Errorf("initial version = %d, want 1", got)
+	}
+}
+
+func TestSwapBumpsVersionAndReturnsOld(t *testing.T) {
+	st := New(&Snapshot{})
+	first := st.Current()
+	old := st.Swap(&Snapshot{})
+	if old != first {
+		t.Error("Swap did not return the previous snapshot")
+	}
+	if got := st.Current().Version; got != 2 {
+		t.Errorf("version after swap = %d, want 2", got)
+	}
+}
+
+func TestSubscribeNotifiesAndCancels(t *testing.T) {
+	st := New(&Snapshot{})
+	var got []uint64
+	cancel := st.Subscribe(func(s *Snapshot) { got = append(got, s.Version) })
+	st.Swap(&Snapshot{})
+	st.Swap(&Snapshot{})
+	cancel()
+	st.Swap(&Snapshot{})
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("subscriber saw versions %v, want [2 3]", got)
+	}
+}
+
+func TestSubscribersRunInSubscriptionOrder(t *testing.T) {
+	st := New(&Snapshot{})
+	var order []string
+	st.Subscribe(func(*Snapshot) { order = append(order, "a") })
+	st.Subscribe(func(*Snapshot) { order = append(order, "b") })
+	st.Swap(&Snapshot{})
+	if strings.Join(order, "") != "ab" {
+		t.Errorf("notification order = %v, want [a b]", order)
+	}
+}
+
+// TestConcurrentReadersDuringSwaps is the torn-state check: readers must
+// always observe a snapshot whose version matches its payload, no matter
+// how many swaps race with them. Run under -race this also proves the
+// read path is synchronization-free but sound.
+func TestConcurrentReadersDuringSwaps(t *testing.T) {
+	st := New(&Snapshot{})
+	stop := make(chan struct{})
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := st.Current()
+				if snap.Source != "" && snap.Source != fmt.Sprintf("v=%d", snap.Version) {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+	for v := uint64(2); v < 500; v++ {
+		// Source encodes the version the snapshot will receive; a reader
+		// seeing a mismatch caught a torn snapshot.
+		st.Swap(&Snapshot{Source: fmt.Sprintf("v=%d", v)})
+	}
+	close(stop)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Errorf("%d torn snapshot observations", n)
+	}
+}
+
+func TestReloaderSwapsOnReload(t *testing.T) {
+	st := New(&Snapshot{})
+	var builds atomic.Int64
+	rel := NewReloader(st, func(ctx context.Context) (*Snapshot, error) {
+		builds.Add(1)
+		return &Snapshot{}, nil
+	}, ReloaderConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rel.Run(ctx)
+	if err := rel.Reload(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Current().Version; got != 2 {
+		t.Errorf("version after reload = %d, want 2", got)
+	}
+	if builds.Load() != 1 {
+		t.Errorf("builds = %d, want 1", builds.Load())
+	}
+}
+
+func TestReloaderServeStaleOnFailureThenBackoffRetry(t *testing.T) {
+	st := New(&Snapshot{Source: "initial"})
+	failuresBefore := obs.Default().Counter("store_reload_failures_total").Value()
+	var builds atomic.Int64
+	rel := NewReloader(st, func(ctx context.Context) (*Snapshot, error) {
+		// Fail the first two builds; the backoff retry must eventually
+		// push the third through without further triggers.
+		if builds.Add(1) <= 2 {
+			return nil, errors.New("corpus unavailable")
+		}
+		return &Snapshot{Source: "fresh"}, nil
+	}, ReloaderConfig{MinBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rel.Run(ctx)
+
+	if err := rel.Reload(ctx); err == nil {
+		t.Fatal("first reload unexpectedly succeeded")
+	}
+	// Serve-stale: the failed build must leave the initial snapshot up.
+	if got := st.Current().Source; got != "initial" {
+		t.Errorf("after failed reload serving %q, want initial snapshot", got)
+	}
+	if d := obs.Default().Counter("store_reload_failures_total").Value() - failuresBefore; d < 1 {
+		t.Errorf("reload_failures delta = %d, want >= 1", d)
+	}
+	// The retry schedule must recover on its own.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Current().Source != "fresh" {
+		if time.Now().After(deadline) {
+			t.Fatalf("backoff retry never recovered; %d builds, serving %q",
+				builds.Load(), st.Current().Source)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReloaderPeriodicInterval(t *testing.T) {
+	st := New(&Snapshot{})
+	var builds atomic.Int64
+	rel := NewReloader(st, func(ctx context.Context) (*Snapshot, error) {
+		builds.Add(1)
+		return &Snapshot{}, nil
+	}, ReloaderConfig{Interval: 5 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rel.Run(ctx)
+	deadline := time.Now().Add(5 * time.Second)
+	for builds.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval reloads did not happen (builds=%d)", builds.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReloadHandler(t *testing.T) {
+	st := New(&Snapshot{})
+	var fail atomic.Bool
+	rel := NewReloader(st, func(ctx context.Context) (*Snapshot, error) {
+		if fail.Load() {
+			return nil, errors.New("broken dir")
+		}
+		return &Snapshot{Source: "dir:x"}, nil
+	}, ReloaderConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rel.Run(ctx)
+
+	srv := httptest.NewServer(rel.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 256)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body[:n]), "v2") {
+		t.Errorf("reload = %d %q, want 200 mentioning v2", resp.StatusCode, body[:n])
+	}
+
+	fail.Store(true)
+	resp, err = srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != 500 || !strings.Contains(string(body[:n]), "still serving snapshot v2") {
+		t.Errorf("failed reload = %d %q, want 500 naming the stale version", resp.StatusCode, body[:n])
+	}
+}

@@ -33,7 +33,7 @@ func fetchSnapshot(t *testing.T, addr string) obs.Snapshot {
 // served by the admin listener's /metrics endpoint.
 func TestMetricsEndToEnd(t *testing.T) {
 	ds := dataset(t)
-	srv := New(ds)
+	srv := NewStatic(ds)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -117,7 +117,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 // close is equivalent) is accounted as a serve error, not a query.
 func TestServeErrorsCounted(t *testing.T) {
 	ds := dataset(t)
-	srv := New(ds)
+	srv := NewStatic(ds)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

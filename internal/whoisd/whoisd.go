@@ -3,6 +3,11 @@
 // name and receive the Listing-1-style ownership record or the final
 // cluster — the natural "operators query our public dataset" deployment
 // of the paper's artifact.
+//
+// The server owns no dataset state: every query loads the store's
+// current snapshot once and answers entirely from it, so a concurrent
+// snapshot swap (hot reload) never blocks a query and never shows a
+// query a mix of two dataset versions.
 package whoisd
 
 import (
@@ -17,7 +22,8 @@ import (
 
 	prefix2org "github.com/prefix2org/prefix2org"
 	"github.com/prefix2org/prefix2org/internal/obs"
-	"github.com/prefix2org/prefix2org/internal/radix"
+	"github.com/prefix2org/prefix2org/internal/retry"
+	"github.com/prefix2org/prefix2org/internal/store"
 )
 
 // Server metrics, registered on the process-wide registry so the admin
@@ -35,25 +41,26 @@ var (
 	logger = obs.Logger("whoisd")
 )
 
-// Server serves one dataset. Safe for concurrent queries.
+// Server answers WHOIS queries from a snapshot store. Safe for
+// concurrent queries and concurrent snapshot swaps.
 type Server struct {
-	ds *prefix2org.Dataset
-	// lpm finds the record of the most specific routed prefix covering
-	// an address-only query.
-	lpm *radix.Tree[*prefix2org.Record]
+	store *store.Store
 
 	lis  net.Listener
 	done chan struct{}
 	wg   sync.WaitGroup
 }
 
-// New builds a server over ds.
-func New(ds *prefix2org.Dataset) *Server {
-	s := &Server{ds: ds, lpm: radix.New[*prefix2org.Record](), done: make(chan struct{})}
-	for i := range ds.Records {
-		s.lpm.Insert(ds.Records[i].Prefix, &ds.Records[i])
-	}
-	return s
+// New builds a server reading each query from st's current snapshot.
+func New(st *store.Store) *Server {
+	return &Server{store: st, done: make(chan struct{})}
+}
+
+// NewStatic builds a server over one fixed dataset — a single-snapshot
+// store that is never swapped. Embedders and tests that have no reload
+// story use this.
+func NewStatic(ds *prefix2org.Dataset) *Server {
+	return New(store.New(&store.Snapshot{Dataset: ds}))
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
@@ -82,6 +89,10 @@ func (s *Server) Close() error {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	// Persistent Accept failures (fd exhaustion, a dying interface)
+	// would otherwise spin this loop hot; back off exponentially and
+	// recover as soon as one accept succeeds.
+	bo := retry.Backoff{Min: 5 * time.Millisecond, Max: time.Second}
 	for {
 		conn, err := s.lis.Accept()
 		if err != nil {
@@ -89,11 +100,17 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
-				mAcceptErrors.Inc()
-				logger.Warn("accept failed", "err", err)
-				continue
 			}
+			mAcceptErrors.Inc()
+			logger.Warn("accept failed", "err", err)
+			select {
+			case <-s.done:
+				return
+			case <-time.After(bo.Next()):
+			}
+			continue
 		}
+		bo.Reset()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -120,12 +137,17 @@ func (s *Server) handle(conn net.Conn) {
 	mLatency.ObserveSince(start)
 }
 
-// Answer resolves one query line to the response body. Exposed for tests
-// and for embedding in other transports.
+// Answer resolves one query line to the response body, entirely against
+// the snapshot current at entry. Exposed for tests and for embedding in
+// other transports.
 func (s *Server) Answer(q string) string {
+	ds := s.store.Current().Dataset
 	var b strings.Builder
 	b.WriteString("% Prefix2Org whois (synthetic dataset)\r\n")
 	switch {
+	case ds == nil:
+		mServeErrors.Inc()
+		b.WriteString("% error: no dataset loaded\r\n")
 	case q == "":
 		mQueriesBad.Inc()
 		b.WriteString("% error: empty query\r\n")
@@ -137,31 +159,32 @@ func (s *Server) Answer(q string) string {
 			break
 		}
 		mQueriesPrefix.Inc()
-		if rec, ok := s.ds.Lookup(p); ok {
+		if rec, ok := ds.Lookup(p); ok {
 			writeRecord(&b, rec)
 			break
 		}
 		// Fall back to the most specific covering routed prefix.
-		if e, ok := s.lpm.LongestMatch(p); ok {
-			fmt.Fprintf(&b, "%% note: %s not announced; answering for covering %s\r\n", q, e.Value.Prefix)
-			writeRecord(&b, e.Value)
-			break
-		}
-		mNoMatch.Inc()
-		b.WriteString("% no match\r\n")
-	case parseAddr(q) != nil:
-		mQueriesAddr.Inc()
-		a := *parseAddr(q)
-		if e, ok := s.lpm.LongestMatch(netip.PrefixFrom(a, a.BitLen())); ok {
-			writeRecord(&b, e.Value)
+		if rec, ok := ds.LookupCovering(p); ok {
+			fmt.Fprintf(&b, "%% note: %s not announced; answering for covering %s\r\n", q, rec.Prefix)
+			writeRecord(&b, rec)
 			break
 		}
 		mNoMatch.Inc()
 		b.WriteString("% no match\r\n")
 	default:
+		if a, err := netip.ParseAddr(q); err == nil {
+			mQueriesAddr.Inc()
+			if rec, ok := ds.LookupAddr(a); ok {
+				writeRecord(&b, rec)
+				break
+			}
+			mNoMatch.Inc()
+			b.WriteString("% no match\r\n")
+			break
+		}
 		// Organization-name query.
 		mQueriesOrg.Inc()
-		c, ok := s.ds.ClusterOfOwner(q)
+		c, ok := ds.ClusterOfOwner(q)
 		if !ok {
 			mNoMatch.Inc()
 			b.WriteString("% no match\r\n")
@@ -177,14 +200,6 @@ func (s *Server) Answer(q string) string {
 		}
 	}
 	return b.String()
-}
-
-func parseAddr(q string) *netip.Addr {
-	a, err := netip.ParseAddr(q)
-	if err != nil {
-		return nil
-	}
-	return &a
 }
 
 func writeRecord(b *strings.Builder, rec *prefix2org.Record) {

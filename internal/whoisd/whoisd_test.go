@@ -46,7 +46,7 @@ func dataset(t *testing.T) *prefix2org.Dataset {
 
 func TestAnswerPrefixQuery(t *testing.T) {
 	ds := dataset(t)
-	srv := New(ds)
+	srv := NewStatic(ds)
 	rec := &ds.Records[0]
 	out := srv.Answer(rec.Prefix.String())
 	for _, want := range []string{"direct-owner:", rec.DirectOwner, "final-cluster:", rec.FinalCluster} {
@@ -58,7 +58,7 @@ func TestAnswerPrefixQuery(t *testing.T) {
 
 func TestAnswerAddressQuery(t *testing.T) {
 	ds := dataset(t)
-	srv := New(ds)
+	srv := NewStatic(ds)
 	rec := &ds.Records[0]
 	out := srv.Answer(rec.Prefix.Addr().String())
 	if !strings.Contains(out, rec.DirectOwner) {
@@ -68,7 +68,7 @@ func TestAnswerAddressQuery(t *testing.T) {
 
 func TestAnswerCoveringFallback(t *testing.T) {
 	ds := dataset(t)
-	srv := New(ds)
+	srv := NewStatic(ds)
 	// Query a /30 inside the first record's prefix: not announced, so the
 	// covering announcement answers.
 	rec := &ds.Records[0]
@@ -84,7 +84,7 @@ func TestAnswerCoveringFallback(t *testing.T) {
 
 func TestAnswerOrgQuery(t *testing.T) {
 	ds := dataset(t)
-	srv := New(ds)
+	srv := NewStatic(ds)
 	owner := ds.Records[0].DirectOwner
 	out := srv.Answer(owner)
 	if !strings.Contains(out, "cluster:") || !strings.Contains(out, "prefix:") {
@@ -94,7 +94,7 @@ func TestAnswerOrgQuery(t *testing.T) {
 
 func TestAnswerErrors(t *testing.T) {
 	ds := dataset(t)
-	srv := New(ds)
+	srv := NewStatic(ds)
 	if out := srv.Answer(""); !strings.Contains(out, "error") {
 		t.Errorf("empty query: %q", out)
 	}
@@ -111,7 +111,7 @@ func TestAnswerErrors(t *testing.T) {
 
 func TestServeOverTCP(t *testing.T) {
 	ds := dataset(t)
-	srv := New(ds)
+	srv := NewStatic(ds)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

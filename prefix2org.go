@@ -196,12 +196,52 @@ type Dataset struct {
 	byPrefix  map[netip.Prefix]*Record
 	byCluster map[string]*Cluster
 	byOwner   map[string]*Cluster
+	// lpm answers longest-prefix-match queries (LookupAddr,
+	// LookupCovering) over the routed prefixes.
+	lpm *radix.Tree[*Record]
 }
 
 // Lookup returns the record for a routed prefix.
 func (d *Dataset) Lookup(p netip.Prefix) (*Record, bool) {
 	r, ok := d.byPrefix[p.Masked()]
 	return r, ok
+}
+
+// LookupAddr returns the record of the most specific routed prefix
+// covering addr — the longest-prefix match a WHOIS address query or a
+// data-plane attribution needs.
+func (d *Dataset) LookupAddr(a netip.Addr) (*Record, bool) {
+	if !a.IsValid() {
+		return nil, false
+	}
+	return d.LookupCovering(netip.PrefixFrom(a, a.BitLen()))
+}
+
+// LookupCovering returns the record of the most specific routed prefix
+// covering p (p itself included when it is routed) — the fallback for
+// queries about sub-prefixes that are not announced on their own.
+func (d *Dataset) LookupCovering(p netip.Prefix) (*Record, bool) {
+	if d.lpm == nil {
+		return nil, false
+	}
+	e, ok := d.lpm.LongestMatch(p.Masked())
+	if !ok {
+		return nil, false
+	}
+	return e.Value, true
+}
+
+// buildPrefixIndexes (re)derives the per-prefix read indexes — the exact
+// map behind Lookup and the LPM radix behind LookupAddr/LookupCovering —
+// from d.Records. Both Build and Load finish through here so every
+// Dataset answers the full query surface.
+func (d *Dataset) buildPrefixIndexes() {
+	d.byPrefix = make(map[netip.Prefix]*Record, len(d.Records))
+	d.lpm = radix.New[*Record]()
+	for i := range d.Records {
+		d.byPrefix[d.Records[i].Prefix] = &d.Records[i]
+		d.lpm.Insert(d.Records[i].Prefix, &d.Records[i])
+	}
 }
 
 // ClusterByID returns a final cluster by its ID.
@@ -431,7 +471,6 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 
 	ds := &Dataset{
 		Trace:     tr,
-		byPrefix:  map[netip.Prefix]*Record{},
 		byCluster: map[string]*Cluster{},
 		byOwner:   map[string]*Cluster{},
 	}
@@ -453,9 +492,7 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 	sort.Slice(ds.Records, func(i, j int) bool {
 		return comparePrefix(ds.Records[i].Prefix, ds.Records[j].Prefix) < 0
 	})
-	for i := range ds.Records {
-		ds.byPrefix[ds.Records[i].Prefix] = &ds.Records[i]
-	}
+	ds.buildPrefixIndexes()
 	span.Add("prefixes", int64(len(infos)))
 	span.Add("clusters", int64(len(cres.Final)))
 	span.End()
@@ -641,13 +678,13 @@ func comparePrefix(a, b netip.Prefix) int {
 // returned Dataset carries a BuildTrace covering both the load stages
 // and the build passes.
 //
-// The four corpora — WHOIS directory, BGP RIBs, the RPKI repository,
-// and AS2Org (with the delegated-statistics verification and the ARIN
-// legacy list) — load concurrently when Options.Workers permits, each
-// under its own trace span; Workers=1 loads them sequentially in the
+// The loaders — WHOIS directory, BGP RIBs, the RPKI repository, AS2Org,
+// the delegated-statistics footnote-2 verification, and the ARIN legacy
+// non-signer list — run concurrently when Options.Workers permits, each
+// under its own trace span; Workers=1 runs them sequentially in the
 // historical order. The first loader error wins (reported in fixed
-// whois, bgp, rpki, as2org order when several fail), and a context
-// cancellation surfaces as ctx.Err() unwrapped.
+// loader order when several fail), and a context cancellation surfaces
+// as ctx.Err() unwrapped.
 func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, error) {
 	tr := obs.NewTrace("build")
 	var (
@@ -703,33 +740,44 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 				return fmt.Errorf("prefix2org: load as2org: %w", err)
 			}
 			span.Add("ases", int64(len(asData.ASes)))
+			return nil
+		}},
+		{"verify-delegated", func(ctx context.Context, span *obs.Span) error {
 			// Footnote-2 verification: when delegated-extended statistics
 			// files are present, confirm that no RIR delegation is coarser
 			// than /8 (IPv4) or /16 (IPv6) — the justification for the BGP
 			// specificity filter.
-			if delFiles, err := delegated.LoadDir(dir); err != nil {
+			delFiles, err := delegated.LoadDir(dir)
+			if err != nil {
 				return fmt.Errorf("prefix2org: load delegated files: %w", err)
-			} else {
-				for rir, f := range delFiles {
-					v4, v6, err := f.MinPrefixLens()
-					if err != nil {
-						return fmt.Errorf("prefix2org: delegated file for %s: %w", rir, err)
-					}
-					if v4 < 8 || v6 < 16 {
-						return fmt.Errorf("prefix2org: %s delegated a block coarser than /8 (v4 min /%d) or /16 (v6 min /%d); the BGP specificity filter would drop real delegations", rir, v4, v6)
-					}
+			}
+			span.Add("files", int64(len(delFiles)))
+			for rir, f := range delFiles {
+				v4, v6, err := f.MinPrefixLens()
+				if err != nil {
+					return fmt.Errorf("prefix2org: delegated file for %s: %w", rir, err)
+				}
+				if v4 < 8 || v6 < 16 {
+					return fmt.Errorf("prefix2org: %s delegated a block coarser than /8 (v4 min /%d) or /16 (v6 min /%d); the BGP specificity filter would drop real delegations", rir, v4, v6)
 				}
 			}
+			return nil
+		}},
+		{"load-arin-legacy", func(ctx context.Context, span *obs.Span) error {
 			legacyPath := filepath.Join(dir, "whois", whois.ARINLegacyFile)
-			if f, err := os.Open(legacyPath); err == nil {
-				arinLegacy, err = whois.ParsePrefixList(f)
-				f.Close()
-				if err != nil {
-					return fmt.Errorf("prefix2org: parse %s: %w", legacyPath, err)
-				}
-			} else if !os.IsNotExist(err) {
+			f, err := os.Open(legacyPath)
+			if os.IsNotExist(err) {
+				return nil // the list is optional
+			}
+			if err != nil {
 				return fmt.Errorf("prefix2org: open %s: %w", legacyPath, err)
 			}
+			arinLegacy, err = whois.ParsePrefixList(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("prefix2org: parse %s: %w", legacyPath, err)
+			}
+			span.Add("prefixes", int64(len(arinLegacy)))
 			return nil
 		}},
 	}

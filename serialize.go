@@ -81,10 +81,10 @@ func (d *Dataset) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a snapshot written by Save and rebuilds all indexes.
+// Load reads a snapshot written by Save and rebuilds all indexes,
+// including the longest-prefix-match index behind LookupAddr.
 func Load(r io.Reader) (*Dataset, error) {
 	d := &Dataset{
-		byPrefix:  map[netip.Prefix]*Record{},
 		byCluster: map[string]*Cluster{},
 		byOwner:   map[string]*Cluster{},
 	}
@@ -161,9 +161,7 @@ func Load(r io.Reader) (*Dataset, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("prefix2org: snapshot scan: %w", err)
 	}
-	for i := range d.Records {
-		d.byPrefix[d.Records[i].Prefix] = &d.Records[i]
-	}
+	d.buildPrefixIndexes()
 	return d, nil
 }
 

@@ -82,6 +82,7 @@ func TestBuildFromDirTraceOnSyntheticDataset(t *testing.T) {
 	}
 	stages := []string{
 		"load-whois", "load-bgp", "load-rpki", "load-as2org",
+		"verify-delegated", "load-arin-legacy",
 		"flatten-whois", "resolve", "clean-names", "cluster", "stats",
 	}
 	for _, stage := range stages {
