@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-concurrency race bench bench-all verify
+.PHONY: build test vet vet-concurrency lint race bench bench-all fuzz-short verify ci
 
 build:
 	$(GO) build ./...
@@ -14,14 +14,23 @@ vet:
 # Concurrency-focused analyzers run explicitly: copylocks (locks copied
 # by value), atomic (misuse of sync/atomic), lostcancel (leaked
 # context.CancelFunc). The shadow analyzer is a separate binary that may
-# not be installed; it is used when present and skipped otherwise.
+# not be installed; when present it runs alongside the full vet suite,
+# and when absent plain `go vet` still runs (and still fails the target).
 vet-concurrency:
 	$(GO) vet -copylocks -atomic -lostcancel ./...
 	@if command -v shadow >/dev/null 2>&1; then \
 		$(GO) vet -vettool="$$(command -v shadow)" ./...; \
 	else \
-		echo "vet-concurrency: shadow analyzer not installed, skipping"; \
+		echo "vet-concurrency: shadow analyzer not installed, running plain go vet"; \
+		$(GO) vet ./...; \
 	fi
+
+# lint runs the repository's own analyzer (cmd/p2o-lint): determinism,
+# ctx-discipline, layering, immutability, and obs-conventions. See the
+# "Enforced invariants" section of ARCHITECTURE.md. Suppress a finding
+# with //p2olint:ignore <rule> <reason> — the reason is mandatory.
+lint:
+	$(GO) run ./cmd/p2o-lint
 
 race:
 	$(GO) test -race ./...
@@ -36,6 +45,23 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# verify is the tier-1 gate: vet (+ concurrency analyzers) + build +
-# race-enabled tests.
-verify: vet vet-concurrency build race
+# fuzz-short gives every fuzz target a fixed, small budget on top of
+# its seed corpus. Entirely offline and deterministic enough for CI;
+# real corpus-growing sessions use `go test -fuzz=<target>` directly.
+FUZZTIME ?= 5s
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzParseRPSL -fuzztime=$(FUZZTIME) ./internal/whois
+	$(GO) test -run='^$$' -fuzz=FuzzParseARIN -fuzztime=$(FUZZTIME) ./internal/whois
+	$(GO) test -run='^$$' -fuzz=FuzzParseLACNIC -fuzztime=$(FUZZTIME) ./internal/whois
+	$(GO) test -run='^$$' -fuzz=FuzzParsePrefixList -fuzztime=$(FUZZTIME) ./internal/whois
+	$(GO) test -run='^$$' -fuzz=FuzzParseBlockSpec -fuzztime=$(FUZZTIME) ./internal/whois
+	$(GO) test -run='^$$' -fuzz=FuzzParseUpdate -fuzztime=$(FUZZTIME) ./internal/bgp
+	$(GO) test -run='^$$' -fuzz=FuzzReadMRT -fuzztime=$(FUZZTIME) ./internal/bgp
+	$(GO) test -run='^$$' -fuzz=FuzzReadPDU -fuzztime=$(FUZZTIME) ./internal/rtr
+
+# verify is the tier-1 gate: vet (+ concurrency analyzers) + the
+# repository's own linter + build + race-enabled tests.
+verify: vet vet-concurrency lint build race
+
+# ci is the full gate: everything verify runs plus a short fuzz pass.
+ci: vet vet-concurrency lint build race fuzz-short

@@ -43,7 +43,7 @@ func env(b *testing.B) *experiments.Env {
 		if benchErr != nil {
 			return
 		}
-		benchEnv, benchErr = experiments.Setup(synth.DefaultConfig(), benchDir)
+		benchEnv, benchErr = experiments.Setup(context.Background(), synth.DefaultConfig(), benchDir)
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -371,7 +371,7 @@ func BenchmarkAblation(b *testing.B) {
 	var results []experiments.AblationResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, results, err = e.Ablation()
+		_, results, err = e.Ablation(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,11 +33,12 @@ func main() {
 }
 
 func run(oldPath, newPath string, maxRows int) error {
-	oldDS, err := prefix2org.LoadFile(oldPath)
+	ctx := context.Background()
+	oldDS, err := prefix2org.LoadFile(ctx, oldPath)
 	if err != nil {
 		return err
 	}
-	newDS, err := prefix2org.LoadFile(newPath)
+	newDS, err := prefix2org.LoadFile(ctx, newPath)
 	if err != nil {
 		return err
 	}

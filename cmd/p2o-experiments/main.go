@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func main() {
 }
 
 func run(dataDir string, orgs int, seed int64, only string, topN int, csvDir string) error {
+	ctx := context.Background()
 	cfg := synth.DefaultConfig()
 	cfg.NumOrgs = orgs
 	cfg.Seed = seed
@@ -52,7 +54,7 @@ func run(dataDir string, orgs int, seed int64, only string, topN int, csvDir str
 		dir = tmp
 	}
 	fmt.Printf("generating synthetic world (orgs=%d seed=%d) into %s ...\n", orgs, seed, dir)
-	env, err := experiments.Setup(cfg, dir)
+	env, err := experiments.Setup(ctx, cfg, dir)
 	if err != nil {
 		return err
 	}
@@ -153,7 +155,7 @@ func run(dataDir string, orgs int, seed int64, only string, topN int, csvDir str
 			topN, fd.P2O, fd.Whois, fd.AS2Org)
 	}
 	if want("ablation") {
-		t, results, err := env.Ablation()
+		t, results, err := env.Ablation(ctx)
 		if err != nil {
 			return err
 		}
@@ -164,7 +166,7 @@ func run(dataDir string, orgs int, seed int64, only string, topN int, csvDir str
 		fmt.Fprintf(out, "aggregation from W-only to full: %d -> %d clusters\n\n", wOnly.FinalClusters, full.FinalClusters)
 	}
 	if want("longitudinal") {
-		t, reports, err := env.Longitudinal(4)
+		t, reports, err := env.Longitudinal(ctx, 4)
 		if err != nil {
 			return err
 		}
@@ -178,7 +180,7 @@ func run(dataDir string, orgs int, seed int64, only string, topN int, csvDir str
 		fmt.Fprintf(out, "%d address transfers observed across the series\n\n", total)
 	}
 	if want("xcheck") {
-		certs, roas, routed, err := env.CrossCheck()
+		certs, roas, routed, err := env.CrossCheck(ctx)
 		if err != nil {
 			return err
 		}
@@ -200,7 +202,7 @@ func run(dataDir string, orgs int, seed int64, only string, topN int, csvDir str
 		fmt.Fprintln(out)
 	}
 	if want("r2") {
-		t, rows, err := env.R2Verification()
+		t, rows, err := env.R2Verification(ctx)
 		if err != nil {
 			return err
 		}

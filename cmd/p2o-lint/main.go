@@ -1,0 +1,71 @@
+// Command p2o-lint runs the repository's custom static analyzer
+// (internal/lint) over the module and prints findings as
+// "file:line: rule: message", exiting non-zero when any survive. It is
+// part of the tier-1 gate: `make lint` (joined into `make verify`)
+// runs it from the module root.
+//
+// Usage:
+//
+//	p2o-lint [-C dir] [-rules determinism,layering] [-v]
+//
+// Findings are suppressed with //p2olint:ignore <rule> <reason> on the
+// offending line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/prefix2org/prefix2org/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("p2o-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
+	rules := fs.String("rules", "", "comma-separated rule subset to report (default: all)")
+	verbose := fs.Bool("v", false, "print per-package type-check diagnostics")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "p2o-lint:", err)
+		return 2
+	}
+	if *verbose {
+		for _, p := range mod.Pkgs {
+			fmt.Fprintf(stderr, "p2o-lint: checked %s (%d files, %d type errors)\n",
+				p.ImportPath, len(p.Files), len(p.TypeErrors))
+		}
+	}
+	findings := lint.Run(mod, lint.DefaultConfig(mod.Path))
+	if *rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		kept := findings[:0]
+		for _, f := range findings {
+			if want[f.Rule] {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "p2o-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the CLI to analyze.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunFlagsViolation(t *testing.T) {
+	// The root package is on the default build path, so a time.Now
+	// there must surface as a determinism finding and exit code 1.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/victim\n\ngo 1.22\n",
+		"victim.go": `package victim
+
+import "time"
+
+// Stamp leaks the wall clock into build output.
+func Stamp() string { return time.Now().String() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "victim.go:6: determinism: call to time.Now") {
+		t.Errorf("missing determinism finding in output:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 finding(s)") {
+		t.Errorf("missing finding count on stderr: %s", stderr.String())
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/innocent\n\ngo 1.22\n",
+		"innocent.go": `package innocent
+
+// Add is pure.
+func Add(a, b int) int { return a + b }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected output for clean module:\n%s", stdout.String())
+	}
+}
+
+func TestRunRuleFilter(t *testing.T) {
+	// -rules restricts reporting: a determinism violation vanishes when
+	// only layering findings are requested.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/victim\n\ngo 1.22\n",
+		"victim.go": `package victim
+
+import "time"
+
+// Stamp leaks the wall clock into build output.
+func Stamp() string { return time.Now().String() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-rules", "layering"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0 with filtered rules\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunBadModuleRoot(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for a directory without go.mod", code)
+	}
+}

@@ -37,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	asd, err := as2org.LoadDir(dir)
+	asd, err := as2org.LoadDir(context.Background(), dir)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,11 +40,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	repo, err := rpki.LoadDir(dir)
+	repo, err := rpki.LoadDir(context.Background(), dir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	asd, err := as2org.LoadDir(dir)
+	asd, err := as2org.LoadDir(context.Background(), dir)
 	if err != nil {
 		log.Fatal(err)
 	}

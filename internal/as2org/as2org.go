@@ -16,6 +16,7 @@ package as2org
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -302,8 +303,12 @@ func (d *Dataset) WriteDir(dir string) error {
 }
 
 // LoadDir reads the dataset under dir. A missing file yields an empty
-// dataset (every origin ASN becomes a singleton cluster).
-func LoadDir(dir string) (*Dataset, error) {
+// dataset (every origin ASN becomes a singleton cluster). The context
+// is honored before the read starts.
+func LoadDir(ctx context.Context, dir string) (*Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	path := filepath.Join(dir, DatasetFile)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {

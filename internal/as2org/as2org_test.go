@@ -1,6 +1,7 @@
 package as2org
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -120,7 +121,7 @@ func TestWriteDirLoadDir(t *testing.T) {
 	if err := d.WriteDir(dir); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadDir(dir)
+	back, err := LoadDir(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestWriteDirLoadDir(t *testing.T) {
 		t.Errorf("ASes = %d", len(back.ASes))
 	}
 	// Missing dir: empty dataset, singleton clusters.
-	empty, err := LoadDir(t.TempDir())
+	empty, err := LoadDir(context.Background(), t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}

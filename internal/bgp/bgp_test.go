@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"net/netip"
 	"reflect"
@@ -303,7 +304,7 @@ func TestWriteDirLoadDir(t *testing.T) {
 	if err := WriteDir(dir, entries); err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := LoadDir(dir)
+	tbl, err := LoadDir(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +314,7 @@ func TestWriteDirLoadDir(t *testing.T) {
 	if o, _ := tbl.Origin(mp("10.1.0.0/16")); o != 200 {
 		t.Errorf("origin = %d", o)
 	}
-	if _, err := LoadDir(t.TempDir()); err == nil {
+	if _, err := LoadDir(context.Background(), t.TempDir()); err == nil {
 		t.Error("missing snapshot accepted")
 	}
 }

@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -243,8 +244,13 @@ func WriteDir(dir string, entries []Entry) error {
 	return cerr
 }
 
-// LoadDir reads the RIB snapshot under dir and aggregates it into a Table.
-func LoadDir(dir string) (*Table, error) {
+// LoadDir reads the RIB snapshot under dir and aggregates it into a
+// Table. The context is honored before the read starts: a canceled
+// build never opens the file.
+func LoadDir(ctx context.Context, dir string) (*Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	path := filepath.Join(dir, SnapshotFile)
 	f, err := os.Open(path)
 	if err != nil {

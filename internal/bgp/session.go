@@ -127,6 +127,7 @@ type Session struct {
 // this reduced fidelity).
 func Handshake(conn net.Conn, localASN uint32, timeout time.Duration) (*Session, error) {
 	if timeout > 0 {
+		//p2olint:ignore determinism handshake deadline on a live BGP session, never part of build output
 		if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package delegated
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -156,7 +157,7 @@ func TestWriteDirLoadDir(t *testing.T) {
 	if err := WriteDir(dir, files); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadDir(dir)
+	back, err := LoadDir(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestWriteDirLoadDir(t *testing.T) {
 		t.Error("records lost in roundtrip")
 	}
 	// Empty dir: no error, empty map.
-	empty, err := LoadDir(t.TempDir())
+	empty, err := LoadDir(context.Background(), t.TempDir())
 	if err != nil || len(empty) != 0 {
 		t.Errorf("empty dir: %v, %v", empty, err)
 	}

@@ -1,6 +1,7 @@
 package delegated
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,7 +23,11 @@ func WriteDir(dir string, files map[alloc.Registry]*File) error {
 	if err := os.MkdirAll(d, 0o755); err != nil {
 		return fmt.Errorf("delegated: mkdir %s: %w", d, err)
 	}
-	for rir, f := range files {
+	for _, rir := range alloc.RIRs {
+		f, ok := files[rir]
+		if !ok {
+			continue
+		}
 		path := filepath.Join(d, fileName(rir))
 		out, err := os.Create(path)
 		if err != nil {
@@ -41,10 +46,14 @@ func WriteDir(dir string, files map[alloc.Registry]*File) error {
 }
 
 // LoadDir reads every RIR's delegated-extended file present under dir.
-// Missing files are skipped.
-func LoadDir(dir string) (map[alloc.Registry]*File, error) {
+// Missing files are skipped. The context is checked between registry
+// files so a canceled build stops promptly.
+func LoadDir(ctx context.Context, dir string) (map[alloc.Registry]*File, error) {
 	out := map[alloc.Registry]*File{}
 	for _, rir := range alloc.RIRs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		path := filepath.Join(dir, Dir, fileName(rir))
 		f, err := os.Open(path)
 		if os.IsNotExist(err) {

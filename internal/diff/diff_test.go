@@ -2,9 +2,12 @@ package diff
 
 import (
 	"context"
+	"net/netip"
+	"reflect"
 	"testing"
 
 	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/netx"
 	"github.com/prefix2org/prefix2org/internal/synth"
 )
 
@@ -126,6 +129,64 @@ func TestCompareDetectsAcquisitions(t *testing.T) {
 	for _, oc := range rep.OriginChanges {
 		if oc.OldOrigin == oc.NewOrigin {
 			t.Errorf("origin change with identical origins: %+v", oc)
+		}
+	}
+}
+
+// TestCompareDeterministicOrder pins the ordering contract the lint
+// determinism rule guards: every slice in a Report is sorted by prefix,
+// and repeated comparisons of the same snapshots are deep-equal even
+// though Compare builds its working set in map iteration order.
+func TestCompareDeterministicOrder(t *testing.T) {
+	old, cur := buildSnapshots(t, synth.EvolveOptions{
+		Seed: 47, Transfers: 10, NewDelegations: 10, Acquisitions: 4, MonthsLater: 3,
+	})
+	first, err := Compare(old, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Added) == 0 || len(first.Transfers) == 0 {
+		t.Fatalf("fixture produced no churn to order-check: %s", first.Summary())
+	}
+	assertSorted := func(name string, ps []netip.Prefix) {
+		t.Helper()
+		for i := 1; i < len(ps); i++ {
+			if netx.Compare(ps[i-1], ps[i]) > 0 {
+				t.Errorf("%s out of order: %s before %s", name, ps[i-1], ps[i])
+			}
+		}
+	}
+	assertSorted("Added", first.Added)
+	assertSorted("Removed", first.Removed)
+	ownerPrefixes := func(cs []OwnerChange) []netip.Prefix {
+		ps := make([]netip.Prefix, len(cs))
+		for i, c := range cs {
+			ps[i] = c.Prefix
+		}
+		return ps
+	}
+	assertSorted("Transfers", ownerPrefixes(first.Transfers))
+	assertSorted("Renames", ownerPrefixes(first.Renames))
+	for i := 1; i < len(first.OriginChanges); i++ {
+		if netx.Compare(first.OriginChanges[i-1].Prefix, first.OriginChanges[i].Prefix) > 0 {
+			t.Errorf("OriginChanges out of order at %d", i)
+		}
+	}
+	for i := 1; i < len(first.TypeChanges); i++ {
+		if netx.Compare(first.TypeChanges[i-1].Prefix, first.TypeChanges[i].Prefix) > 0 {
+			t.Errorf("TypeChanges out of order at %d", i)
+		}
+	}
+	// Re-running the comparison must reproduce the report byte for byte;
+	// map iteration order varies across runs, so any unsorted path shows
+	// up as a flaky mismatch here.
+	for i := 0; i < 5; i++ {
+		again, err := Compare(old, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d produced a different report:\nfirst: %s\nagain: %s", i, first.Summary(), again.Summary())
 		}
 	}
 }

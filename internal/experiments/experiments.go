@@ -37,8 +37,9 @@ type Env struct {
 }
 
 // Setup generates a world with cfg, writes it under dir (creating it),
-// and runs the full pipeline on the serialized data.
-func Setup(cfg synth.Config, dir string) (*Env, error) {
+// and runs the full pipeline on the serialized data. The context
+// governs the whole build and every corpus load.
+func Setup(ctx context.Context, cfg synth.Config, dir string) (*Env, error) {
 	w, err := synth.Generate(cfg)
 	if err != nil {
 		return nil, err
@@ -49,26 +50,26 @@ func Setup(cfg synth.Config, dir string) (*Env, error) {
 	if err := w.WriteDir(dir); err != nil {
 		return nil, err
 	}
-	return Load(dir, w)
+	return Load(ctx, dir, w)
 }
 
 // Load builds the pipeline over an existing data directory. world may be
 // nil when only the dataset-side experiments are wanted; validation and
 // case studies load the ground truth from the directory.
-func Load(dir string, world *synth.World) (*Env, error) {
-	ds, err := prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+func Load(ctx context.Context, dir string, world *synth.World) (*Env, error) {
+	ds, err := prefix2org.BuildFromDir(ctx, dir, prefix2org.Options{})
 	if err != nil {
 		return nil, err
 	}
-	repo, err := rpki.LoadDir(dir)
+	repo, err := rpki.LoadDir(ctx, dir)
 	if err != nil {
 		return nil, err
 	}
-	asd, err := as2org.LoadDir(dir)
+	asd, err := as2org.LoadDir(ctx, dir)
 	if err != nil {
 		return nil, err
 	}
-	truth, err := synth.LoadTruth(dir)
+	truth, err := synth.LoadTruth(ctx, dir)
 	if err != nil {
 		return nil, err
 	}

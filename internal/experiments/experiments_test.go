@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -24,7 +25,7 @@ func testEnv(t *testing.T) *Env {
 			envErr = err
 			return
 		}
-		envVal, envErr = Setup(synth.SmallConfig(), dir)
+		envVal, envErr = Setup(context.Background(), synth.SmallConfig(), dir)
 	})
 	if envErr != nil {
 		t.Fatal(envErr)
@@ -246,7 +247,7 @@ func TestCase81Shape(t *testing.T) {
 
 func TestAblationShape(t *testing.T) {
 	env := testEnv(t)
-	_, results, err := env.Ablation()
+	_, results, err := env.Ablation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestLeasingExperiment(t *testing.T) {
 // trees, while R2-granting Allocation types carry the sub-delegations.
 func TestR2VerificationShape(t *testing.T) {
 	env := testEnv(t)
-	_, rows, err := env.R2Verification()
+	_, rows, err := env.R2Verification(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +362,7 @@ func TestLegacyStatsShape(t *testing.T) {
 
 func TestCrossCheckConsistency(t *testing.T) {
 	env := testEnv(t)
-	certs, roas, routed, err := env.CrossCheck()
+	certs, roas, routed, err := env.CrossCheck(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,11 +378,11 @@ func TestLongitudinalSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, err := Setup(synth.SmallConfig(), dir)
+	env, err := Setup(context.Background(), synth.SmallConfig(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, reports, err := env.Longitudinal(3)
+	_, reports, err := env.Longitudinal(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

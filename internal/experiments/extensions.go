@@ -28,7 +28,7 @@ type AblationResult struct {
 // the component analysis behind §6's "the 4.8% increase due to R
 // clusters complements the 16.1% increase due to A clusters". Variants:
 // full, no-RPKI (W+A), no-ASN (W+R), W-only, and no-name-cleaning.
-func (e *Env) Ablation() (*report.Table, []AblationResult, error) {
+func (e *Env) Ablation(ctx context.Context) (*report.Table, []AblationResult, error) {
 	variants := []struct {
 		name string
 		opts prefix2org.Options
@@ -43,7 +43,7 @@ func (e *Env) Ablation() (*report.Table, []AblationResult, error) {
 		"Variant", "Final Clusters", "Multi-Name Clusters", "% v4 prefixes multi-name", "% v4 space multi-name")
 	var out []AblationResult
 	for _, v := range variants {
-		ds, err := prefix2org.BuildFromDir(context.Background(), e.Dir, v.opts)
+		ds, err := prefix2org.BuildFromDir(ctx, e.Dir, v.opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
 		}
@@ -100,8 +100,8 @@ func (r *R2Row) PctWithSubs() float64 {
 // further re-delegations registered beneath them. Types without R2
 // (Assign-flavoured) must re-delegate rarely; Allocation-flavoured types
 // should dominate the re-delegating population.
-func (e *Env) R2Verification() (*report.Table, []R2Row, error) {
-	db, err := whois.LoadDir(context.Background(), e.Dir, whois.LoadOptions{})
+func (e *Env) R2Verification(ctx context.Context) (*report.Table, []R2Row, error) {
+	db, err := whois.LoadDir(ctx, e.Dir, whois.LoadOptions{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -238,8 +238,8 @@ func (e *Env) LegacyStats() (*report.Table, []LegacyRow, error) {
 //     space.
 //
 // It returns the number of verified facts per category.
-func (e *Env) CrossCheck() (certResources, roas, routed int, err error) {
-	files, err := delegated.LoadDir(e.Dir)
+func (e *Env) CrossCheck(ctx context.Context) (certResources, roas, routed int, err error) {
+	files, err := delegated.LoadDir(ctx, e.Dir)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -310,7 +310,7 @@ func (e *Env) CrossCheck() (certResources, roas, routed int, err error) {
 // environment's world, rebuilds the dataset at each epoch, and diffs
 // consecutive snapshots — the §10 workflow as an experiment. It requires
 // the Env to have been created by Setup (the world must be attached).
-func (e *Env) Longitudinal(epochs int) (*report.Table, []*diff.Report, error) {
+func (e *Env) Longitudinal(ctx context.Context, epochs int) (*report.Table, []*diff.Report, error) {
 	if e.World == nil {
 		return nil, nil, fmt.Errorf("experiments: longitudinal needs a generated world (use Setup)")
 	}
@@ -344,7 +344,7 @@ func (e *Env) Longitudinal(epochs int) (*report.Table, []*diff.Report, error) {
 		if err := world.WriteDir(dir); err != nil {
 			return nil, nil, err
 		}
-		cur, err := prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+		cur, err := prefix2org.BuildFromDir(ctx, dir, prefix2org.Options{})
 		if err != nil {
 			return nil, nil, err
 		}

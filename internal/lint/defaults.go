@@ -1,0 +1,113 @@
+package lint
+
+// DefaultConfig is the rule table for this repository, mirroring the
+// contracts in ARCHITECTURE.md ("Enforced invariants" maps each entry
+// back to the prose it guards). modPath is the module path from go.mod
+// so the table works wherever the module is checked out.
+func DefaultConfig(modPath string) *Config {
+	// buildPath: everything between corpus bytes and the frozen
+	// Dataset. obs, store, and the daemons are exempt — they measure
+	// wall time and serve traffic by design.
+	buildPath := []string{
+		"", // root: flatten/resolve/cluster/stats orchestration
+		"internal/synth",
+		"internal/whois",
+		"internal/bgp",
+		"internal/rpki",
+		"internal/as2org",
+		"internal/cluster",
+		"internal/delegated",
+		"internal/leasing",
+		"internal/names",
+		"internal/diff",
+	}
+
+	// Read-side I/O in these packages must be cancelable: loaders run
+	// concurrently under BuildFromDir and the reloader, and a stuck
+	// file or dial must not outlive its build.
+	ioCtx := []string{
+		"",
+		"internal/whois",
+		"internal/bgp",
+		"internal/rpki",
+		"internal/as2org",
+		"internal/cluster",
+		"internal/delegated",
+		"internal/leasing",
+		"internal/names",
+		"internal/synth",
+		"internal/experiments",
+	}
+
+	// The serving layer plus evaluation harnesses, which nothing on
+	// the build path may reach up into.
+	servingAndAbove := []string{
+		"internal/store",
+		"internal/whoisd",
+		"internal/rtr",
+		"internal/experiments",
+		"internal/casestudy",
+		"internal/validate",
+		"internal/lint",
+	}
+	// Leaf utilities: no module-internal imports at all (radix is one
+	// level up — it may use netx).
+	leafDeny := []string{""} // the root package...
+	for _, p := range []string{
+		"internal/alloc", "internal/as2org", "internal/bgp", "internal/casestudy",
+		"internal/cluster", "internal/delegated", "internal/diff", "internal/dsu",
+		"internal/experiments", "internal/leasing", "internal/lint", "internal/names",
+		"internal/netx", "internal/obs", "internal/radix", "internal/report",
+		"internal/retry", "internal/rpki", "internal/rtr", "internal/store",
+		"internal/synth", "internal/validate", "internal/whois", "internal/whoisd",
+	} {
+		leafDeny = append(leafDeny, p)
+	}
+
+	layering := map[string][]string{
+		// Root build package: below serving, never reaches up.
+		"": servingAndAbove,
+		// Corpus parsers and build stages: below serving and the
+		// harnesses.
+		"internal/whois":     servingAndAbove,
+		"internal/bgp":       servingAndAbove,
+		"internal/rpki":      servingAndAbove,
+		"internal/as2org":    servingAndAbove,
+		"internal/delegated": servingAndAbove,
+		"internal/leasing":   servingAndAbove,
+		"internal/names":     servingAndAbove,
+		"internal/cluster":   servingAndAbove,
+		"internal/synth":     servingAndAbove,
+		"internal/radix":     servingAndAbove,
+		"internal/diff":      servingAndAbove,
+		// Leaf utilities import nothing module-internal.
+		"internal/netx":   leafDeny,
+		"internal/dsu":    leafDeny,
+		"internal/report": leafDeny,
+		"internal/retry":  leafDeny,
+		"internal/alloc":  leafDeny,
+		"internal/obs":    leafDeny,
+		// The store is below the daemons and the harnesses.
+		"internal/store": {"internal/whoisd", "internal/rtr", "internal/experiments", "internal/casestudy"},
+		// The linter analyzes everything and depends on nothing.
+		"internal/lint": leafDeny,
+	}
+
+	return &Config{
+		BuildPath:  buildPath,
+		CtxAllowed: nil, // only package main may use context.Background
+		IOCtx:      ioCtx,
+		Layering:   layering,
+		Immutable: map[string][]string{
+			// Dataset is assembled by the root build() and its Load
+			// path, then frozen; store snapshots are frozen at Swap.
+			modPath + ".Dataset":                 {""},
+			modPath + "/internal/store.Snapshot": {"internal/store"},
+		},
+		Obs: ObsConfig{
+			RegistryType: modPath + "/internal/obs.Registry",
+			LabelFunc:    modPath + "/internal/obs.Label",
+			Methods:      []string{"Counter", "Gauge", "Histogram"},
+		},
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// determinismRule enforces the byte-determinism contract on build-path
+// packages: identical inputs must produce identical output at any
+// worker count (ARCHITECTURE.md, TestParallelBuildDeterminism). Three
+// things break it silently:
+//
+//   - wall-clock reads (time.Now/Since/Until) leaking into records;
+//   - the global math/rand source (seeded from runtime entropy);
+//     explicitly seeded rand.New(rand.NewSource(n)) generators are
+//     fine and the synthesizer depends on them;
+//   - emitting output, or growing a slice that becomes output, in map
+//     iteration order with no later sort.
+func determinismRule(m *Module, cfg *Config) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		if !cfg.inList(cfg.BuildPath, p.RelPath) {
+			continue
+		}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				fn, ok := n.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					return true
+				}
+				out = append(out, checkFuncDeterminism(m, p, fn)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func checkFuncDeterminism(m *Module, p *Package, fn *ast.FuncDecl) []Finding {
+	var out []Finding
+	sortEnds := sortCallEnds(p.Info, fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if what := nondeterministicCall(p.Info, n); what != "" {
+				out = append(out, m.finding(n.Pos(), RuleDeterminism,
+					fmt.Sprintf("%s in build-path package %s; output must be byte-identical across runs", what, p.RelName())))
+			}
+		case *ast.RangeStmt:
+			out = append(out, checkMapRange(m, p, n, sortEnds)...)
+		}
+		return true
+	})
+	return out
+}
+
+// nondeterministicCall classifies a call as a determinism hazard.
+func nondeterministicCall(info *types.Info, call *ast.CallExpr) string {
+	f := calleeOf(info, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		// Methods (e.g. (*rand.Rand).Intn on a seeded generator) are
+		// deterministic; only package-level sources are flagged.
+		return ""
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until":
+			return "call to time." + f.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		switch f.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return "" // constructing an explicitly seeded generator
+		}
+		return "call to the global " + f.Pkg().Path() + " source (rand." + f.Name() + ")"
+	}
+	return ""
+}
+
+// checkMapRange flags map-iteration-ordered output: a range over a map
+// whose body either writes output directly (fmt.Print*/Fprint*, Write*
+// methods) or appends to a slice declared outside the loop that is
+// never sorted afterwards in the same function.
+func checkMapRange(m *Module, p *Package, rs *ast.RangeStmt, sortEnds []token.Pos) []Finding {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if what := emitCall(p.Info, n); what != "" {
+				out = append(out, m.finding(n.Pos(), RuleDeterminism,
+					fmt.Sprintf("%s while ranging over a map in build-path package %s; iterate a sorted key slice instead", what, p.RelName())))
+			}
+		case *ast.AssignStmt:
+			out = append(out, checkRangeAppend(m, p, rs, n, sortEnds)...)
+		}
+		return true
+	})
+	return out
+}
+
+// emitCall reports direct output calls: the fmt print family and Write*
+// methods on builders, buffers, and writers.
+func emitCall(info *types.Info, call *ast.CallExpr) string {
+	f := calleeOf(info, call)
+	if f == nil {
+		return ""
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() == nil {
+		if f.Pkg() != nil && f.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(f.Name(), "Print") || strings.HasPrefix(f.Name(), "Fprint")) {
+			return "fmt." + f.Name() + " emits"
+		}
+		return ""
+	}
+	if strings.HasPrefix(f.Name(), "Write") {
+		return f.Name() + " emits"
+	}
+	return ""
+}
+
+// checkRangeAppend flags `s = append(s, ...)` inside a map range when s
+// is declared outside the loop and the enclosing function never sorts
+// anything after the loop ends.
+func checkRangeAppend(m *Module, p *Package, rs *ast.RangeStmt, as *ast.AssignStmt, sortEnds []token.Pos) []Finding {
+	var out []Finding
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		if !ok || !isAppend(p.Info, call) {
+			continue
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := p.Info.ObjectOf(id)
+		if obj == nil || obj.Pos() >= rs.Pos() {
+			continue // loop-local accumulator
+		}
+		sorted := false
+		for _, end := range sortEnds {
+			if end > rs.End() {
+				sorted = true
+				break
+			}
+		}
+		if !sorted {
+			out = append(out, m.finding(as.Pos(), RuleDeterminism,
+				fmt.Sprintf("appends to %q while ranging over a map with no later sort in build-path package %s; order depends on map iteration", id.Name, p.RelName())))
+		}
+	}
+	return out
+}
+
+// sortCallEnds returns the end positions of every ordering call in the
+// function body: anything in the sort package, and any function or
+// method whose name mentions sorting (slices.SortFunc, netx.Sort, a
+// local sortPrefixes helper).
+func sortCallEnds(info *types.Info, body *ast.BlockStmt) []token.Pos {
+	var ends []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeOf(info, call)
+		if f == nil {
+			return true
+		}
+		if (f.Pkg() != nil && f.Pkg().Path() == "sort") ||
+			strings.Contains(strings.ToLower(f.Name()), "sort") {
+			ends = append(ends, call.End())
+		}
+		return true
+	})
+	return ends
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current findings")
+
+// fixtureConfig returns the rule table for one testdata fixture. Each
+// fixture is a tiny self-contained module exercising one rule, loaded
+// through LoadModule exactly like the real repository.
+func fixtureConfig(fixture, modPath string) *Config {
+	switch fixture {
+	case "determinism", "ignore":
+		return &Config{BuildPath: []string{"build"}}
+	case "ctxrule":
+		return &Config{IOCtx: []string{"lib"}}
+	case "layering":
+		return &Config{Layering: map[string][]string{
+			"parser": {"store"},
+			"util":   {"parser", "store"},
+		}}
+	case "immutability":
+		return &Config{Immutable: map[string][]string{
+			modPath + "/core.Dataset":  {"core"},
+			modPath + "/core.Snapshot": {"core"},
+		}}
+	case "obsconv":
+		return &Config{Obs: ObsConfig{
+			RegistryType: modPath + "/obs.Registry",
+			LabelFunc:    modPath + "/obs.Label",
+			Methods:      []string{"Counter", "Gauge", "Histogram"},
+		}}
+	}
+	return &Config{}
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	fixtures, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fx := range fixtures {
+		if !fx.IsDir() {
+			continue
+		}
+		name := fx.Name()
+		t.Run(name, func(t *testing.T) {
+			m, err := LoadModule(filepath.Join("testdata", "src", name))
+			if err != nil {
+				t.Fatalf("LoadModule: %v", err)
+			}
+			for _, p := range m.Pkgs {
+				for _, te := range p.TypeErrors {
+					t.Errorf("fixture type error in %s: %v", p.RelName(), te)
+				}
+			}
+			findings := Run(m, fixtureConfig(name, m.Path))
+			var b strings.Builder
+			for _, f := range findings {
+				b.WriteString(f.String())
+				b.WriteString("\n")
+			}
+			got := b.String()
+
+			goldenPath := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestFindingsSorted pins the output ordering contract: findings come
+// back sorted by file, then line, then rule, so golden files and CI
+// logs are stable across runs.
+func TestFindingsSorted(t *testing.T) {
+	m, err := LoadModule(filepath.Join("testdata", "src", "determinism"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(m, fixtureConfig("determinism", m.Path))
+	if len(findings) < 2 {
+		t.Fatalf("expected multiple findings, got %d", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings out of order: %q before %q", a, b)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full default rule table over the repository
+// itself — the same invocation `make lint` performs. The real module
+// must produce zero findings; any new violation fails this test (and
+// therefore `make verify`) before it fails CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	m, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	findings := Run(m, DefaultConfig(m.Path))
+	for _, f := range findings {
+		t.Errorf("repo finding: %s", f)
+	}
+}

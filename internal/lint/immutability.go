@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// immutabilityRule enforces the freeze contracts: Dataset and
+// store.Snapshot are immutable once built — readers answer from them
+// lock-free, so any out-of-package assignment to their fields,
+// elements, or map entries is a data race waiting for a reader. Only
+// the packages listed in the table (the builder and the store
+// constructors) may write.
+//
+// The check is syntactic over typed ASTs: an assignment or ++/--
+// whose left-hand side chains down (selectors, indexes, derefs) to an
+// expression of a protected type is flagged. Escapes through extracted
+// pointers (p := &ds.Records[i]; p.X = y) are out of scope and caught
+// by -race instead.
+func immutabilityRule(m *Module, cfg *Config) []Finding {
+	if len(cfg.Immutable) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, p := range m.Pkgs {
+		out = append(out, immutFindings(m, p, cfg)...)
+	}
+	return out
+}
+
+func immutFindings(m *Module, p *Package, cfg *Config) []Finding {
+	var out []Finding
+	flag := func(e ast.Expr, op string) {
+		tn := protectedRoot(p, e, cfg)
+		if tn == "" {
+			return
+		}
+		short := tn
+		if i := strings.LastIndex(tn, "/"); i >= 0 {
+			short = tn[i+1:]
+		}
+		out = append(out, m.finding(e.Pos(), RuleImmutability,
+			fmt.Sprintf("%s mutates immutable %s from package %s; snapshots are frozen after build", op, short, p.RelName())))
+	}
+	inspectFiles(p, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() == ":=" {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				flag(lhs, "assignment")
+			}
+		case *ast.IncDecStmt:
+			flag(n.X, n.Tok.String())
+		case *ast.UnaryExpr:
+			// taking the address of a field is fine (reads via pointer)
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// protectedRoot walks the LHS expression chain looking for a protected
+// type that this package is not allowed to mutate; it returns the
+// qualified type name, or "".
+func protectedRoot(p *Package, e ast.Expr, cfg *Config) string {
+	check := func(x ast.Expr) string {
+		tv, ok := p.Info.Types[x]
+		if !ok {
+			return ""
+		}
+		tn := derefNamed(tv.Type)
+		if tn == "" {
+			return ""
+		}
+		allowed, protected := cfg.Immutable[tn]
+		if !protected || cfg.inList(allowed, p.RelPath) {
+			return ""
+		}
+		return tn
+	}
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if tn := check(x.X); tn != "" {
+				return tn
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if tn := check(x.X); tn != "" {
+				return tn
+			}
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

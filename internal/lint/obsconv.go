@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// obsRule audits metric registration: every obs.Registry
+// Counter/Gauge/Histogram call must name its instrument with a
+// snake_case string constant — directly or through obs.Label(base,
+// k, v, ...) — and a fully literal name must be registered at exactly
+// one call site, so grepping a metric name from a dashboard lands on
+// one line of code. Names assembled at runtime (label values computed
+// per registry, say) keep the snake_case check on their literal base
+// but are exempt from the single-site check.
+func obsRule(m *Module, cfg *Config) []Finding {
+	if cfg.Obs.RegistryType == "" {
+		return nil
+	}
+	var out []Finding
+	type site struct {
+		pos  token.Pos
+		file string
+		line int
+	}
+	registered := map[string][]site{}
+	for _, p := range m.Pkgs {
+		inspectFiles(p, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			f := calleeOf(p.Info, call)
+			if !isRegistryMethod(f, &cfg.Obs) {
+				return true
+			}
+			name, rendered, fullyLiteral, ok := metricName(p, call.Args[0], &cfg.Obs)
+			if !ok {
+				out = append(out, m.finding(call.Args[0].Pos(), RuleObs,
+					fmt.Sprintf("metric name passed to %s must be a string literal (optionally via obs.Label)", f.Name())))
+				return true
+			}
+			if !isSnake(name) {
+				out = append(out, m.finding(call.Args[0].Pos(), RuleObs,
+					fmt.Sprintf("metric name %q is not snake_case", name)))
+			}
+			if fullyLiteral {
+				pos := m.Fset.Position(call.Pos())
+				registered[rendered] = append(registered[rendered],
+					site{pos: call.Pos(), file: pos.Filename, line: pos.Line})
+			}
+			return true
+		})
+	}
+	names := make([]string, 0, len(registered))
+	for name := range registered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sites := registered[name]
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		for _, s := range sites[1:] {
+			out = append(out, m.finding(s.pos, RuleObs,
+				fmt.Sprintf("metric %q already registered at %s:%d; register once and share the instrument", name, sites[0].file, sites[0].line)))
+		}
+	}
+	return out
+}
+
+func isRegistryMethod(f *types.Func, oc *ObsConfig) bool {
+	if f == nil {
+		return false
+	}
+	sig, _ := f.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	if namedTypeOf(sig.Recv().Type()) != oc.RegistryType {
+		return false
+	}
+	for _, meth := range oc.Methods {
+		if f.Name() == meth {
+			return true
+		}
+	}
+	return false
+}
+
+// metricName extracts the base metric name from the first argument of
+// a registration call. rendered is the full dedup key (base name plus
+// literal labels); fullyLiteral is false when any part is computed at
+// runtime.
+func metricName(p *Package, arg ast.Expr, oc *ObsConfig) (name, rendered string, fullyLiteral, ok bool) {
+	if s, isConst := constString(p.Info, arg); isConst {
+		return s, s, true, true
+	}
+	call, isCall := ast.Unparen(arg).(*ast.CallExpr)
+	if !isCall || len(call.Args) == 0 {
+		return "", "", false, false
+	}
+	f := calleeOf(p.Info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path()+"."+f.Name() != oc.LabelFunc {
+		return "", "", false, false
+	}
+	base, isConst := constString(p.Info, call.Args[0])
+	if !isConst {
+		return "", "", false, false
+	}
+	rendered = base
+	fullyLiteral = true
+	for _, lv := range call.Args[1:] {
+		s, isConst := constString(p.Info, lv)
+		if !isConst {
+			fullyLiteral = false
+			break
+		}
+		rendered += "," + s
+	}
+	return base, rendered, fullyLiteral, true
+}
+
+// constString resolves an expression to its compile-time string value.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeOf resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions, and calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// pkgFunc reports whether f is the package-level function pkgPath.name.
+func pkgFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil || f.Name() != name || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// isAppend reports whether the call is the append builtin.
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// namedTypeOf dereferences pointers and returns the fully qualified
+// name ("pkgpath.Type") of t's named type, or "".
+func namedTypeOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		// A *Named whose underlying is a pointer was handled above;
+		// aliases resolve through Unalias.
+		named, ok = types.Unalias(t).(*types.Named)
+		if !ok {
+			return ""
+		}
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// derefNamed resolves t through one pointer indirection and returns the
+// qualified name of the named type it points at (or is), or "".
+func derefNamed(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		if obj := named.Obj(); obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// firstParamIsContext reports whether the signature's first parameter
+// is context.Context.
+func firstParamIsContext(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	return namedTypeOf(sig.Params().At(0).Type()) == "context.Context"
+}

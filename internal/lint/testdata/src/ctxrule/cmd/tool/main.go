@@ -1,0 +1,15 @@
+// Command tool is main-adjacent wiring: context.Background is allowed.
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"example.com/ctxfix/lib"
+)
+
+func main() {
+	ctx := context.Background()
+	data, err := lib.ReadAllCtx(ctx, "/dev/null")
+	fmt.Println(len(data), err)
+}

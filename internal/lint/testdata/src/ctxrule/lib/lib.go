@@ -1,0 +1,35 @@
+// Package lib is a fixture for the ctx-discipline rule.
+package lib
+
+import (
+	"context"
+	"os"
+)
+
+// Orphan manufactures a root context outside main wiring.
+func Orphan() context.Context {
+	return context.Background() // want: context.Background
+}
+
+// Someday uses the placeholder context.
+func Someday() context.Context {
+	return context.TODO() // want: context.TODO
+}
+
+// ReadAll does I/O without accepting a context.
+func ReadAll(path string) ([]byte, error) { // want: I/O without ctx
+	return os.ReadFile(path)
+}
+
+// ReadAllCtx does I/O and accepts a context — allowed.
+func ReadAllCtx(ctx context.Context, path string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// helper is unexported: the I/O-ctx contract binds the public API only.
+func helper(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,69 @@
+// Package build is a fixture on the determinism rule's build path.
+package build
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp leaks wall-clock time into output.
+func Stamp() string {
+	return time.Now().String() // want: time.Now
+}
+
+// Age leaks an elapsed duration.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want: time.Since
+}
+
+// Pick uses the globally seeded source.
+func Pick(n int) int {
+	return rand.Intn(n) // want: global rand
+}
+
+// Seeded uses an explicitly seeded generator — allowed.
+func Seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Emit prints in map iteration order.
+func Emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want: fmt.Fprintf in map range
+	}
+}
+
+// Collect appends in map order and never sorts.
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want: append without sort
+	}
+	return out
+}
+
+// CollectSorted appends in map order but sorts before returning — allowed.
+func CollectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CollectLocal accumulates into a loop-local slice — allowed (the outer
+// slice heuristic must not fire).
+func CollectLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

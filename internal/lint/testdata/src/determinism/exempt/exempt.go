@@ -1,0 +1,9 @@
+// Package exempt is outside the build path: wall-clock reads are fine.
+package exempt
+
+import "time"
+
+// Uptime may use the clock freely.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,3 @@
+module example.com/det
+
+go 1.22

@@ -1,0 +1,29 @@
+// Package build exercises the p2olint:ignore directive.
+package build
+
+import "time"
+
+// Deadline's clock read is suppressed with a reason — no finding.
+func Deadline() time.Time {
+	//p2olint:ignore determinism deadline on a live session, never serialized
+	return time.Now()
+}
+
+// Bare's directive has no reason: it suppresses nothing, so both the
+// malformed directive and the clock read are reported.
+func Bare() time.Time {
+	//p2olint:ignore determinism
+	return time.Now() // want: time.Now survives
+}
+
+// Mismatched suppresses the wrong rule, so the finding survives.
+func Mismatched() time.Time {
+	//p2olint:ignore ctx-discipline wrong rule named here
+	return time.Now() // want: time.Now (directive names another rule)
+}
+
+// Empty carries a directive that names no rule at all.
+func Empty() int {
+	//p2olint:ignore
+	return 0
+}

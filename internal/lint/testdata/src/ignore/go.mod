@@ -1,0 +1,3 @@
+module example.com/ign
+
+go 1.22

@@ -1,0 +1,32 @@
+// Package core owns the frozen types; it may mutate them during build.
+package core
+
+// Record is one row of the dataset.
+type Record struct {
+	Name  string
+	Count int
+}
+
+// Dataset is immutable once built.
+type Dataset struct {
+	Records []Record
+	Index   map[string]int
+	Count   int
+}
+
+// Snapshot is immutable once published.
+type Snapshot struct {
+	Version int
+	Data    *Dataset
+}
+
+// Build assembles a dataset; in-package mutation is allowed.
+func Build(names []string) *Dataset {
+	d := &Dataset{Index: map[string]int{}}
+	for i, n := range names {
+		d.Records = append(d.Records, Record{Name: n})
+		d.Index[n] = i
+		d.Count++
+	}
+	return d
+}

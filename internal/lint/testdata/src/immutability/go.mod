@@ -1,0 +1,3 @@
+module example.com/immut
+
+go 1.22

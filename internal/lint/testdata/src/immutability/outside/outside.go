@@ -1,0 +1,24 @@
+// Package outside consumes the frozen types and must not write to them.
+package outside
+
+import "example.com/immut/core"
+
+// Tamper mutates a dataset it does not own.
+func Tamper(d *core.Dataset, s *core.Snapshot) {
+	d.Count = 7             // want: field assignment
+	d.Index["k"] = 1        // want: map entry assignment
+	d.Records[0].Name = "x" // want: element field assignment
+	d.Count++               // want: increment
+	s.Version = 2           // want: snapshot field assignment
+}
+
+// Observe only reads — allowed, including through local copies.
+func Observe(d *core.Dataset) int {
+	total := 0
+	for _, r := range d.Records {
+		total += r.Count
+	}
+	copyOf := d.Records[0]
+	copyOf.Count = 99 // a detached value copy is not the frozen dataset
+	return total + copyOf.Count
+}

@@ -1,0 +1,3 @@
+module example.com/layer
+
+go 1.22

@@ -1,0 +1,12 @@
+// Package parser sits below the serving layer and must not reach up.
+package parser
+
+import (
+	"example.com/layer/store" // want: layering violation
+	"example.com/layer/util"
+)
+
+// Parse depends upward on store — the violation under test.
+func Parse(s string) int {
+	return util.Double(len(s)) + store.Current()
+}

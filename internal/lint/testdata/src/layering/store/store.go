@@ -1,0 +1,5 @@
+// Package store is the fixture's serving layer.
+package store
+
+// Current returns the served value.
+func Current() int { return 42 }

@@ -1,0 +1,5 @@
+// Package util is a leaf: it may import nothing module-internal.
+package util
+
+// Double is a pure helper.
+func Double(n int) int { return 2 * n }

@@ -1,0 +1,3 @@
+module example.com/om
+
+go 1.22

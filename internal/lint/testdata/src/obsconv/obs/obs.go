@@ -1,0 +1,21 @@
+// Package obs mirrors the real module's metrics registry shape.
+package obs
+
+import "strings"
+
+// Registry hands out named metrics.
+type Registry struct{}
+
+// Counter returns a monotonically increasing metric.
+func (r *Registry) Counter(name string) *int { _ = name; return new(int) }
+
+// Gauge returns a point-in-time metric.
+func (r *Registry) Gauge(name string) *int { _ = name; return new(int) }
+
+// Histogram returns a distribution metric.
+func (r *Registry) Histogram(name string) *int { _ = name; return new(int) }
+
+// Label renders a metric name with key=value labels appended.
+func Label(name string, kv ...string) string {
+	return name + "," + strings.Join(kv, ",")
+}

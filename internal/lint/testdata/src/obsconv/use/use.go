@@ -1,0 +1,16 @@
+// Package use exercises the obs-conventions rule.
+package use
+
+import "example.com/om/obs"
+
+// Wire registers the fixture's metrics.
+func Wire(r *obs.Registry, dynamic string) {
+	r.Counter("build_total")                                  // ok
+	r.Gauge("snapshot_age_seconds")                           // ok
+	r.Counter("BuildTotal")                                   // want: not snake_case
+	r.Counter("build-errors")                                 // want: not snake_case
+	r.Histogram(obs.Label("stage_seconds", "stage", "whois")) // ok
+	r.Counter(obs.Label("FlushCount", "rir", "ripe"))         // want: label base not snake_case
+	r.Counter(dynamic)                                        // want: non-literal name
+	r.Counter("build_total")                                  // want: duplicate registration
+}

@@ -1,6 +1,7 @@
 package rpki
 
 import (
+	"context"
 	"net/netip"
 	"strings"
 	"testing"
@@ -233,7 +234,7 @@ func TestWriteDirLoadDir(t *testing.T) {
 	if err := r.WriteDir(dir); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadDir(dir)
+	back, err := LoadDir(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestWriteDirLoadDir(t *testing.T) {
 		t.Errorf("certs = %d, want %d", len(back.Certs), len(r.Certs))
 	}
 	// Missing snapshot: empty repo, not an error.
-	empty, err := LoadDir(t.TempDir())
+	empty, err := LoadDir(context.Background(), t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package rpki
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -141,8 +142,12 @@ func (r *Repository) WriteDir(dir string) error {
 
 // LoadDir reads the snapshot under dir. A missing snapshot yields an
 // empty (but built) repository: the pipeline degrades to name+ASN
-// clustering only, as the paper's does for uncovered space.
-func LoadDir(dir string) (*Repository, error) {
+// clustering only, as the paper's does for uncovered space. The
+// context is honored before the read starts.
+func LoadDir(ctx context.Context, dir string) (*Repository, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	path := filepath.Join(dir, SnapshotFile)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {

@@ -156,7 +156,7 @@ func DirBuilder(dir string, opts prefix2org.Options) BuildFunc {
 		if err != nil {
 			return nil, err
 		}
-		repo, err := rpki.LoadDir(dir)
+		repo, err := rpki.LoadDir(ctx, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +171,7 @@ func FileBuilder(path string) BuildFunc {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		ds, err := prefix2org.LoadFile(path)
+		ds, err := prefix2org.LoadFile(ctx, path)
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +186,7 @@ func RepoBuilder(dir string) BuildFunc {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		repo, err := rpki.LoadDir(dir)
+		repo, err := rpki.LoadDir(ctx, dir)
 		if err != nil {
 			return nil, err
 		}

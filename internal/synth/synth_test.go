@@ -212,7 +212,7 @@ func TestWriteDirRoundTrip(t *testing.T) {
 		}
 	}
 	// BGP round trip.
-	tbl, err := bgp.LoadDir(dir)
+	tbl, err := bgp.LoadDir(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestWriteDirRoundTrip(t *testing.T) {
 		t.Fatal("no routed prefixes after reload")
 	}
 	// RPKI round trip.
-	repo, err := rpki.LoadDir(dir)
+	repo, err := rpki.LoadDir(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestWriteDirRoundTrip(t *testing.T) {
 		t.Errorf("certs = %d, want %d", len(repo.Certs), len(w.RPKI.Certs))
 	}
 	// Truth round trip.
-	truth, err := LoadTruth(dir)
+	truth, err := LoadTruth(context.Background(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}

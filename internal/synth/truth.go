@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/netip"
@@ -269,8 +270,12 @@ func WriteTruth(dir string, t *Truth) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadTruth reads the ground truth under dir.
-func LoadTruth(dir string) (*Truth, error) {
+// LoadTruth reads the ground truth under dir. The context is honored
+// before the read starts.
+func LoadTruth(ctx context.Context, dir string) (*Truth, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	data, err := os.ReadFile(filepath.Join(dir, TruthFile))
 	if err != nil {
 		return nil, fmt.Errorf("synth: read truth: %w", err)

@@ -277,6 +277,7 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	//p2olint:ignore determinism TCP deadline on a live whois session, never part of build output
 	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
 	rd := bufio.NewReader(conn)
 	line, err := rd.ReadString('\n')

@@ -714,7 +714,7 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 		}},
 		{"load-bgp", func(ctx context.Context, span *obs.Span) error {
 			var err error
-			table, err = bgp.LoadDir(dir)
+			table, err = bgp.LoadDir(ctx, dir)
 			if err != nil {
 				return fmt.Errorf("prefix2org: load bgp: %w", err)
 			}
@@ -725,7 +725,7 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 		}},
 		{"load-rpki", func(ctx context.Context, span *obs.Span) error {
 			var err error
-			repo, err = rpki.LoadDir(dir)
+			repo, err = rpki.LoadDir(ctx, dir)
 			if err != nil {
 				return fmt.Errorf("prefix2org: load rpki: %w", err)
 			}
@@ -735,7 +735,7 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 		}},
 		{"load-as2org", func(ctx context.Context, span *obs.Span) error {
 			var err error
-			asData, err = as2org.LoadDir(dir)
+			asData, err = as2org.LoadDir(ctx, dir)
 			if err != nil {
 				return fmt.Errorf("prefix2org: load as2org: %w", err)
 			}
@@ -747,7 +747,7 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 			// files are present, confirm that no RIR delegation is coarser
 			// than /8 (IPv4) or /16 (IPv6) — the justification for the BGP
 			// specificity filter.
-			delFiles, err := delegated.LoadDir(dir)
+			delFiles, err := delegated.LoadDir(ctx, dir)
 			if err != nil {
 				return fmt.Errorf("prefix2org: load delegated files: %w", err)
 			}

@@ -2,6 +2,7 @@ package prefix2org
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -187,8 +188,12 @@ func (d *Dataset) SaveFile(path string) error {
 	return cerr
 }
 
-// LoadFile reads a snapshot from path.
-func LoadFile(path string) (*Dataset, error) {
+// LoadFile reads a snapshot from path. The context is honored before
+// the read starts.
+func LoadFile(ctx context.Context, path string) (*Dataset, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("prefix2org: open %s: %w", path, err)

@@ -1,6 +1,7 @@
 package prefix2org
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -55,14 +56,14 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	if err := ds.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadFile(path)
+	back, err := LoadFile(context.Background(), path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(back.Records) != len(ds.Records) {
 		t.Errorf("records = %d", len(back.Records))
 	}
-	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+	if _, err := LoadFile(context.Background(), filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
 		t.Error("missing file accepted")
 	}
 }
