@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-concurrency lint race bench bench-all fuzz-short verify ci
+.PHONY: build test vet vet-concurrency lint race bench bench-all bench-save bench-compare fuzz-short verify ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,30 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
+# The serve-path benchmark set tracked across commits: frozen-index and
+# radix LPM lookups, snapshot save/load in both formats, and the bulk
+# WHOIS parsers.
+BENCH_TRACKED = ^(BenchmarkLookupAddr|BenchmarkLookupAddrRadix|BenchmarkSnapshotSaveLoad|BenchmarkFrozenLookup|BenchmarkRadixLookup|BenchmarkFreeze|BenchmarkParseRPSL|BenchmarkParseARIN|BenchmarkParseLACNIC)$$
+BENCH_PKGS = . ./internal/lpm ./internal/whois
+BENCH_FILE ?= BENCH_$(shell date +%F).json
+
+# bench-save records the tracked benchmarks to a dated JSON file
+# (scripts/benchjson, stdlib only). Commit the file: it is the baseline
+# bench-compare guards against.
+bench-save:
+	$(GO) test -bench='$(BENCH_TRACKED)' -benchmem -run='^$$' $(BENCH_PKGS) | $(GO) run ./scripts/benchjson -out $(BENCH_FILE)
+
+# bench-compare re-runs the tracked benchmarks and fails on a slowdown
+# beyond a generous threshold (2.5x: CI machines are noisy; the guard
+# is for lost fast paths, not jitter) or on any benchmark that regressed
+# from 0 allocs/op. Compares against the newest committed BENCH_*.json;
+# skips cleanly when none exists yet.
+bench-compare:
+	@latest=$$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -1); \
+	if [ -z "$$latest" ]; then echo "bench-compare: no saved BENCH_*.json baseline, skipping"; exit 0; fi; \
+	echo "bench-compare: against $$latest"; \
+	$(GO) test -bench='$(BENCH_TRACKED)' -benchmem -run='^$$' $(BENCH_PKGS) | $(GO) run ./scripts/benchjson -against $$latest
+
 # fuzz-short gives every fuzz target a fixed, small budget on top of
 # its seed corpus. Entirely offline and deterministic enough for CI;
 # real corpus-growing sessions use `go test -fuzz=<target>` directly.
@@ -63,5 +87,6 @@ fuzz-short:
 # repository's own linter + build + race-enabled tests.
 verify: vet vet-concurrency lint build race
 
-# ci is the full gate: everything verify runs plus a short fuzz pass.
-ci: vet vet-concurrency lint build race fuzz-short
+# ci is the full gate: everything verify runs plus a short fuzz pass
+# and the benchmark-regression comparison.
+ci: vet vet-concurrency lint build race fuzz-short bench-compare

@@ -1,0 +1,58 @@
+package prefix2org
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// Allocation-regression guards for the serve path. These run under
+// `make verify`: a change that re-introduces per-query heap traffic in
+// the frozen-index lookups fails the build, not a later profiling
+// session. The lpm package carries the same guards for the raw index
+// (internal/lpm TestLookupZeroAlloc).
+
+func TestLookupAddrZeroAlloc(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	addrs := make([]netip.Addr, 0, 64)
+	for i := range ds.Records {
+		addrs = append(addrs, ds.Records[i].Prefix.Addr())
+		if len(addrs) == cap(addrs) {
+			break
+		}
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := ds.LookupAddr(addrs[i%len(addrs)]); !ok {
+			t.Fatal("lookup miss")
+		}
+		i++
+	}); n != 0 {
+		t.Errorf("LookupAddr allocates %.1f times per call, want 0", n)
+	}
+}
+
+func TestLookupCoveringZeroAlloc(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	p := ds.Records[0].Prefix
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := ds.LookupCovering(p); !ok {
+			t.Fatal("lookup miss")
+		}
+	}); n != 0 {
+		t.Errorf("LookupCovering allocates %.1f times per call, want 0", n)
+	}
+}
+
+func TestCoveringChainIntoZeroAlloc(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	p := ds.Records[0].Prefix
+	buf := make([]*Record, 0, 32)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = ds.CoveringChainInto(p, buf[:0])
+		if len(buf) == 0 {
+			t.Fatal("empty chain")
+		}
+	}); n != 0 {
+		t.Errorf("CoveringChainInto allocates %.1f times per call with a warm buffer, want 0", n)
+	}
+}

@@ -4,9 +4,14 @@
 // Usage:
 //
 //	p2o-whoisd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-reload-interval D] [-log-level LEVEL] [-log-json]
-//	p2o-whoisd -snapshot FILE.jsonl [-listen ADDR]
+//	p2o-whoisd -snapshot FILE [-listen ADDR]
 //
 // Then:  whois -h 127.0.0.1 -p 4343 63.80.52.0/24
+//
+// -snapshot accepts either snapshot format `prefix2org
+// export-snapshot` writes — the binary serve format (which carries the
+// pre-built LPM index and loads several times faster) or JSON lines —
+// detected from the file contents, not the name.
 //
 // The daemon serves immutable dataset snapshots from a hot-swappable
 // store and can pick up new data without restarting: SIGHUP rebuilds

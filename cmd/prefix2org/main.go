@@ -7,14 +7,17 @@
 //	prefix2org -data DIR lookup PREFIX...
 //	prefix2org -data DIR cluster NAME
 //	prefix2org -data DIR export
-//	prefix2org -data DIR export-snapshot OUT.jsonl
+//	prefix2org -data DIR export-snapshot OUT
 //
 // "lookup" prints the Listing-1-style JSON record for each prefix;
 // "cluster" prints the final cluster containing an organization name;
 // "export" streams the whole dataset as JSON lines; "export-snapshot"
-// writes a reloadable snapshot for p2o-diff; "stats" prints the Table 4
-// metrics. With -trace, the per-stage build trace (wall time and record
-// counts per pipeline pass) is printed to stderr after the build.
+// writes a reloadable snapshot for p2o-whoisd, p2o-rtrd and p2o-diff —
+// binary (dataset plus the frozen LPM index, the fast-loading serve
+// format) unless OUT ends in .json/.jsonl, which selects the
+// JSON-lines release format; "stats" prints the Table 4 metrics. With
+// -trace, the per-stage build trace (wall time and record counts per
+// pipeline pass) is printed to stderr after the build.
 package main
 
 import (

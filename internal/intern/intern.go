@@ -1,0 +1,53 @@
+// Package intern deduplicates strings. Registry corpora and dataset
+// snapshots repeat the same owner, cluster, status, and country
+// strings across hundreds of thousands of records; routing them
+// through one Table makes every duplicate share a single allocation
+// (and lets later equality checks short-circuit on pointer-equal
+// string headers).
+//
+// A Table is a plain map under the hood: not safe for concurrent use.
+// Each loader owns its own table for the duration of a parse; the
+// interned strings themselves are immutable and freely shareable.
+package intern
+
+// Table interns strings. The zero value is not usable; construct with
+// New.
+type Table struct {
+	m map[string]string
+}
+
+// New returns an empty table with room for sizeHint strings.
+func New(sizeHint int) *Table {
+	return &Table{m: make(map[string]string, sizeHint)}
+}
+
+// Intern returns the canonical copy of s, storing s itself on first
+// sight.
+func (t *Table) Intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	if c, ok := t.m[s]; ok {
+		return c
+	}
+	t.m[s] = s
+	return s
+}
+
+// Bytes returns the canonical string for b, materializing a new string
+// only on first sight: the map lookup keyed by string(b) does not
+// allocate, so re-parsing a repeated field costs no heap traffic.
+func (t *Table) Bytes(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if c, ok := t.m[string(b)]; ok {
+		return c
+	}
+	s := string(b)
+	t.m[s] = s
+	return s
+}
+
+// Len returns the number of distinct strings interned.
+func (t *Table) Len() int { return len(t.m) }

@@ -1,0 +1,44 @@
+package intern
+
+import "testing"
+
+func TestIntern(t *testing.T) {
+	tbl := New(4)
+	a := tbl.Intern("verizon")
+	b := tbl.Intern("ver" + "izon"[:4]) // distinct backing array
+	if a != b {
+		t.Fatal("equal strings interned to different values")
+	}
+	if tbl.Intern("") != "" {
+		t.Fatal("empty string not identity")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestBytes(t *testing.T) {
+	tbl := New(4)
+	buf := []byte("at&t services")
+	s1 := tbl.Bytes(buf)
+	buf[0] = 'x' // the table must have copied, not aliased
+	if s1 != "at&t services" {
+		t.Fatalf("interned string aliased caller buffer: %q", s1)
+	}
+	s2 := tbl.Bytes([]byte("at&t services"))
+	if s1 != s2 || tbl.Len() != 1 {
+		t.Fatal("Bytes did not deduplicate")
+	}
+	if tbl.Bytes(nil) != "" {
+		t.Fatal("nil bytes not empty string")
+	}
+}
+
+func TestBytesRepeatZeroAlloc(t *testing.T) {
+	tbl := New(4)
+	key := []byte("org-handle-1234")
+	tbl.Bytes(key)
+	if n := testing.AllocsPerRun(100, func() { tbl.Bytes(key) }); n != 0 {
+		t.Errorf("repeated Bytes allocates %.1f times, want 0", n)
+	}
+}

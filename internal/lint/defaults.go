@@ -20,6 +20,8 @@ func DefaultConfig(modPath string) *Config {
 		"internal/leasing",
 		"internal/names",
 		"internal/diff",
+		"internal/lpm",
+		"internal/intern",
 	}
 
 	// Read-side I/O in these packages must be cancelable: loaders run
@@ -56,10 +58,11 @@ func DefaultConfig(modPath string) *Config {
 	for _, p := range []string{
 		"internal/alloc", "internal/as2org", "internal/bgp", "internal/casestudy",
 		"internal/cluster", "internal/delegated", "internal/diff", "internal/dsu",
-		"internal/experiments", "internal/leasing", "internal/lint", "internal/names",
-		"internal/netx", "internal/obs", "internal/radix", "internal/report",
-		"internal/retry", "internal/rpki", "internal/rtr", "internal/store",
-		"internal/synth", "internal/validate", "internal/whois", "internal/whoisd",
+		"internal/experiments", "internal/intern", "internal/leasing", "internal/lint",
+		"internal/lpm", "internal/names", "internal/netx", "internal/obs",
+		"internal/radix", "internal/report", "internal/retry", "internal/rpki",
+		"internal/rtr", "internal/store", "internal/synth", "internal/validate",
+		"internal/whois", "internal/whoisd",
 	} {
 		leafDeny = append(leafDeny, p)
 	}
@@ -87,6 +90,8 @@ func DefaultConfig(modPath string) *Config {
 		"internal/retry":  leafDeny,
 		"internal/alloc":  leafDeny,
 		"internal/obs":    leafDeny,
+		"internal/lpm":    leafDeny,
+		"internal/intern": leafDeny,
 		// The store is below the daemons and the harnesses.
 		"internal/store": {"internal/whoisd", "internal/rtr", "internal/experiments", "internal/casestudy"},
 		// The linter analyzes everything and depends on nothing.
@@ -100,9 +105,12 @@ func DefaultConfig(modPath string) *Config {
 		Layering:   layering,
 		Immutable: map[string][]string{
 			// Dataset is assembled by the root build() and its Load
-			// path, then frozen; store snapshots are frozen at Swap.
+			// path, then frozen; store snapshots are frozen at Swap;
+			// the LPM index is frozen at Freeze/Decode and shared by
+			// every concurrent reader afterwards.
 			modPath + ".Dataset":                 {""},
 			modPath + "/internal/store.Snapshot": {"internal/store"},
+			modPath + "/internal/lpm.Index":      {"internal/lpm"},
 		},
 		Obs: ObsConfig{
 			RegistryType: modPath + "/internal/obs.Registry",

@@ -178,6 +178,19 @@ func (h *Histogram) Observe(v float64) {
 // ObserveSince records the elapsed time since start, in seconds.
 func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
 
+// Time starts a wall-clock timer and returns the function that stops
+// it, recording the elapsed seconds into h:
+//
+//	defer obs.Time(h)()
+//
+// Build-path packages use this instead of calling time.Now directly,
+// keeping the wall clock confined to obs where the determinism lint
+// permits it.
+func Time(h *Histogram) func() {
+	start := time.Now()
+	return func() { h.ObserveSince(start) }
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -181,22 +181,29 @@ type Entry[V any] struct {
 // matching a routed prefix, and walking the slice backwards moves "up the
 // ownership tree".
 func (t *Tree[V]) CoveringChain(p netip.Prefix) []Entry[V] {
+	return t.CoveringChainInto(p, nil)
+}
+
+// CoveringChainInto is CoveringChain appending into a caller-supplied
+// buffer, returning the extended slice. Hot paths that resolve chains
+// in a loop pass the same buffer (re-sliced to [:0]) on every call and
+// allocate only when a chain outgrows it.
+func (t *Tree[V]) CoveringChainInto(p netip.Prefix, buf []Entry[V]) []Entry[V] {
 	p = p.Masked()
-	var chain []Entry[V]
 	n := t.root(p)
 	for n != nil {
 		if !netx.Contains(n.prefix, p) {
 			break
 		}
 		if n.set {
-			chain = append(chain, Entry[V]{n.prefix, n.val})
+			buf = append(buf, Entry[V]{n.prefix, n.val})
 		}
 		if n.prefix.Bits() >= p.Bits() {
 			break
 		}
 		n = n.child[netx.Bit(p.Addr(), n.prefix.Bits())]
 	}
-	return chain
+	return buf
 }
 
 // LongestMatch returns the most specific stored prefix containing or equal

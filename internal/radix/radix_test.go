@@ -80,6 +80,30 @@ func TestCoveringChain(t *testing.T) {
 	}
 }
 
+func TestCoveringChainInto(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(mp("206.0.0.0/8"), "iana->arin")
+	tr.Insert(mp("206.238.0.0/16"), "psinet")
+	tr.Insert(mp("206.238.4.0/24"), "tcloudnet")
+
+	buf := make([]Entry[string], 0, 8)
+	buf = tr.CoveringChainInto(mp("206.238.4.0/24"), buf[:0])
+	if len(buf) != 3 || buf[2].Value != "tcloudnet" {
+		t.Fatalf("chain = %v", buf)
+	}
+	// Reuse: a shorter chain into the same buffer leaves no stale tail.
+	buf = tr.CoveringChainInto(mp("206.200.0.0/16"), buf[:0])
+	if len(buf) != 1 || buf[0].Value != "iana->arin" {
+		t.Fatalf("reused chain = %v", buf)
+	}
+	// Appending preserves an existing prefix of the buffer.
+	buf = append(buf[:0], Entry[string]{mp("1.0.0.0/8"), "sentinel"})
+	buf = tr.CoveringChainInto(mp("206.238.0.0/16"), buf)
+	if len(buf) != 3 || buf[0].Value != "sentinel" || buf[2].Value != "psinet" {
+		t.Fatalf("appended chain = %v", buf)
+	}
+}
+
 func TestCoveringChainQueryMoreSpecificThanAll(t *testing.T) {
 	tr := New[string]()
 	tr.Insert(mp("10.0.0.0/8"), "a")

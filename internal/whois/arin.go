@@ -2,6 +2,7 @@ package whois
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net/netip"
@@ -29,16 +30,21 @@ func ParseARIN(r io.Reader) (*Database, error) {
 	db := NewDatabase()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	fields := map[string]string{}
+	// One block's kept fields. Values are materialized (copied off the
+	// scanner's reused buffer) only for the names the Record needs;
+	// every other attribute line costs no allocation.
+	var blk struct {
+		cidr, netRange, netType, orgName, orgID, netName, country, updated string
+		seen                                                               bool
+	}
 	lineNo := 0
 	flush := func() error {
-		if len(fields) == 0 {
+		if !blk.seen {
 			return nil
 		}
-		defer func() { fields = map[string]string{} }()
-		spec := fields["CIDR"]
+		spec := blk.cidr
 		if spec == "" {
-			spec = fields["NetRange"]
+			spec = blk.netRange
 		}
 		if spec == "" {
 			return fmt.Errorf("whois: arin block before line %d has no NetRange/CIDR", lineNo)
@@ -50,36 +56,61 @@ func ParseARIN(r io.Reader) (*Database, error) {
 		rec := Record{
 			Prefixes: ps,
 			Registry: alloc.ARIN,
-			Status:   fields["NetType"],
-			OrgName:  fields["OrgName"],
-			OrgID:    fields["OrgId"],
-			NetName:  fields["NetName"],
-			Country:  fields["Country"],
+			Status:   blk.netType,
+			OrgName:  blk.orgName,
+			OrgID:    blk.orgID,
+			NetName:  blk.netName,
+			Country:  blk.country,
 		}
-		if u := fields["Updated"]; u != "" {
-			if t, err := parseTime(u); err == nil {
+		if blk.updated != "" {
+			if t, err := parseTime(blk.updated); err == nil {
 				rec.Updated = t
 			}
 		}
 		db.Records = append(db.Records, rec)
+		blk.cidr, blk.netRange, blk.netType, blk.orgName = "", "", "", ""
+		blk.orgID, blk.netName, blk.country, blk.updated = "", "", "", ""
+		blk.seen = false
 		return nil
 	}
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
+		line := sc.Bytes()
 		switch {
-		case strings.TrimSpace(line) == "":
+		case len(bytes.TrimSpace(line)) == 0:
 			if err := flush(); err != nil {
 				return nil, err
 			}
-		case strings.HasPrefix(line, "#"):
+		case line[0] == '#':
 			// comment
 		default:
-			name, value, ok := strings.Cut(line, ":")
-			if !ok {
+			colon := bytes.IndexByte(line, ':')
+			if colon < 0 {
 				return nil, fmt.Errorf("whois: arin line %d: malformed %q", lineNo, line)
 			}
-			fields[strings.TrimSpace(name)] = strings.TrimSpace(value)
+			name := bytes.TrimSpace(line[:colon])
+			value := bytes.TrimSpace(line[colon+1:])
+			blk.seen = true
+			// The string(name) conversions compare in place; only the
+			// matched field's value is copied to the heap.
+			switch string(name) {
+			case "CIDR":
+				blk.cidr = string(value)
+			case "NetRange":
+				blk.netRange = string(value)
+			case "NetType":
+				blk.netType = string(value)
+			case "OrgName":
+				blk.orgName = string(value)
+			case "OrgId":
+				blk.orgID = string(value)
+			case "NetName":
+				blk.netName = string(value)
+			case "Country":
+				blk.country = string(value)
+			case "Updated":
+				blk.updated = string(value)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

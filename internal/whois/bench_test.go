@@ -24,9 +24,52 @@ func benchRPSL(n int) string {
 func BenchmarkParseRPSL(b *testing.B) {
 	data := benchRPSL(2000)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ParseRPSL(strings.NewReader(data), alloc.APNIC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseARIN(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	db := NewDatabase()
+	for i := 0; i < 2000; i++ {
+		db.Records = append(db.Records, randomRecord(rng, alloc.ARIN))
+	}
+	var sb strings.Builder
+	if err := WriteARIN(&sb, db); err != nil {
+		b.Fatal(err)
+	}
+	data := sb.String()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseARIN(strings.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseLACNIC(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	db := NewDatabase()
+	for i := 0; i < 2000; i++ {
+		db.Records = append(db.Records, randomRecord(rng, alloc.LACNIC))
+	}
+	var sb strings.Builder
+	if err := WriteLACNIC(&sb, db); err != nil {
+		b.Fatal(err)
+	}
+	data := sb.String()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseLACNIC(strings.NewReader(data), alloc.LACNIC); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,9 +2,9 @@ package whois
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
 
 	"github.com/prefix2org/prefix2org/internal/alloc"
 )
@@ -28,16 +28,20 @@ func ParseLACNIC(r io.Reader, reg alloc.Registry) (*Database, error) {
 	db := NewDatabase()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	fields := map[string]string{}
+	// Kept fields only, copied off the scanner's reused buffer when a
+	// name matches; unknown attribute lines allocate nothing.
+	var blk struct {
+		inetnum, inet6num, status, owner, ownerid, country, changed string
+		seen                                                        bool
+	}
 	lineNo := 0
 	flush := func() error {
-		if len(fields) == 0 {
+		if !blk.seen {
 			return nil
 		}
-		defer func() { fields = map[string]string{} }()
-		spec := fields["inetnum"]
+		spec := blk.inetnum
 		if spec == "" {
-			spec = fields["inet6num"]
+			spec = blk.inet6num
 		}
 		if spec == "" {
 			return fmt.Errorf("whois: lacnic block before line %d has no inetnum", lineNo)
@@ -49,35 +53,56 @@ func ParseLACNIC(r io.Reader, reg alloc.Registry) (*Database, error) {
 		rec := Record{
 			Prefixes: ps,
 			Registry: reg,
-			Status:   fields["status"],
-			OrgName:  fields["owner"],
-			OrgID:    fields["ownerid"],
-			Country:  fields["country"],
+			Status:   blk.status,
+			OrgName:  blk.owner,
+			OrgID:    blk.ownerid,
+			Country:  blk.country,
 		}
-		if c := fields["changed"]; c != "" {
-			if t, err := parseTime(c); err == nil {
+		if blk.changed != "" {
+			if t, err := parseTime(blk.changed); err == nil {
 				rec.Updated = t
 			}
 		}
 		db.Records = append(db.Records, rec)
+		blk.inetnum, blk.inet6num, blk.status, blk.owner = "", "", "", ""
+		blk.ownerid, blk.country, blk.changed = "", "", ""
+		blk.seen = false
 		return nil
 	}
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
+		line := sc.Bytes()
 		switch {
-		case strings.TrimSpace(line) == "":
+		case len(bytes.TrimSpace(line)) == 0:
 			if err := flush(); err != nil {
 				return nil, err
 			}
-		case strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#"):
+		case line[0] == '%' || line[0] == '#':
 			// comment
 		default:
-			name, value, ok := strings.Cut(line, ":")
-			if !ok {
+			colon := bytes.IndexByte(line, ':')
+			if colon < 0 {
 				return nil, fmt.Errorf("whois: lacnic line %d: malformed %q", lineNo, line)
 			}
-			fields[strings.ToLower(strings.TrimSpace(name))] = strings.TrimSpace(value)
+			name := asciiLowerInPlace(bytes.TrimSpace(line[:colon]))
+			value := bytes.TrimSpace(line[colon+1:])
+			blk.seen = true
+			switch string(name) {
+			case "inetnum":
+				blk.inetnum = string(value)
+			case "inet6num":
+				blk.inet6num = string(value)
+			case "status":
+				blk.status = string(value)
+			case "owner":
+				blk.owner = string(value)
+			case "ownerid":
+				blk.ownerid = string(value)
+			case "country":
+				blk.country = string(value)
+			case "changed":
+				blk.changed = string(value)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

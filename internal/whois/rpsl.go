@@ -2,28 +2,44 @@ package whois
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 
 	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/intern"
 	"github.com/prefix2org/prefix2org/internal/netx"
 )
 
 // rpslObject is one paragraph of "attribute: value" lines. Repeated
-// attributes accumulate in order.
+// attributes accumulate in order. The scanner reuses one object (and
+// its value arena) across paragraphs, so a bulk parse allocates per
+// kept field, not per line; callers materialize the few values they
+// need via first/all and must not retain the object past the callback.
 type rpslObject struct {
 	class string // first attribute name, identifies the object type
 	attrs []rpslAttr
+	arena []byte // concatenated attribute values, addressed by rpslAttr
 }
 
-type rpslAttr struct{ name, value string }
+// rpslAttr is one attribute: an interned lowercase name and the value's
+// bounds in the object's arena.
+type rpslAttr struct {
+	name       string
+	start, end int32
+}
+
+func (o *rpslObject) reset() {
+	o.class = ""
+	o.attrs = o.attrs[:0]
+	o.arena = o.arena[:0]
+}
 
 func (o *rpslObject) first(name string) (string, bool) {
 	for _, a := range o.attrs {
 		if a.name == name {
-			return a.value, true
+			return string(o.arena[a.start:a.end]), true
 		}
 	}
 	return "", false
@@ -33,57 +49,78 @@ func (o *rpslObject) all(name string) []string {
 	var out []string
 	for _, a := range o.attrs {
 		if a.name == name {
-			out = append(out, a.value)
+			out = append(out, string(o.arena[a.start:a.end]))
 		}
 	}
 	return out
 }
 
+// asciiLowerInPlace lowercases ASCII letters in b, scribbling on the
+// scanner's buffer (which the parser owns until the next Scan call).
+func asciiLowerInPlace(b []byte) []byte {
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return b
+}
+
 // scanRPSL reads paragraph-separated RPSL objects. Lines beginning with
 // '%' or '#' are comments; a line starting with whitespace or '+' continues
-// the previous attribute value.
+// the previous attribute value. The object passed to fn is reused: fn
+// must copy out anything it keeps.
 func scanRPSL(r io.Reader, fn func(*rpslObject) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	var cur *rpslObject
+	names := intern.New(32)
+	cur := &rpslObject{}
 	flush := func() error {
-		if cur == nil || len(cur.attrs) == 0 {
-			cur = nil
+		if len(cur.attrs) == 0 {
 			return nil
 		}
-		obj := cur
-		cur = nil
-		return fn(obj)
+		err := fn(cur)
+		cur.reset()
+		return err
 	}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := sc.Text()
+		line := sc.Bytes()
+		trimmed := bytes.TrimSpace(line)
 		switch {
-		case strings.TrimSpace(line) == "":
+		case len(trimmed) == 0:
 			if err := flush(); err != nil {
 				return err
 			}
-		case strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#"):
+		case line[0] == '%' || line[0] == '#':
 			// comment
 		case line[0] == ' ' || line[0] == '\t' || line[0] == '+':
-			if cur == nil || len(cur.attrs) == 0 {
+			if len(cur.attrs) == 0 {
 				return fmt.Errorf("whois: rpsl line %d: continuation with no attribute", lineNo)
 			}
+			cont := bytes.TrimSpace(bytes.TrimPrefix(trimmed, []byte("+")))
+			// The last attribute's value is always the arena tail, so a
+			// continuation extends it in place.
 			last := &cur.attrs[len(cur.attrs)-1]
-			last.value = strings.TrimSpace(last.value + " " + strings.TrimSpace(strings.TrimPrefix(line, "+")))
+			if last.end > last.start && len(cont) > 0 {
+				cur.arena = append(cur.arena, ' ')
+			}
+			cur.arena = append(cur.arena, cont...)
+			last.end = int32(len(cur.arena))
 		default:
-			name, value, ok := strings.Cut(line, ":")
-			if !ok {
+			colon := bytes.IndexByte(line, ':')
+			if colon < 0 {
 				return fmt.Errorf("whois: rpsl line %d: malformed attribute %q", lineNo, line)
 			}
-			if cur == nil {
-				cur = &rpslObject{class: strings.ToLower(strings.TrimSpace(name))}
+			name := names.Bytes(asciiLowerInPlace(bytes.TrimSpace(line[:colon])))
+			value := bytes.TrimSpace(line[colon+1:])
+			if len(cur.attrs) == 0 {
+				cur.class = name
 			}
-			cur.attrs = append(cur.attrs, rpslAttr{
-				name:  strings.ToLower(strings.TrimSpace(name)),
-				value: strings.TrimSpace(value),
-			})
+			start := int32(len(cur.arena))
+			cur.arena = append(cur.arena, value...)
+			cur.attrs = append(cur.attrs, rpslAttr{name: name, start: start, end: int32(len(cur.arena))})
 		}
 	}
 	if err := sc.Err(); err != nil {

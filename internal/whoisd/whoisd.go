@@ -129,7 +129,11 @@ func (s *Server) handle(conn net.Conn) {
 		logger.Warn("query read failed", "remote", conn.RemoteAddr().String(), "err", err)
 		return
 	}
-	if _, err := io.WriteString(conn, s.Answer(strings.TrimSpace(line))); err != nil {
+	// Answer straight onto the buffered socket writer: the response
+	// body never materializes as one large string on the wire path.
+	bw := bufio.NewWriter(conn)
+	s.answer(bw, strings.TrimSpace(line))
+	if err := bw.Flush(); err != nil {
 		mServeErrors.Inc()
 		logger.Warn("response write failed", "remote", conn.RemoteAddr().String(), "err", err)
 		return
@@ -139,47 +143,56 @@ func (s *Server) handle(conn net.Conn) {
 
 // Answer resolves one query line to the response body, entirely against
 // the snapshot current at entry. Exposed for tests and for embedding in
-// other transports.
+// other transports; the wire path uses answer directly with the
+// connection's buffered writer.
 func (s *Server) Answer(q string) string {
-	ds := s.store.Current().Dataset
 	var b strings.Builder
-	b.WriteString("% Prefix2Org whois (synthetic dataset)\r\n")
+	s.answer(&b, q)
+	return b.String()
+}
+
+// answer writes the response for one query line to w. Writes to a
+// strings.Builder or bufio.Writer cannot fail; transport errors
+// surface at Flush time in the caller.
+func (s *Server) answer(w io.Writer, q string) {
+	ds := s.store.Current().Dataset
+	io.WriteString(w, "% Prefix2Org whois (synthetic dataset)\r\n")
 	switch {
 	case ds == nil:
 		mServeErrors.Inc()
-		b.WriteString("% error: no dataset loaded\r\n")
+		io.WriteString(w, "% error: no dataset loaded\r\n")
 	case q == "":
 		mQueriesBad.Inc()
-		b.WriteString("% error: empty query\r\n")
+		io.WriteString(w, "% error: empty query\r\n")
 	case strings.Contains(q, "/"):
 		p, err := netip.ParsePrefix(q)
 		if err != nil {
 			mQueriesBad.Inc()
-			fmt.Fprintf(&b, "%% error: bad prefix %q\r\n", q)
+			fmt.Fprintf(w, "%% error: bad prefix %q\r\n", q)
 			break
 		}
 		mQueriesPrefix.Inc()
 		if rec, ok := ds.Lookup(p); ok {
-			writeRecord(&b, rec)
+			writeRecord(w, rec)
 			break
 		}
 		// Fall back to the most specific covering routed prefix.
 		if rec, ok := ds.LookupCovering(p); ok {
-			fmt.Fprintf(&b, "%% note: %s not announced; answering for covering %s\r\n", q, rec.Prefix)
-			writeRecord(&b, rec)
+			fmt.Fprintf(w, "%% note: %s not announced; answering for covering %s\r\n", q, rec.Prefix)
+			writeRecord(w, rec)
 			break
 		}
 		mNoMatch.Inc()
-		b.WriteString("% no match\r\n")
+		io.WriteString(w, "% no match\r\n")
 	default:
 		if a, err := netip.ParseAddr(q); err == nil {
 			mQueriesAddr.Inc()
 			if rec, ok := ds.LookupAddr(a); ok {
-				writeRecord(&b, rec)
+				writeRecord(w, rec)
 				break
 			}
 			mNoMatch.Inc()
-			b.WriteString("% no match\r\n")
+			io.WriteString(w, "% no match\r\n")
 			break
 		}
 		// Organization-name query.
@@ -187,36 +200,35 @@ func (s *Server) Answer(q string) string {
 		c, ok := ds.ClusterOfOwner(q)
 		if !ok {
 			mNoMatch.Inc()
-			b.WriteString("% no match\r\n")
+			io.WriteString(w, "% no match\r\n")
 			break
 		}
-		fmt.Fprintf(&b, "cluster:      %s\r\n", c.ID)
-		fmt.Fprintf(&b, "base-name:    %s\r\n", c.BaseName)
+		fmt.Fprintf(w, "cluster:      %s\r\n", c.ID)
+		fmt.Fprintf(w, "base-name:    %s\r\n", c.BaseName)
 		for _, n := range c.OwnerNames {
-			fmt.Fprintf(&b, "org-name:     %s\r\n", n)
+			fmt.Fprintf(w, "org-name:     %s\r\n", n)
 		}
 		for _, p := range c.Prefixes {
-			fmt.Fprintf(&b, "prefix:       %s\r\n", p)
+			fmt.Fprintf(w, "prefix:       %s\r\n", p)
 		}
 	}
-	return b.String()
 }
 
-func writeRecord(b *strings.Builder, rec *prefix2org.Record) {
-	fmt.Fprintf(b, "prefix:        %s\r\n", rec.Prefix)
-	fmt.Fprintf(b, "rir:           %s\r\n", rec.RIR)
-	fmt.Fprintf(b, "direct-owner:  %s\r\n", rec.DirectOwner)
-	fmt.Fprintf(b, "do-prefix:     %s\r\n", rec.DOPrefix)
-	fmt.Fprintf(b, "do-type:       %s\r\n", rec.DOType)
+func writeRecord(w io.Writer, rec *prefix2org.Record) {
+	fmt.Fprintf(w, "prefix:        %s\r\n", rec.Prefix)
+	fmt.Fprintf(w, "rir:           %s\r\n", rec.RIR)
+	fmt.Fprintf(w, "direct-owner:  %s\r\n", rec.DirectOwner)
+	fmt.Fprintf(w, "do-prefix:     %s\r\n", rec.DOPrefix)
+	fmt.Fprintf(w, "do-type:       %s\r\n", rec.DOType)
 	for i, dc := range rec.DelegatedCustomers {
-		fmt.Fprintf(b, "customer:      %s (%s over %s)\r\n", dc, rec.DCTypes[i], rec.DCPrefixes[i])
+		fmt.Fprintf(w, "customer:      %s (%s over %s)\r\n", dc, rec.DCTypes[i], rec.DCPrefixes[i])
 	}
-	fmt.Fprintf(b, "base-name:     %s\r\n", rec.BaseName)
+	fmt.Fprintf(w, "base-name:     %s\r\n", rec.BaseName)
 	if rec.RPKICert != "" {
-		fmt.Fprintf(b, "rpki-cert:     %s\r\n", rec.RPKICert)
+		fmt.Fprintf(w, "rpki-cert:     %s\r\n", rec.RPKICert)
 	}
 	if rec.OriginASN != 0 {
-		fmt.Fprintf(b, "origin-as:     AS%d (cluster %s)\r\n", rec.OriginASN, rec.ASNCluster)
+		fmt.Fprintf(w, "origin-as:     AS%d (cluster %s)\r\n", rec.OriginASN, rec.ASNCluster)
 	}
-	fmt.Fprintf(b, "final-cluster: %s\r\n", rec.FinalCluster)
+	fmt.Fprintf(w, "final-cluster: %s\r\n", rec.FinalCluster)
 }

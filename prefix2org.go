@@ -51,6 +51,7 @@ import (
 	"github.com/prefix2org/prefix2org/internal/bgp"
 	"github.com/prefix2org/prefix2org/internal/cluster"
 	"github.com/prefix2org/prefix2org/internal/delegated"
+	"github.com/prefix2org/prefix2org/internal/lpm"
 	"github.com/prefix2org/prefix2org/internal/names"
 	"github.com/prefix2org/prefix2org/internal/obs"
 	"github.com/prefix2org/prefix2org/internal/radix"
@@ -196,9 +197,11 @@ type Dataset struct {
 	byPrefix  map[netip.Prefix]*Record
 	byCluster map[string]*Cluster
 	byOwner   map[string]*Cluster
-	// lpm answers longest-prefix-match queries (LookupAddr,
-	// LookupCovering) over the routed prefixes.
-	lpm *radix.Tree[*Record]
+	// idx is the frozen longest-prefix-match index over the routed
+	// prefixes (LookupAddr, LookupCovering, CoveringChainInto): flat
+	// sorted arrays mapping each prefix to its position in Records,
+	// immutable once built, shared by any number of concurrent readers.
+	idx *lpm.Index
 }
 
 // Lookup returns the record for a routed prefix.
@@ -209,39 +212,65 @@ func (d *Dataset) Lookup(p netip.Prefix) (*Record, bool) {
 
 // LookupAddr returns the record of the most specific routed prefix
 // covering addr — the longest-prefix match a WHOIS address query or a
-// data-plane attribution needs.
+// data-plane attribution needs. It performs zero heap allocations, so
+// the serve path can call it per query at line rate.
 func (d *Dataset) LookupAddr(a netip.Addr) (*Record, bool) {
-	if !a.IsValid() {
+	if d.idx == nil {
 		return nil, false
 	}
-	return d.LookupCovering(netip.PrefixFrom(a, a.BitLen()))
+	i, ok := d.idx.Lookup(a)
+	if !ok {
+		return nil, false
+	}
+	return &d.Records[i], true
 }
 
 // LookupCovering returns the record of the most specific routed prefix
 // covering p (p itself included when it is routed) — the fallback for
-// queries about sub-prefixes that are not announced on their own.
+// queries about sub-prefixes that are not announced on their own. Like
+// LookupAddr it allocates nothing.
 func (d *Dataset) LookupCovering(p netip.Prefix) (*Record, bool) {
-	if d.lpm == nil {
+	if d.idx == nil {
 		return nil, false
 	}
-	e, ok := d.lpm.LongestMatch(p.Masked())
+	i, ok := d.idx.LookupPrefix(p)
 	if !ok {
 		return nil, false
 	}
-	return e.Value, true
+	return &d.Records[i], true
+}
+
+// CoveringChainInto appends the records of every routed prefix
+// covering p to buf, least specific first, and returns the extended
+// buffer. With a caller-reused buffer the call performs no heap
+// allocations.
+func (d *Dataset) CoveringChainInto(p netip.Prefix, buf []*Record) []*Record {
+	if d.idx == nil {
+		return buf
+	}
+	start := len(buf)
+	for m, ok := d.idx.Match(p); ok; m, ok = m.Parent() {
+		buf = append(buf, &d.Records[m.Val()])
+	}
+	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf
 }
 
 // buildPrefixIndexes (re)derives the per-prefix read indexes — the exact
-// map behind Lookup and the LPM radix behind LookupAddr/LookupCovering —
-// from d.Records. Both Build and Load finish through here so every
-// Dataset answers the full query surface.
+// map behind Lookup and the frozen LPM index behind LookupAddr and
+// LookupCovering — from d.Records. Build and the JSON-snapshot Load
+// finish through here so every Dataset answers the full query surface;
+// the binary-snapshot load installs its deserialized index instead.
 func (d *Dataset) buildPrefixIndexes() {
 	d.byPrefix = make(map[netip.Prefix]*Record, len(d.Records))
-	d.lpm = radix.New[*Record]()
+	items := make([]lpm.Item, len(d.Records))
 	for i := range d.Records {
 		d.byPrefix[d.Records[i].Prefix] = &d.Records[i]
-		d.lpm.Insert(d.Records[i].Prefix, &d.Records[i])
+		items[i] = lpm.Item{Prefix: d.Records[i].Prefix, Val: int32(i)}
 	}
+	d.idx = lpm.Freeze(items)
 }
 
 // ClusterByID returns a final cluster by its ID.
@@ -345,11 +374,16 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 		haveDO bool
 	}
 	slots := make([]resolved, len(routed))
-	resolveOne := func(i int) {
+	// Each worker owns one covering-chain buffer, re-sliced per prefix,
+	// so the hottest tree walk of the pass allocates only when a chain
+	// outgrows every chain seen before it.
+	type chainBuf = []radix.Entry[[]whois.Entry]
+	resolveOne := func(i int, buf chainBuf) chainBuf {
 		p := routed[i]
-		rec, ok := resolveOwnership(tree, repo, p)
+		buf = tree.CoveringChainInto(p, buf[:0])
+		rec, ok := resolveOwnership(buf, repo, p)
 		if !ok {
-			return
+			return buf
 		}
 		if origin, has := table.Origin(p); has {
 			rec.OriginASN = origin
@@ -359,15 +393,17 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 			rec.RPKICert = c.SKI
 		}
 		slots[i] = resolved{rec: rec, haveDO: true}
+		return buf
 	}
 	if workers == 1 {
+		var buf chainBuf
 		for i := range routed {
 			if i%cancelCheckEvery == 0 {
 				if err := ctx.Err(); err != nil {
 					return nil, err
 				}
 			}
-			resolveOne(i)
+			buf = resolveOne(i, buf)
 		}
 	} else {
 		var next atomic.Int64
@@ -380,6 +416,7 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				var buf chainBuf
 				for {
 					start := int(next.Add(resolveChunk)) - resolveChunk
 					if start >= len(routed) || ctx.Err() != nil {
@@ -387,7 +424,7 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 					}
 					end := min(start+resolveChunk, len(routed))
 					for i := start; i < end; i++ {
-						resolveOne(i)
+						buf = resolveOne(i, buf)
 					}
 				}
 			}()
@@ -492,9 +529,18 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 	sort.Slice(ds.Records, func(i, j int) bool {
 		return comparePrefix(ds.Records[i].Prefix, ds.Records[j].Prefix) < 0
 	})
-	ds.buildPrefixIndexes()
 	span.Add("prefixes", int64(len(infos)))
 	span.Add("clusters", int64(len(cres.Final)))
+	span.End()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Compile the serve-path read indexes, including the frozen LPM
+	// index whoisd answers from.
+	span = tr.Start("freeze-index")
+	ds.buildPrefixIndexes()
+	span.Add("prefixes", int64(len(ds.Records)))
 	span.End()
 
 	if err := ctx.Err(); err != nil {
@@ -543,11 +589,11 @@ func famOf(p netip.Prefix) alloc.Family {
 	return alloc.IPv6
 }
 
-// resolveOwnership implements §5.2: find the most specific covering WHOIS
-// record, resolve the Delegated Customer chain, walk up to the Direct
-// Owner.
-func resolveOwnership(tree *radix.Tree[[]whois.Entry], repo *rpki.Repository, p netip.Prefix) (Record, bool) {
-	chain := tree.CoveringChain(p)
+// resolveOwnership implements §5.2: given the covering WHOIS chain for
+// p (least specific first, as produced by CoveringChainInto), resolve
+// the Delegated Customer chain and walk up to the Direct Owner. The
+// chain slice is only read — callers may reuse its backing buffer.
+func resolveOwnership(chain []radix.Entry[[]whois.Entry], repo *rpki.Repository, p netip.Prefix) (Record, bool) {
 	if len(chain) == 0 {
 		return Record{}, false
 	}

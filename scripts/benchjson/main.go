@@ -1,0 +1,232 @@
+// Command benchjson parses `go test -bench` output into JSON and
+// compares runs, with nothing beyond the standard library.
+//
+// Save mode (the `make bench-save` target):
+//
+//	go test -bench=. -benchmem -run='^$' . | go run ./scripts/benchjson -out BENCH_2026-08-06.json
+//
+// Compare mode (the `make bench-compare` / `make ci` guard):
+//
+//	go test -bench=. -benchmem -run='^$' . | go run ./scripts/benchjson -against BENCH_2026-08-06.json
+//
+// Compare fails (exit 1) when a benchmark present in both runs got
+// slower by more than -threshold (default 2.5x). The threshold is
+// deliberately generous: benchmarks run on shared CI machines, and the
+// guard is meant to catch order-of-magnitude regressions — an
+// accidental O(n^2), a lost fast path — not noise. Allocation counts
+// are compared exactly (they are deterministic): any benchmark that
+// reported 0 allocs/op in the saved run must still report 0.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the saved run: environment lines plus results.
+type File struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "write parsed results as JSON to this file")
+	against := flag.String("against", "", "compare parsed results against this saved JSON file")
+	threshold := flag.Float64("threshold", 2.5, "max allowed ns/op slowdown factor in compare mode")
+	flag.Parse()
+	if (*out == "") == (*against == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -against is required")
+		os.Exit(2)
+	}
+	cur, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(cur.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+	if *out != "" {
+		if err := save(*out, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchjson: wrote %d results to %s\n", len(cur.Results), *out)
+		return
+	}
+	base, err := load(*against)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if !compare(os.Stdout, base, cur, *threshold) {
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output. Benchmark lines look like:
+//
+//	BenchmarkName-8   123  456.7 ns/op  89 B/op  1 allocs/op  3.2 extra_metric
+func parse(r io.Reader) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			f.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			f.Results = append(f.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	// Strip the -GOMAXPROCS suffix so runs at different core counts
+	// still match up.
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("bad iteration count in %q", line)
+	}
+	res := Result{Name: name, Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("bad value %q in %q", fields[i], line)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			a := v
+			res.AllocsPerOp = &a
+		case "MB/s":
+			// throughput is derived from ns/op; skip
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	if res.NsPerOp == 0 && res.Iterations > 0 {
+		return Result{}, fmt.Errorf("no ns/op in %q", line)
+	}
+	return res, nil
+}
+
+func save(path string, f *File) error {
+	sort.Slice(f.Results, func(i, j int) bool { return f.Results[i].Name < f.Results[j].Name })
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func compare(w io.Writer, base, cur *File, threshold float64) bool {
+	baseBy := map[string]Result{}
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	names := make([]string, 0, len(cur.Results))
+	for _, r := range cur.Results {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	curBy := map[string]Result{}
+	for _, r := range cur.Results {
+		curBy[r.Name] = r
+	}
+	ok, compared := true, 0
+	for _, name := range names {
+		c := curBy[name]
+		b, found := baseBy[name]
+		if !found || b.NsPerOp == 0 {
+			fmt.Fprintf(w, "  new      %-50s %12.1f ns/op\n", name, c.NsPerOp)
+			continue
+		}
+		compared++
+		factor := c.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if factor > threshold {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		if b.AllocsPerOp != nil && *b.AllocsPerOp == 0 &&
+			(c.AllocsPerOp == nil || *c.AllocsPerOp != 0) {
+			verdict = "ALLOC-REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(w, "  %-8s %-50s %12.1f ns/op  (%.2fx of saved %.1f)\n", verdict, name, c.NsPerOp, factor, b.NsPerOp)
+	}
+	if compared == 0 {
+		fmt.Fprintln(w, "benchjson: no overlapping benchmarks to compare")
+		return false
+	}
+	if !ok {
+		fmt.Fprintf(w, "benchjson: regression beyond %.1fx threshold\n", threshold)
+	}
+	return ok
+}

@@ -2,19 +2,31 @@ package prefix2org
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/netip"
 	"os"
+
+	"github.com/prefix2org/prefix2org/internal/intern"
+	"github.com/prefix2org/prefix2org/internal/obs"
 )
 
-// Dataset snapshots are line-oriented JSON: one stats header, then
-// cluster lines, then record lines. The format is the public release
-// shape of the mapping (Listing 1 rows plus the cluster index), supports
-// streaming, and round-trips through Load — the basis for the periodic
-// snapshots and longitudinal diffs the paper proposes.
+// Dataset snapshots come in two formats sharing one Load entry point:
+//
+//   - Line-oriented JSON (this file): one stats header, then cluster
+//     lines, then record lines. The public release shape of the mapping
+//     (Listing 1 rows plus the cluster index) — streamable, greppable,
+//     and the compatibility format every version can read.
+//   - Binary (serialize_binary.go): the same data plus the frozen LPM
+//     index behind a magic header — the serve-path format the store
+//     reloader and snapshot export prefer, several times faster to
+//     load because nothing is re-parsed or re-frozen.
+//
+// Load sniffs the magic and dispatches, so consumers (p2o-whoisd,
+// p2o-rtrd, p2o-diff) accept either transparently.
 
 type snapshotStats struct {
 	Kind  string `json:"kind"` // "stats"
@@ -47,8 +59,9 @@ type snapshotRecord struct {
 	FinalCluster       string   `json:"Final Cluster"`
 }
 
-// Save writes the dataset snapshot.
+// Save writes the dataset snapshot in the JSON-lines format.
 func (d *Dataset) Save(w io.Writer) error {
+	defer obs.Time(mCodecSeconds.saveJSON)()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(snapshotStats{Kind: "stats", Stats: d.Stats}); err != nil {
@@ -82,13 +95,31 @@ func (d *Dataset) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a snapshot written by Save and rebuilds all indexes,
-// including the longest-prefix-match index behind LookupAddr.
+// Load reads a snapshot written by Save or SaveBinary — the format is
+// sniffed from the leading bytes — and rebuilds all indexes, including
+// the frozen longest-prefix-match index behind LookupAddr.
 func Load(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	if head, err := br.Peek(len(binaryMagic)); err == nil && bytes.Equal(head, binaryMagic[:]) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("prefix2org: read binary snapshot: %w", err)
+		}
+		return loadBinary(data)
+	}
+	return loadJSON(br)
+}
+
+func loadJSON(r io.Reader) (*Dataset, error) {
+	defer obs.Time(mCodecSeconds.loadJSON)()
 	d := &Dataset{
 		byCluster: map[string]*Cluster{},
 		byOwner:   map[string]*Cluster{},
 	}
+	// Most snapshot strings repeat across hundreds of thousands of
+	// lines (registry zones, allocation types, owner and cluster
+	// names); interning collapses each to a single allocation.
+	strs := intern.New(1 << 12)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	lineNo := 0
@@ -116,7 +147,7 @@ func Load(r io.Reader) (*Dataset, error) {
 			if err := json.Unmarshal(line, &scl); err != nil {
 				return nil, fmt.Errorf("prefix2org: snapshot line %d: %w", lineNo, err)
 			}
-			c := &Cluster{ID: scl.ID, BaseName: scl.BaseName, OwnerNames: scl.OwnerNames}
+			c := &Cluster{ID: strs.Intern(scl.ID), BaseName: strs.Intern(scl.BaseName), OwnerNames: internAll(strs, scl.OwnerNames)}
 			for _, s := range scl.Prefixes {
 				p, err := netip.ParsePrefix(s)
 				if err != nil {
@@ -135,10 +166,10 @@ func Load(r io.Reader) (*Dataset, error) {
 				return nil, fmt.Errorf("prefix2org: snapshot line %d: %w", lineNo, err)
 			}
 			rec := Record{
-				RIR: sr.RIR, DirectOwner: sr.DirectOwner, DOType: sr.DOType,
-				DelegatedCustomers: sr.DelegatedCustomers, DCTypes: sr.DCTypes,
-				BaseName: sr.BaseName, RPKICert: sr.RPKICert,
-				OriginASN: sr.OriginASN, ASNCluster: sr.ASNCluster, FinalCluster: sr.FinalCluster,
+				RIR: strs.Intern(sr.RIR), DirectOwner: strs.Intern(sr.DirectOwner), DOType: strs.Intern(sr.DOType),
+				DelegatedCustomers: internAll(strs, sr.DelegatedCustomers), DCTypes: internAll(strs, sr.DCTypes),
+				BaseName: strs.Intern(sr.BaseName), RPKICert: strs.Intern(sr.RPKICert),
+				OriginASN: sr.OriginASN, ASNCluster: strs.Intern(sr.ASNCluster), FinalCluster: strs.Intern(sr.FinalCluster),
 			}
 			var err error
 			if rec.Prefix, err = parseSnapshotPrefix(sr.Prefix); err != nil {
@@ -166,6 +197,13 @@ func Load(r io.Reader) (*Dataset, error) {
 	return d, nil
 }
 
+func internAll(t *intern.Table, ss []string) []string {
+	for i, s := range ss {
+		ss[i] = t.Intern(s)
+	}
+	return ss
+}
+
 func parseSnapshotPrefix(s string) (netip.Prefix, error) {
 	p, err := netip.ParsePrefix(s)
 	if err != nil {
@@ -174,8 +212,14 @@ func parseSnapshotPrefix(s string) (netip.Prefix, error) {
 	return p.Masked(), nil
 }
 
-// SaveFile writes the snapshot to path.
+// SaveFile writes the snapshot to path, choosing the format by
+// extension: `.json` and `.jsonl` get the JSON-lines compatibility
+// format, anything else the binary serve-path format. Load reads both
+// regardless of name.
 func (d *Dataset) SaveFile(path string) error {
+	if !jsonSnapshotPath(path) {
+		return d.SaveBinaryFile(path)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("prefix2org: create %s: %w", path, err)
