@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-concurrency lint race bench bench-all bench-save bench-compare fuzz-short verify ci
+.PHONY: build test vet vet-concurrency lint race bench bench-all bench-save bench-compare fuzz-short loadgen-smoke verify ci
 
 build:
 	$(GO) build ./...
@@ -46,10 +46,13 @@ bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # The serve-path benchmark set tracked across commits: frozen-index and
-# radix LPM lookups, snapshot save/load in both formats, and the bulk
-# WHOIS parsers.
-BENCH_TRACKED = ^(BenchmarkLookupAddr|BenchmarkLookupAddrRadix|BenchmarkSnapshotSaveLoad|BenchmarkFrozenLookup|BenchmarkRadixLookup|BenchmarkFreeze|BenchmarkParseRPSL|BenchmarkParseARIN|BenchmarkParseLACNIC)$$
-BENCH_PKGS = . ./internal/lpm ./internal/whois
+# radix LPM lookups, snapshot save/load in both formats, the bulk WHOIS
+# parsers, and the whoisd answer path (in-process and over loopback TCP).
+BENCH_TRACKED = ^(BenchmarkLookupAddr|BenchmarkLookupAddrRadix|BenchmarkSnapshotSaveLoad|BenchmarkFrozenLookup|BenchmarkRadixLookup|BenchmarkFreeze|BenchmarkParseRPSL|BenchmarkParseARIN|BenchmarkParseLACNIC|BenchmarkAnswerAddr|BenchmarkAnswerOverTCP)$$
+BENCH_PKGS = . ./internal/lpm ./internal/whois ./internal/whoisd
+# Lookup benchmarks are stable enough that a >20% slowdown is signal,
+# not noise; they get the strict threshold in bench-compare.
+BENCH_STRICT = Lookup
 BENCH_FILE ?= BENCH_$(shell date +%F).json
 
 # bench-save records the tracked benchmarks to a dated JSON file
@@ -60,14 +63,15 @@ bench-save:
 
 # bench-compare re-runs the tracked benchmarks and fails on a slowdown
 # beyond a generous threshold (2.5x: CI machines are noisy; the guard
-# is for lost fast paths, not jitter) or on any benchmark that regressed
+# is for lost fast paths, not jitter), on a >20% slowdown in the
+# BENCH_STRICT lookup benchmarks, or on any benchmark that regressed
 # from 0 allocs/op. Compares against the newest committed BENCH_*.json;
 # skips cleanly when none exists yet.
 bench-compare:
 	@latest=$$(ls -1 BENCH_*.json 2>/dev/null | sort | tail -1); \
 	if [ -z "$$latest" ]; then echo "bench-compare: no saved BENCH_*.json baseline, skipping"; exit 0; fi; \
 	echo "bench-compare: against $$latest"; \
-	$(GO) test -bench='$(BENCH_TRACKED)' -benchmem -run='^$$' $(BENCH_PKGS) | $(GO) run ./scripts/benchjson -against $$latest
+	$(GO) test -bench='$(BENCH_TRACKED)' -benchmem -run='^$$' $(BENCH_PKGS) | $(GO) run ./scripts/benchjson -against $$latest -strict-match '$(BENCH_STRICT)' -strict-threshold 1.2
 
 # fuzz-short gives every fuzz target a fixed, small budget on top of
 # its seed corpus. Entirely offline and deterministic enough for CI;
@@ -83,10 +87,16 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMRT -fuzztime=$(FUZZTIME) ./internal/bgp
 	$(GO) test -run='^$$' -fuzz=FuzzReadPDU -fuzztime=$(FUZZTIME) ./internal/rtr
 
+# loadgen-smoke drives the committed p2o-loadgen harness end to end
+# against an in-process whoisd (TestLoadgenSmoke): a short mixed-load
+# run over loopback must finish with zero transport errors.
+loadgen-smoke:
+	$(GO) test -run TestLoadgenSmoke -count=1 ./cmd/p2o-loadgen
+
 # verify is the tier-1 gate: vet (+ concurrency analyzers) + the
 # repository's own linter + build + race-enabled tests.
 verify: vet vet-concurrency lint build race
 
-# ci is the full gate: everything verify runs plus a short fuzz pass
-# and the benchmark-regression comparison.
-ci: vet vet-concurrency lint build race fuzz-short bench-compare
+# ci is the full gate: everything verify runs plus a short fuzz pass,
+# the loadgen smoke run, and the benchmark-regression comparison.
+ci: vet vet-concurrency lint build race fuzz-short loadgen-smoke bench-compare

@@ -1,0 +1,310 @@
+// Command p2o-loadgen drives synthetic WHOIS query load against a
+// running p2o-whoisd and reports client-side throughput and latency —
+// the harness behind the serve-path BENCH entries and the way to watch
+// the daemon's rolling SLO gauges move under pressure.
+//
+// Usage:
+//
+//	p2o-loadgen -addr HOST:PORT (-data DIR | -snapshot FILE) [flags]
+//
+// The query pool is sampled from the same dataset the server runs on
+// (-data builds it, -snapshot loads it), mixed across query types with
+// -mix addr=70,prefix=20,org=10. Each query is one RFC 3912 exchange:
+// dial, one line, read to EOF.
+//
+// With -reload-url and -reload-every, the run periodically triggers the
+// daemon's /reload endpoint — reload churn — to measure serve latency
+// while snapshots swap underneath the queries.
+//
+// The report (text, or -json) carries total queries, error count, qps,
+// and the client-side latency quantiles; -slo additionally counts
+// queries over a latency target.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/obs"
+	"github.com/prefix2org/prefix2org/internal/whois"
+)
+
+type config struct {
+	addr        string
+	dataDir     string
+	snapshot    string
+	duration    time.Duration
+	concurrency int
+	mix         string
+	timeout     time.Duration
+	slo         time.Duration
+	reloadURL   string
+	reloadEvery time.Duration
+	jsonOut     bool
+	seed        int64
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "whoisd address to load (host:port, required)")
+	flag.StringVar(&cfg.dataDir, "data", "", "data directory to sample queries from (the server's corpus)")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "pre-built dataset snapshot to sample queries from (alternative to -data)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run")
+	flag.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent client connections")
+	flag.StringVar(&cfg.mix, "mix", "addr=70,prefix=20,org=10", "query type mix as weights")
+	flag.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-query timeout")
+	flag.DurationVar(&cfg.slo, "slo", 0, "client-side latency SLO; queries over it are counted in the report (0 disables)")
+	flag.StringVar(&cfg.reloadURL, "reload-url", "", "admin /reload URL to hit periodically during the run (reload churn)")
+	flag.DurationVar(&cfg.reloadEvery, "reload-every", 2*time.Second, "reload churn interval (with -reload-url)")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON")
+	flag.Int64Var(&cfg.seed, "seed", 1, "query selection seed")
+	flag.Parse()
+	if cfg.addr == "" || (cfg.dataDir == "") == (cfg.snapshot == "") {
+		fmt.Fprintln(os.Stderr, "p2o-loadgen: -addr and exactly one of -data or -snapshot are required")
+		os.Exit(2)
+	}
+	rep, err := run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2o-loadgen:", err)
+		os.Exit(1)
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+		return
+	}
+	fmt.Print(rep)
+}
+
+// report is one load run's client-side result.
+type report struct {
+	Queries       int64   `json:"queries"`
+	Errors        int64   `json:"errors"`
+	SLOViolations int64   `json:"slo_violations,omitempty"`
+	Reloads       int64   `json:"reloads,omitempty"`
+	Seconds       float64 `json:"seconds"`
+	QPS           float64 `json:"qps"`
+	P50ms         float64 `json:"p50_ms"`
+	P90ms         float64 `json:"p90_ms"`
+	P99ms         float64 `json:"p99_ms"`
+	P999ms        float64 `json:"p999_ms"`
+}
+
+func (r report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queries:  %d (%d errors)\n", r.Queries, r.Errors)
+	fmt.Fprintf(&b, "duration: %.2fs\n", r.Seconds)
+	fmt.Fprintf(&b, "qps:      %.0f\n", r.QPS)
+	fmt.Fprintf(&b, "latency:  p50=%.3fms p90=%.3fms p99=%.3fms p999=%.3fms\n",
+		r.P50ms, r.P90ms, r.P99ms, r.P999ms)
+	if r.SLOViolations > 0 {
+		fmt.Fprintf(&b, "slo:      %d violations\n", r.SLOViolations)
+	}
+	if r.Reloads > 0 {
+		fmt.Fprintf(&b, "reloads:  %d\n", r.Reloads)
+	}
+	return b.String()
+}
+
+// pool is the sampled query corpus, one slice per query type.
+type pool struct {
+	addrs    []string
+	prefixes []string
+	orgs     []string
+}
+
+// maxPoolPerType bounds loadgen memory on huge datasets; sampling more
+// queries than this adds no coverage at load-test timescales.
+const maxPoolPerType = 4096
+
+func buildPool(ds *prefix2org.Dataset) (pool, error) {
+	var p pool
+	for i := range ds.Records {
+		if len(p.addrs) >= maxPoolPerType {
+			break
+		}
+		rec := &ds.Records[i]
+		p.addrs = append(p.addrs, rec.Prefix.Addr().String())
+		p.prefixes = append(p.prefixes, rec.Prefix.String())
+		p.orgs = append(p.orgs, rec.DirectOwner)
+	}
+	if len(p.addrs) == 0 {
+		return p, fmt.Errorf("dataset has no records to sample queries from")
+	}
+	return p, nil
+}
+
+// mixWeights parses "addr=70,prefix=20,org=10" into cumulative weights.
+type mixWeights struct {
+	addr, prefix, org int
+	total             int
+}
+
+func parseMix(s string) (mixWeights, error) {
+	var m mixWeights
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix element %q (want type=weight)", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", v)
+		}
+		switch k {
+		case "addr":
+			m.addr = w
+		case "prefix":
+			m.prefix = w
+		case "org":
+			m.org = w
+		default:
+			return m, fmt.Errorf("unknown query type %q (want addr|prefix|org)", k)
+		}
+	}
+	m.total = m.addr + m.prefix + m.org
+	if m.total == 0 {
+		return m, fmt.Errorf("mix %q selects no queries", s)
+	}
+	return m, nil
+}
+
+// pick selects one query by the mix from the pool using r.
+func (p pool) pick(m mixWeights, r *rand.Rand) string {
+	n := r.Intn(m.total)
+	switch {
+	case n < m.addr:
+		return p.addrs[r.Intn(len(p.addrs))]
+	case n < m.addr+m.prefix:
+		return p.prefixes[r.Intn(len(p.prefixes))]
+	default:
+		return p.orgs[r.Intn(len(p.orgs))]
+	}
+}
+
+// run executes one load run and returns the client-side report; the
+// test harness drives it directly with a short duration.
+func run(ctx context.Context, cfg config) (report, error) {
+	mix, err := parseMix(cfg.mix)
+	if err != nil {
+		return report{}, err
+	}
+	var ds *prefix2org.Dataset
+	if cfg.snapshot != "" {
+		ds, err = prefix2org.LoadFile(ctx, cfg.snapshot)
+	} else {
+		ds, err = prefix2org.BuildFromDir(ctx, cfg.dataDir, prefix2org.Options{})
+	}
+	if err != nil {
+		return report{}, err
+	}
+	p, err := buildPool(ds)
+	if err != nil {
+		return report{}, err
+	}
+
+	// Client-side latency accounting: the same estimator the daemon uses
+	// for its rolling gauges, so the two views are directly comparable.
+	window := obs.NewQuantileWindow(obs.DefaultQuantileWindow)
+	var queries, errs, sloViolations, reloads atomic.Int64
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
+	defer cancel()
+
+	// Reload churn: swap snapshots under the load so the run measures
+	// serve latency across hot reloads, not just steady state.
+	var churnWG sync.WaitGroup
+	if cfg.reloadURL != "" {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			t := time.NewTicker(cfg.reloadEvery)
+			defer t.Stop()
+			client := &http.Client{Timeout: cfg.timeout}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					req, err := http.NewRequestWithContext(ctx, "GET", cfg.reloadURL, nil)
+					if err != nil {
+						continue
+					}
+					resp, err := client.Do(req)
+					if err == nil {
+						resp.Body.Close()
+						reloads.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			client := &whois.Client{Addr: cfg.addr, Timeout: cfg.timeout}
+			// Check the wall clock against the run deadline, not just
+			// ctx.Err(): the net layer compares deadlines directly and
+			// starts failing dials the instant the deadline passes, a
+			// beat before the context's timer callback flips Err() —
+			// with hot workers those few hundred microseconds would
+			// count thousands of phantom "errors".
+			deadline, _ := ctx.Deadline()
+			expired := func() bool {
+				return ctx.Err() != nil || !time.Now().Before(deadline)
+			}
+			for !expired() {
+				q := p.pick(mix, rng)
+				qStart := time.Now()
+				_, err := client.Query(ctx, q)
+				lat := time.Since(qStart)
+				if err != nil {
+					if expired() {
+						return // deadline hit mid-query, not a server error
+					}
+					errs.Add(1)
+					continue
+				}
+				queries.Add(1)
+				window.Observe(lat.Seconds())
+				if cfg.slo > 0 && lat > cfg.slo {
+					sloViolations.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	churnWG.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	qs := window.Quantiles(0.50, 0.90, 0.99, 0.999)
+	return report{
+		Queries:       queries.Load(),
+		Errors:        errs.Load(),
+		SLOViolations: sloViolations.Load(),
+		Reloads:       reloads.Load(),
+		Seconds:       elapsed,
+		QPS:           float64(queries.Load()) / elapsed,
+		P50ms:         qs[0] * 1e3,
+		P90ms:         qs[1] * 1e3,
+		P99ms:         qs[2] * 1e3,
+		P999ms:        qs[3] * 1e3,
+	}, nil
+}

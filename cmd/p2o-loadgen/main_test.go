@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/synth"
+	"github.com/prefix2org/prefix2org/internal/whoisd"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("addr=70,prefix=20,org=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.addr != 70 || m.prefix != 20 || m.org != 10 || m.total != 100 {
+		t.Errorf("mix = %+v", m)
+	}
+	for _, bad := range []string{"", "addr", "addr=x", "bytes=3", "addr=0,prefix=0,org=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLoadgenSmoke runs the whole harness against a real whoisd over
+// loopback: a short, mixed-load run must complete with zero transport
+// errors and sane latency accounting. `make loadgen-smoke` runs exactly
+// this as part of make ci.
+func TestLoadgenSmoke(t *testing.T) {
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "loadgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := whoisd.NewStatic(ds)
+	addr, err := srv.Start(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rep, err := run(context.Background(), config{
+		addr:        addr,
+		dataDir:     dir,
+		duration:    500 * time.Millisecond,
+		concurrency: 4,
+		mix:         "addr=70,prefix=20,org=10",
+		timeout:     5 * time.Second,
+		slo:         time.Nanosecond, // every query violates: the counter must move
+		seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("no queries completed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d, want 0", rep.Errors)
+	}
+	if rep.QPS <= 0 {
+		t.Errorf("qps = %v, want > 0", rep.QPS)
+	}
+	if rep.P50ms <= 0 || rep.P99ms < rep.P50ms {
+		t.Errorf("quantiles look wrong: p50=%v p99=%v", rep.P50ms, rep.P99ms)
+	}
+	if rep.SLOViolations != rep.Queries {
+		t.Errorf("slo violations = %d, want %d (1ns target)", rep.SLOViolations, rep.Queries)
+	}
+	out := rep.String()
+	for _, want := range []string{"queries:", "qps:", "p50="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

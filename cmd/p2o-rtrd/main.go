@@ -37,6 +37,9 @@ type config struct {
 	listen         string
 	metricsListen  string
 	reloadInterval time.Duration
+	sloTarget      time.Duration
+	slowThreshold  time.Duration
+	querySample    int
 	logLevel       string
 	logJSON        bool
 }
@@ -47,6 +50,9 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8282", "address to serve RTR on")
 	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, /reload, pprof); empty disables it")
 	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0, "reload the RPKI repository periodically (e.g. 10m); 0 reloads only on SIGHUP or /reload")
+	flag.DurationVar(&cfg.sloTarget, "slo-target", 0, "latency SLO per PDU exchange (e.g. 50ms); exchanges over it count in rtr_slo_violations_total; 0 disables")
+	flag.DurationVar(&cfg.slowThreshold, "slow-query-threshold", 250*time.Millisecond, "capture and log PDU exchanges slower than this; 0 disables")
+	flag.IntVar(&cfg.querySample, "query-sample", 16, "record a detailed span for 1 in N PDU exchanges on /debug/queries; 0 disables sampling")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug|info|warn|error")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -82,27 +88,25 @@ func start(cfg config) (*app, error) {
 	logger := obs.Logger("p2o-rtrd")
 
 	build := store.RepoBuilder(cfg.dataDir)
-	snap, err := build(context.Background())
-	if err != nil {
-		return nil, err
-	}
-	st := store.New(snap)
+	// The store starts pending (version 0, not ready) so the admin
+	// listener — and its /healthz readiness probe — is up before the
+	// first build: probes see 503 while the repository loads, not
+	// connection refused.
+	st := store.NewPending(cfg.dataDir)
 	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval})
-	ctx, cancel := context.WithCancel(context.Background())
-	go rel.Run(ctx)
 
-	srv := rtr.NewServer(snap.Repo)
-	detach := srv.Track(st)
-	addr, err := srv.Start(cfg.listen)
-	if err != nil {
-		detach()
-		cancel()
-		return nil, err
-	}
-	a := &app{srv: srv, store: st, reloader: rel, detach: detach, stop: cancel, logger: logger, RTRAddr: addr}
+	tel := rtr.Telemetry()
+	tel.SetSLOTarget(cfg.sloTarget)
+	tel.SetSlowThreshold(cfg.slowThreshold)
+	tel.SetSampleEvery(uint64(max(cfg.querySample, 0)))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &app{store: st, reloader: rel, stop: cancel, logger: logger}
 	if cfg.metricsListen != "" {
 		admin, err := obs.ServeAdmin(cfg.metricsListen, obs.Default(),
-			obs.Route{Pattern: "/reload", Handler: rel.Handler()})
+			obs.Route{Pattern: "/reload", Handler: rel.Handler()},
+			obs.Route{Pattern: "/healthz", Handler: obs.ReadyHandler(st.Ready)},
+			obs.Route{Pattern: "/debug/queries", Handler: tel.DebugHandler()})
 		if err != nil {
 			a.Close()
 			return nil, err
@@ -110,6 +114,24 @@ func start(cfg config) (*app, error) {
 		a.admin, a.AdminAddr = admin, admin.Addr()
 		logger.Info("admin listener up", "addr", admin.Addr())
 	}
+	snap, err := build(ctx)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	st.Swap(snap)
+
+	srv := rtr.NewServer(snap.Repo)
+	a.srv = srv
+	a.detach = srv.Track(st)
+	go rel.Run(ctx)
+
+	addr, err := srv.Start(ctx, cfg.listen)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	a.RTRAddr = addr
 	logger.Info("serving rtr",
 		"addr", addr, "snapshot", snap.Version,
 		"vrps", len(rtr.VRPsFromRepository(snap.Repo)), "serial", srv.Serial())
@@ -118,11 +140,15 @@ func start(cfg config) (*app, error) {
 
 func (a *app) Close() {
 	a.stop()
-	a.detach()
+	if a.detach != nil {
+		a.detach()
+	}
 	if a.admin != nil {
 		_ = a.admin.Close()
 	}
-	_ = a.srv.Close()
+	if a.srv != nil {
+		_ = a.srv.Close()
+	}
 }
 
 func run(cfg config) error {

@@ -46,6 +46,9 @@ type config struct {
 	listen         string
 	metricsListen  string
 	reloadInterval time.Duration
+	sloTarget      time.Duration
+	slowThreshold  time.Duration
+	querySample    int
 	logLevel       string
 	logJSON        bool
 }
@@ -57,6 +60,9 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:4343", "address to serve WHOIS on")
 	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, /reload, pprof); empty disables it")
 	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0, "rebuild and swap the dataset periodically (e.g. 1h); 0 reloads only on SIGHUP or /reload")
+	flag.DurationVar(&cfg.sloTarget, "slo-target", 0, "latency SLO per query (e.g. 5ms); queries over it count in whoisd_slo_violations_total; 0 disables")
+	flag.DurationVar(&cfg.slowThreshold, "slow-query-threshold", 250*time.Millisecond, "capture and log queries slower than this; 0 disables")
+	flag.IntVar(&cfg.querySample, "query-sample", 16, "record a detailed span for 1 in N queries on /debug/queries; 0 disables sampling")
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug|info|warn|error")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -91,30 +97,33 @@ func start(cfg config) (*app, error) {
 	logger := obs.Logger("p2o-whoisd")
 
 	var build store.BuildFunc
+	source := cfg.dataDir
 	if cfg.snapshot != "" {
 		build = store.FileBuilder(cfg.snapshot)
+		source = cfg.snapshot
 	} else {
 		build = store.DirBuilder(cfg.dataDir, prefix2org.Options{})
 	}
-	snap, err := build(context.Background())
-	if err != nil {
-		return nil, err
-	}
-	st := store.New(snap)
+	// The store starts pending (version 0, not ready) so the admin
+	// listener — and its /healthz readiness probe — is up before the
+	// first build: probes see 503 while the dataset builds, not
+	// connection refused.
+	st := store.NewPending(source)
 	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval})
-	ctx, cancel := context.WithCancel(context.Background())
-	go rel.Run(ctx)
 
+	tel := whoisd.Telemetry()
+	tel.SetSLOTarget(cfg.sloTarget)
+	tel.SetSlowThreshold(cfg.slowThreshold)
+	tel.SetSampleEvery(uint64(max(cfg.querySample, 0)))
+
+	ctx, cancel := context.WithCancel(context.Background())
 	srv := whoisd.New(st)
-	addr, err := srv.Start(cfg.listen)
-	if err != nil {
-		cancel()
-		return nil, err
-	}
-	a := &app{srv: srv, store: st, reloader: rel, stop: cancel, logger: logger, WhoisAddr: addr}
+	a := &app{srv: srv, store: st, reloader: rel, stop: cancel, logger: logger}
 	if cfg.metricsListen != "" {
 		admin, err := obs.ServeAdmin(cfg.metricsListen, obs.Default(),
-			obs.Route{Pattern: "/reload", Handler: rel.Handler()})
+			obs.Route{Pattern: "/reload", Handler: rel.Handler()},
+			obs.Route{Pattern: "/healthz", Handler: obs.ReadyHandler(st.Ready)},
+			obs.Route{Pattern: "/debug/queries", Handler: tel.DebugHandler()})
 		if err != nil {
 			a.Close()
 			return nil, err
@@ -122,6 +131,20 @@ func start(cfg config) (*app, error) {
 		a.admin, a.AdminAddr = admin, admin.Addr()
 		logger.Info("admin listener up", "addr", admin.Addr())
 	}
+	snap, err := build(ctx)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	st.Swap(snap)
+	go rel.Run(ctx)
+
+	addr, err := srv.Start(ctx, cfg.listen)
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	a.WhoisAddr = addr
 	ds := snap.Dataset
 	logger.Info("serving whois",
 		"addr", addr, "snapshot", snap.Version, "records", len(ds.Records), "clusters", len(ds.Clusters))

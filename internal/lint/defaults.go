@@ -115,7 +115,7 @@ func DefaultConfig(modPath string) *Config {
 		Obs: ObsConfig{
 			RegistryType: modPath + "/internal/obs.Registry",
 			LabelFunc:    modPath + "/internal/obs.Label",
-			Methods:      []string{"Counter", "Gauge", "Histogram"},
+			Methods:      []string{"Counter", "Gauge", "Histogram", "GaugeFunc"},
 		},
 	}
 }

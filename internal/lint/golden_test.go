@@ -33,7 +33,7 @@ func fixtureConfig(fixture, modPath string) *Config {
 		return &Config{Obs: ObsConfig{
 			RegistryType: modPath + "/obs.Registry",
 			LabelFunc:    modPath + "/obs.Label",
-			Methods:      []string{"Counter", "Gauge", "Histogram"},
+			Methods:      []string{"Counter", "Gauge", "Histogram", "GaugeFunc"},
 		}}
 	}
 	return &Config{}

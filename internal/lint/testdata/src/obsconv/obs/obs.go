@@ -15,6 +15,9 @@ func (r *Registry) Gauge(name string) *int { _ = name; return new(int) }
 // Histogram returns a distribution metric.
 func (r *Registry) Histogram(name string) *int { _ = name; return new(int) }
 
+// GaugeFunc registers a scrape-time computed gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64) { _, _ = name, fn }
+
 // Label renders a metric name with key=value labels appended.
 func Label(name string, kv ...string) string {
 	return name + "," + strings.Join(kv, ",")

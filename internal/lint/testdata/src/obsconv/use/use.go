@@ -13,4 +13,7 @@ func Wire(r *obs.Registry, dynamic string) {
 	r.Counter(obs.Label("FlushCount", "rir", "ripe"))         // want: label base not snake_case
 	r.Counter(dynamic)                                        // want: non-literal name
 	r.Counter("build_total")                                  // want: duplicate registration
+	r.GaugeFunc("queue_depth", func() float64 { return 0 })   // ok
+	r.GaugeFunc("QueueDepth", func() float64 { return 0 })    // want: not snake_case
+	r.GaugeFunc(dynamic, func() float64 { return 0 })         // want: non-literal name
 }

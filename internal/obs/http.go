@@ -12,35 +12,51 @@ import (
 	"time"
 )
 
-// WriteText renders the registry in a Prometheus-style plain-text form,
-// sorted by metric name for deterministic output:
+// WriteText renders the registry in a Prometheus-style plain-text form.
+// Metric families are sorted by name; each histogram family emits its
+// cumulative buckets in ascending bound order with the +Inf bucket
+// terminal, then the _sum and _count lines:
 //
 //	whoisd_queries_total 42
-//	whoisd_query_seconds_count 3
-//	whoisd_query_seconds_sum 0.004
 //	whoisd_query_seconds_bucket{le="0.001"} 1
 //	...
 //	whoisd_query_seconds_bucket{le="+Inf"} 3
+//	whoisd_query_seconds_sum 0.004
+//	whoisd_query_seconds_count 3
+//
+// The output is byte-for-byte deterministic for a given registry state,
+// so scrapers and golden tests can rely on the ordering.
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
-	var lines []string
+	// One family per scalar metric or histogram, interleaved in one
+	// name-sorted sequence; a histogram family keeps its bucket order
+	// (ascending by construction in Snapshot, +Inf last).
+	families := make(map[string][]string, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
 	for name, v := range s.Counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+		families[name] = []string{fmt.Sprintf("%s %d", name, v)}
 	}
 	for name, v := range s.Gauges {
-		lines = append(lines, fmt.Sprintf("%s %s", name, formatFloat(v)))
+		families[name] = []string{fmt.Sprintf("%s %s", name, formatFloat(v))}
 	}
 	for name, h := range s.Histograms {
-		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.Count))
-		lines = append(lines, fmt.Sprintf("%s_sum %s", name, formatFloat(h.Sum)))
+		lines := make([]string, 0, len(h.Buckets)+2)
 		for _, b := range h.Buckets {
 			lines = append(lines, fmt.Sprintf("%s_bucket{le=%q} %d", name, b.Le, b.Count))
 		}
+		lines = append(lines, fmt.Sprintf("%s_sum %s", name, formatFloat(h.Sum)))
+		lines = append(lines, fmt.Sprintf("%s_count %d", name, h.Count))
+		families[name] = lines
 	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		if _, err := fmt.Fprintln(w, l); err != nil {
-			return err
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, l := range families[name] {
+			if _, err := fmt.Fprintln(w, l); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -78,19 +94,47 @@ type Route struct {
 	Handler http.Handler
 }
 
+// ReadyHandler is a readiness probe: 200 "ok" while ready() is true,
+// 503 "not ready" otherwise. Daemons mount it at /healthz (overriding
+// the always-200 default) wired to their snapshot store, so a process
+// that is up but has not installed its first real snapshot is not yet
+// routed traffic — the readiness half of the readiness/liveness split
+// (liveness is the admin listener answering at all).
+func ReadyHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready")
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+}
+
 // ServeAdmin starts the admin listener on addr (":0" for an ephemeral
-// port) exposing reg plus any extra routes. Close releases it.
+// port) exposing reg plus any extra routes. An extra route may claim a
+// built-in pattern (daemons mount ReadyHandler at /healthz); the extra
+// route then replaces the default. Close releases the listener.
 func ServeAdmin(addr string, reg *Registry, extra ...Route) (*Admin, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
 	}
+	claimed := map[string]bool{}
+	for _, rt := range extra {
+		claimed[rt.Pattern] = true
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", reg.Handler())
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	if !claimed["/metrics"] {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	if !claimed["/healthz"] {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

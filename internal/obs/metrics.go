@@ -18,6 +18,7 @@ type Registry struct {
 	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
 	histograms map[string]*Histogram
 }
 
@@ -26,6 +27,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() float64{},
 		histograms: map[string]*Histogram{},
 	}
 }
@@ -69,6 +71,18 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — rolling quantiles, ages, pool occupancies: anything cheaper to
+// derive on demand than to push on every event. The first registration
+// for a name wins; fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaugeFuncs[name]; !ok {
+		r.gaugeFuncs[name] = fn
+	}
 }
 
 // Histogram returns the histogram registered under name, creating it
@@ -238,7 +252,12 @@ func (r *Registry) Snapshot() Snapshot {
 		Histograms: map[string]HistogramSnapshot{},
 	}
 	r.mu.RLock()
-	defer r.mu.RUnlock()
+	// Gauge funcs are evaluated after the lock drops: they are arbitrary
+	// callbacks and must be free to touch the registry themselves.
+	fns := make(map[string]func() float64, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		fns[name] = fn
+	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}
@@ -258,6 +277,10 @@ func (r *Registry) Snapshot() Snapshot {
 			hs.Buckets = append(hs.Buckets, BucketCount{Le: le, Count: cum})
 		}
 		s.Histograms[name] = hs
+	}
+	r.mu.RUnlock()
+	for name, fn := range fns {
+		s.Gauges[name] = fn()
 	}
 	return s
 }

@@ -148,17 +148,116 @@ func TestWriteTextGolden(t *testing.T) {
 	}
 	want := `errors_total 1
 queries_total{type="prefix"} 3
-query_seconds_bucket{le="+Inf"} 3
 query_seconds_bucket{le="0.01"} 2
 query_seconds_bucket{le="0.1"} 3
-query_seconds_count 3
+query_seconds_bucket{le="+Inf"} 3
 query_seconds_sum 0.060000000000000005
+query_seconds_count 3
 vrps 910
 `
 	if b.String() != want {
 		t.Errorf("WriteText output:\n%s\nwant:\n%s", b.String(), want)
 	}
 }
+
+// TestWriteTextHistogramOrderGolden pins the histogram exposition
+// contract: cumulative buckets in ascending bound order — numeric order,
+// not lexical (le="10" after le="2") — with the +Inf bucket terminal,
+// followed by _sum and _count.
+func TestWriteTextHistogramOrderGolden(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("reload_seconds", []float64{0.5, 2, 10})
+	for _, v := range []float64{0.25, 1, 5, 60} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `reload_seconds_bucket{le="0.5"} 1
+reload_seconds_bucket{le="2"} 2
+reload_seconds_bucket{le="10"} 3
+reload_seconds_bucket{le="+Inf"} 4
+reload_seconds_sum 66.25
+reload_seconds_count 4
+`
+	if b.String() != want {
+		t.Errorf("WriteText output:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	v := 1.5
+	reg.GaugeFunc("rolling_p99_seconds", func() float64 { return v })
+	if got := reg.Snapshot().Gauges["rolling_p99_seconds"]; got != 1.5 {
+		t.Errorf("gauge func snapshot = %v, want 1.5", got)
+	}
+	v = 2.5
+	if got := reg.Snapshot().Gauges["rolling_p99_seconds"]; got != 2.5 {
+		t.Errorf("gauge func snapshot = %v, want 2.5 after update", got)
+	}
+	// First registration wins; a GaugeFunc may itself read the registry
+	// without deadlocking the scrape.
+	reg.GaugeFunc("rolling_p99_seconds", func() float64 { return -1 })
+	reg.GaugeFunc("derived_total", func() float64 {
+		return float64(reg.Counter("base_total").Value())
+	})
+	reg.Counter("base_total").Add(7)
+	snap := reg.Snapshot()
+	if got := snap.Gauges["rolling_p99_seconds"]; got != 2.5 {
+		t.Errorf("second registration overrode the first: %v", got)
+	}
+	if got := snap.Gauges["derived_total"]; got != 7 {
+		t.Errorf("registry-reading gauge func = %v, want 7", got)
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "rolling_p99_seconds 2.5") {
+		t.Errorf("text exposition missing gauge func:\n%s", b.String())
+	}
+}
+
+// TestRegistryGetOrCreateHammer races get-or-create across instrument
+// kinds and labeled names (the whoisd per-snapshot-version counters do
+// exactly this under live traffic). Run under -race by make verify;
+// every goroutine must land on the same instrument per name.
+func TestRegistryGetOrCreateHammer(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker, names = 16, 200, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v := versions[i%names]
+				reg.Counter(Label("hammer_total", "version", v)).Inc()
+				reg.Gauge(Label("hammer_gauge", "version", v)).Set(float64(i))
+				reg.Histogram("hammer_seconds", DefBuckets).Observe(0.001)
+				if i%50 == 0 {
+					reg.GaugeFunc("hammer_fn", func() float64 { return 1 })
+					_ = reg.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range versions[:names] {
+		total += reg.Counter(Label("hammer_total", "version", v)).Value()
+	}
+	if total != workers*perWorker {
+		t.Errorf("labeled counters sum to %d, want %d", total, workers*perWorker)
+	}
+	if got := reg.Histogram("hammer_seconds", DefBuckets).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+var versions = []string{"1", "2", "3", "4", "5", "6", "7", "8"}
 
 func TestMetricsHandlerJSONAndText(t *testing.T) {
 	reg := NewRegistry()

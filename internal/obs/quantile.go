@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// QuantileWindow estimates rolling latency quantiles from a fixed-size
+// ring of the most recent observations. Observe is lock-free and
+// allocation-free — an atomic slot claim plus one atomic store — so it
+// can sit on a serve path that must stay zero-alloc; Quantile copies and
+// sorts the window (the /metrics scrape path, where an allocation per
+// scrape is irrelevant).
+//
+// The window is deliberately approximate: a reader may see a slot
+// mid-overwrite, which replaces one sample with another valid sample.
+// For SLO gauges over thousands of queries that is indistinguishable
+// from the ring advancing one observation sooner.
+type QuantileWindow struct {
+	slots []atomic.Uint64 // float64 bits
+	n     atomic.Uint64   // total observations ever; slots used = min(n, len)
+}
+
+// DefaultQuantileWindow is the sample count the daemons keep: large
+// enough that p999 over a busy second is meaningful, small enough that a
+// scrape-time copy-and-sort is microseconds.
+const DefaultQuantileWindow = 8192
+
+// NewQuantileWindow returns a window over the last size observations
+// (DefaultQuantileWindow when size <= 0).
+func NewQuantileWindow(size int) *QuantileWindow {
+	if size <= 0 {
+		size = DefaultQuantileWindow
+	}
+	return &QuantileWindow{slots: make([]atomic.Uint64, size)}
+}
+
+// Observe records one value, evicting the oldest once the window is
+// full. Safe for concurrent use; never allocates.
+func (w *QuantileWindow) Observe(v float64) {
+	i := w.n.Add(1) - 1
+	w.slots[i%uint64(len(w.slots))].Store(math.Float64bits(v))
+}
+
+// Count returns the total number of observations ever recorded (not the
+// window occupancy).
+func (w *QuantileWindow) Count() uint64 { return w.n.Load() }
+
+// Quantile returns the q-quantile (0 <= q <= 1) over the current
+// window, 0 when nothing has been observed. q is clamped.
+func (w *QuantileWindow) Quantile(q float64) float64 {
+	qs := w.Quantiles(q)
+	return qs[0]
+}
+
+// Quantiles returns several quantiles from one copy-and-sort of the
+// window — the scrape path asks for p50/p90/p99/p999 together.
+func (w *QuantileWindow) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	n := w.n.Load()
+	used := int(n)
+	if used > len(w.slots) {
+		used = len(w.slots)
+	}
+	if used == 0 {
+		return out
+	}
+	samples := make([]float64, used)
+	for i := 0; i < used; i++ {
+		samples[i] = math.Float64frombits(w.slots[i].Load())
+	}
+	sort.Float64s(samples)
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		idx := int(math.Ceil(q*float64(used))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out[i] = samples[idx]
+	}
+	return out
+}

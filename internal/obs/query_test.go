@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileWindowBasics(t *testing.T) {
+	w := NewQuantileWindow(100)
+	if got := w.Quantile(0.5); got != 0 {
+		t.Errorf("empty window p50 = %v, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 50}, {0.9, 90}, {0.99, 99}, {1, 100}, {0, 1}} {
+		if got := w.Quantile(tc.q); got != tc.want {
+			t.Errorf("q=%v: got %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// The window rolls: 100 more observations of a new level evict the
+	// old ones entirely.
+	for i := 0; i < 100; i++ {
+		w.Observe(1000)
+	}
+	if got := w.Quantile(0.5); got != 1000 {
+		t.Errorf("rolled window p50 = %v, want 1000", got)
+	}
+	if w.Count() != 200 {
+		t.Errorf("count = %d, want 200", w.Count())
+	}
+}
+
+func TestQuantileWindowConcurrent(t *testing.T) {
+	w := NewQuantileWindow(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Observe(0.005)
+				_ = w.Quantile(0.99)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.Quantile(0.5); got != 0.005 {
+		t.Errorf("p50 = %v, want 0.005", got)
+	}
+}
+
+func TestQuantileWindowObserveZeroAlloc(t *testing.T) {
+	w := NewQuantileWindow(256)
+	if n := testing.AllocsPerRun(200, func() { w.Observe(0.001) }); n != 0 {
+		t.Errorf("Observe allocates %.1f times per call, want 0", n)
+	}
+}
+
+func newTestTelemetry(reg *Registry) *QueryTelemetry {
+	return NewQueryTelemetry(QueryTelemetryConfig{
+		Latency:        reg.Histogram("tq_seconds", DefBuckets),
+		SLOViolations:  reg.Counter("tq_slo_violations_total"),
+		WindowSize:     128,
+		RecentCapacity: 4,
+		SlowCapacity:   2,
+	})
+}
+
+func TestQueryTelemetrySampling(t *testing.T) {
+	tel := newTestTelemetry(NewRegistry())
+	tel.SetSampleEvery(4)
+	ctx := context.Background()
+	var sampled int
+	for i := 0; i < 16; i++ {
+		spctx, sp := tel.StartSpan(ctx)
+		if sp != nil {
+			sampled++
+			if SpanFromContext(spctx) != sp {
+				t.Fatal("sampled span not carried by the returned context")
+			}
+		} else if spctx != ctx {
+			t.Fatal("unsampled query got a derived context")
+		}
+		tel.Finish(sp, QueryInfo{Start: time.Now(), Text: "q", Type: "addr", Outcome: "match"})
+	}
+	if sampled != 4 {
+		t.Errorf("sampled %d of 16 at 1-in-4, want 4", sampled)
+	}
+	tel.SetSampleEvery(0)
+	if _, sp := tel.StartSpan(ctx); sp != nil {
+		t.Error("sampling disabled but got a span")
+	}
+	tel.SetSampleEvery(1)
+	// nil ctx is the span-less embedding path (Server.Answer).
+	if _, sp := tel.StartSpan(nil); sp != nil {
+		t.Error("nil context got a span")
+	}
+}
+
+// TestQueryTelemetryUnsampledZeroAlloc pins the tentpole contract: with
+// sampling off (or a query not selected), StartSpan + Finish — the full
+// per-query telemetry overhead including the quantile window, the
+// latency histogram, and the SLO comparison — allocates nothing.
+func TestQueryTelemetryUnsampledZeroAlloc(t *testing.T) {
+	tel := newTestTelemetry(NewRegistry())
+	tel.SetSampleEvery(0)
+	tel.SetSLOTarget(time.Millisecond)
+	ctx := context.Background()
+	info := QueryInfo{Start: time.Now(), Text: "198.51.100.7", Type: "addr", Outcome: "match", SnapshotVersion: 3}
+	if n := testing.AllocsPerRun(200, func() {
+		spctx, sp := tel.StartSpan(ctx)
+		sp.Mark(PhaseParse)
+		_ = SpanFromContext(spctx)
+		tel.Finish(sp, info)
+	}); n != 0 {
+		t.Errorf("unsampled query path allocates %.1f times per query, want 0", n)
+	}
+}
+
+func TestQueryTelemetrySLOAndQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	tel := newTestTelemetry(reg)
+	tel.SetSampleEvery(0)
+	tel.SetSLOTarget(10 * time.Millisecond)
+	now := time.Now()
+	// 9 fast queries (forged start 1ms ago), 1 slow (forged 50ms ago).
+	for i := 0; i < 9; i++ {
+		tel.Finish(nil, QueryInfo{Start: now.Add(-time.Millisecond), Type: "addr", Outcome: "match"})
+	}
+	tel.Finish(nil, QueryInfo{Start: now.Add(-50 * time.Millisecond), Type: "addr", Outcome: "match"})
+	if got := reg.Counter("tq_slo_violations_total").Value(); got != 1 {
+		t.Errorf("slo violations = %d, want 1", got)
+	}
+	if got := reg.Histogram("tq_seconds", DefBuckets).Count(); got != 10 {
+		t.Errorf("latency histogram count = %d, want 10", got)
+	}
+	p50, p99 := tel.Quantile(0.5), tel.Quantile(0.99)
+	if p50 < 0.001 || p50 > 0.040 {
+		t.Errorf("p50 = %v, want ~1ms", p50)
+	}
+	if p99 < 0.050 {
+		t.Errorf("p99 = %v, want >= 50ms", p99)
+	}
+	if math.IsNaN(p50) || math.IsNaN(p99) {
+		t.Error("NaN quantile")
+	}
+}
+
+func TestQueryTelemetrySlowCaptureAndDebugHandler(t *testing.T) {
+	tel := newTestTelemetry(NewRegistry())
+	tel.SetSampleEvery(1)
+	tel.SetSlowThreshold(20 * time.Millisecond)
+	ctx := context.Background()
+	now := time.Now()
+
+	// A fast sampled query: recent ring only.
+	_, sp := tel.StartSpan(ctx)
+	sp.Mark(PhaseParse)
+	sp.Mark(PhaseLookup)
+	tel.Finish(sp, QueryInfo{Start: now, Text: "fast", Type: "addr", Outcome: "match", SnapshotVersion: 2})
+	// A slow one (forged start): both rings, with phases.
+	_, sp = tel.StartSpan(ctx)
+	sp.Mark(PhaseLookup)
+	tel.Finish(sp, QueryInfo{Start: now.Add(-100 * time.Millisecond), Text: "slow", Type: "prefix", Outcome: "no_match", SnapshotVersion: 2})
+
+	recent, slow := tel.Recent(), tel.Slow()
+	if len(recent) != 2 {
+		t.Fatalf("recent = %d records, want 2", len(recent))
+	}
+	if recent[0].Query != "slow" || recent[1].Query != "fast" {
+		t.Errorf("recent order = %q,%q, want newest first", recent[0].Query, recent[1].Query)
+	}
+	if recent[0].PhasesUS == nil {
+		t.Error("sampled record lost its phase timings")
+	}
+	if len(slow) != 1 || slow[0].Query != "slow" || slow[0].DurationUS < 100_000 {
+		t.Errorf("slow ring = %+v", slow)
+	}
+
+	// Ring stays bounded: capacity 4, newest first.
+	for i := 0; i < 10; i++ {
+		_, sp := tel.StartSpan(ctx)
+		tel.Finish(sp, QueryInfo{Start: now, Text: "fill", Type: "org", Outcome: "match"})
+	}
+	if got := tel.Recent(); len(got) != 4 || got[0].Query != "fill" {
+		t.Errorf("bounded ring = %d records, first %q", len(got), got[0].Query)
+	}
+
+	srv := httptest.NewServer(tel.DebugHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page struct {
+		QuantilesMS map[string]float64 `json:"rolling_quantiles_ms"`
+		Recent      []QueryRecord      `json:"recent"`
+		Slow        []QueryRecord      `json:"slow"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Recent) != 4 || len(page.Slow) != 1 {
+		t.Errorf("debug page: %d recent, %d slow", len(page.Recent), len(page.Slow))
+	}
+	if _, ok := page.QuantilesMS["p99"]; !ok {
+		t.Errorf("debug page missing rolling quantiles: %v", page.QuantilesMS)
+	}
+}
+
+func TestQuerySpanPhases(t *testing.T) {
+	tel := newTestTelemetry(NewRegistry())
+	tel.SetSampleEvery(1)
+	_, sp := tel.StartSpan(context.Background())
+	if sp == nil {
+		t.Fatal("1-in-1 sampling returned no span")
+	}
+	time.Sleep(2 * time.Millisecond)
+	sp.Mark(PhaseParse)
+	time.Sleep(time.Millisecond)
+	sp.Mark(PhaseLookup)
+	sp.Mark(PhaseWrite)
+	if sp.Phase(PhaseParse) < 2*time.Millisecond {
+		t.Errorf("parse phase = %v, want >= 2ms", sp.Phase(PhaseParse))
+	}
+	if sp.Phase(PhaseLookup) < time.Millisecond {
+		t.Errorf("lookup phase = %v, want >= 1ms", sp.Phase(PhaseLookup))
+	}
+	// Nil-safety: all span methods must be callable through a nil
+	// receiver (the unsampled path).
+	var nilSpan *QuerySpan
+	nilSpan.Mark(PhaseWrite)
+	if nilSpan.Phase(PhaseWrite) != 0 {
+		t.Error("nil span phase != 0")
+	}
+}

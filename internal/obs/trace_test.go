@@ -114,6 +114,58 @@ func TestTraceConcurrentStart(t *testing.T) {
 	}
 }
 
+// TestTraceNestedSpans pins the semantics of spans opened while an
+// enclosing span is still running (BuildFromDir's "build" span encloses
+// the per-loader spans): spans list in Start order regardless of End
+// order, each span times its own interval, and Total sums intervals —
+// exceeding wall time when spans overlap, by design.
+func TestTraceNestedSpans(t *testing.T) {
+	tr := NewTrace("build")
+	outer := tr.Start("build")
+	time.Sleep(time.Millisecond)
+	inner := tr.Start("load-whois")
+	inner.Add("records", 7)
+	time.Sleep(time.Millisecond)
+	inner2 := tr.Start("load-bgp")
+	time.Sleep(time.Millisecond)
+	// Inner spans end before the outer one.
+	inner.End()
+	inner2.End()
+	time.Sleep(time.Millisecond)
+	outer.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	for i, want := range []string{"build", "load-whois", "load-bgp"} {
+		if spans[i].Name != want {
+			t.Errorf("span[%d] = %q, want %q (Start order, not End order)", i, spans[i].Name, want)
+		}
+	}
+	// The enclosing span covers its children's intervals.
+	if outer.Duration < inner.Duration || outer.Duration < inner2.Duration {
+		t.Errorf("outer %v shorter than nested %v/%v", outer.Duration, inner.Duration, inner2.Duration)
+	}
+	if outer.Duration < 4*time.Millisecond {
+		t.Errorf("outer = %v, want >= 4ms", outer.Duration)
+	}
+	// Total double-counts nested time: it is per-stage accounting, not
+	// wall time.
+	if tr.Total() <= outer.Duration {
+		t.Errorf("Total %v should exceed the enclosing span %v with nested spans", tr.Total(), outer.Duration)
+	}
+	// Nested counts stay on their own span.
+	if outer.Count("records") != 0 || inner.Count("records") != 7 {
+		t.Errorf("counts leaked across nesting: outer=%d inner=%d", outer.Count("records"), inner.Count("records"))
+	}
+	// Rendering keeps one line per span, nested or not.
+	out := tr.String()
+	if !strings.Contains(out, "3 stages") {
+		t.Errorf("String() = %q, want 3 stages", out)
+	}
+}
+
 func TestSpanWorkersRendering(t *testing.T) {
 	tr := NewTrace("build")
 	tr.Start("resolve").SetWorkers(4).Add("routed", 100)

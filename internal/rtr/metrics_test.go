@@ -1,8 +1,11 @@
 package rtr
 
 import (
+	"context"
+	"net"
 	"net/netip"
 	"testing"
+	"time"
 
 	"github.com/prefix2org/prefix2org/internal/alloc"
 	"github.com/prefix2org/prefix2org/internal/rpki"
@@ -27,7 +30,7 @@ func metricsRepo(t *testing.T) *rpki.Repository {
 // accounted: one reset query, one snapshot, one latency observation.
 func TestSyncMovesPDUCounters(t *testing.T) {
 	srv := NewServer(metricsRepo(t))
-	addr, err := srv.Start("127.0.0.1:0")
+	addr, err := srv.Start(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,5 +59,73 @@ func TestSyncMovesPDUCounters(t *testing.T) {
 	}
 	if mVRPs.Value() < 1 {
 		t.Errorf("vrp gauge = %v, want >= 1", mVRPs.Value())
+	}
+}
+
+// TestSessionMetrics covers the session-level health surface: serial
+// lag and resync accounting when a router polls with a stale serial,
+// PDU telemetry on every exchange, and drop-reason counters on an
+// unsupported PDU.
+func TestSessionMetrics(t *testing.T) {
+	srv := NewServer(metricsRepo(t))
+	addr, err := srv.Start(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resyncsBefore := mResyncs.Value()
+	pdusBefore := mPDUTime.Count()
+	c := &Client{Addr: addr}
+
+	// Current serial: no resync, zero lag.
+	ok, err := c.CheckSerial(srv.Serial())
+	if err != nil || !ok {
+		t.Fatalf("CheckSerial(current) = %v, %v", ok, err)
+	}
+	if lag := mSerialLag.Value(); lag != 0 {
+		t.Errorf("serial lag after current poll = %v, want 0", lag)
+	}
+
+	// Stale serial: the cache must demand a resync and record the lag.
+	srv.Update(metricsRepo(t)) // serial 1 -> 2
+	ok, err = c.CheckSerial(1)
+	if err != nil || ok {
+		t.Fatalf("CheckSerial(stale) = %v, %v; want resync", ok, err)
+	}
+	if d := mResyncs.Value() - resyncsBefore; d != 1 {
+		t.Errorf("resyncs moved by %d, want 1", d)
+	}
+	if lag := mSerialLag.Value(); lag != 1 {
+		t.Errorf("serial lag after stale poll = %v, want 1", lag)
+	}
+	if d := mPDUTime.Count() - pdusBefore; d < 2 {
+		t.Errorf("pdu latency count moved by %d, want >= 2", d)
+	}
+
+	// An unsupported PDU drops the session with a reason.
+	dropBefore := mDropUnsupPDU.Value()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writePDU(conn, pduSerialNotify, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for mDropUnsupPDU.Value() == dropBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("unsupported-pdu drop counter never moved")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// All sessions above have ended; the active gauge must drain to 0.
+	for mSessionsActive.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rtr_sessions_active = %v, want 0 after sessions end", mSessionsActive.Value())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -11,6 +11,7 @@
 package rtr
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -37,8 +38,40 @@ var (
 	mSnapshotTime  = obs.Default().Histogram("rtr_snapshot_seconds", obs.DefBuckets)
 	mVRPs          = obs.Default().Gauge("rtr_vrps")
 
+	// Session-level health: how many routers are connected right now, how
+	// far behind the cache the last polling router was, how often routers
+	// are forced through a full resync, and why sessions die.
+	mSessionsActive = obs.Default().Gauge("rtr_sessions_active")
+	mSerialLag      = obs.Default().Gauge("rtr_session_serial_lag")
+	mResyncs        = obs.Default().Counter("rtr_resyncs_total")
+	mSLOViolations  = obs.Default().Counter("rtr_slo_violations_total")
+	mPDUTime        = obs.Default().Histogram("rtr_pdu_seconds", obs.DefBuckets)
+
+	mDropReadError  = obs.Default().Counter(obs.Label("rtr_dropped_total", "reason", "read_error"))
+	mDropBadLength  = obs.Default().Counter(obs.Label("rtr_dropped_total", "reason", "bad_length"))
+	mDropWriteError = obs.Default().Counter(obs.Label("rtr_dropped_total", "reason", "write_error"))
+	mDropUnsupPDU   = obs.Default().Counter(obs.Label("rtr_dropped_total", "reason", "unsupported_pdu"))
+
 	logger = obs.Logger("rtr")
+
+	// telemetry accounts each served PDU exchange: the rolling quantile
+	// window behind rtr_pdu_seconds_p* and the /debug/queries rings.
+	telemetry = obs.NewQueryTelemetry(obs.QueryTelemetryConfig{
+		Latency:       mPDUTime,
+		SLOViolations: mSLOViolations,
+		Logger:        logger,
+	})
 )
+
+func init() {
+	obs.Default().GaugeFunc("rtr_pdu_seconds_p50", func() float64 { return telemetry.Quantile(0.50) })
+	obs.Default().GaugeFunc("rtr_pdu_seconds_p99", func() float64 { return telemetry.Quantile(0.99) })
+}
+
+// Telemetry returns the package's PDU telemetry: daemons wire the
+// -slo-target / -slow-query-threshold / -query-sample flags and mount
+// its DebugHandler at /debug/queries.
+func Telemetry() *obs.QueryTelemetry { return telemetry }
 
 // Protocol constants (RFC 8210).
 const (
@@ -182,6 +215,8 @@ type Server struct {
 	serial  uint32
 	session uint16
 
+	baseCtx context.Context
+
 	lis  net.Listener
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -225,12 +260,15 @@ func (s *Server) Track(st *store.Store) (cancel func()) {
 	})
 }
 
-// Start listens on addr and returns the bound address.
-func (s *Server) Start(addr string) (string, error) {
+// Start listens on addr and returns the bound address. ctx is the base
+// context sampled PDU spans ride on; it does not stop the server (Close
+// does).
+func (s *Server) Start(ctx context.Context, addr string) (string, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("rtr: listen %s: %w", addr, err)
 	}
+	s.baseCtx = ctx
 	s.lis = lis
 	s.done = make(chan struct{})
 	s.wg.Add(1)
@@ -281,7 +319,20 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// handle serves one router session: a loop of PDUs until the peer hangs
+// up or errors. Every exchange is accounted by the package telemetry
+// (one "query" = one inbound PDU and its full response), and session
+// lifetime shows up in rtr_sessions_active.
 func (s *Server) handle(conn net.Conn) {
+	mSessionsActive.Add(1)
+	defer mSessionsActive.Add(-1)
+	sessionStart := time.Now()
+	var pdus int
+	defer func() {
+		logger.Debug("session closed",
+			"remote", conn.RemoteAddr().String(), "pdus", pdus,
+			"duration", time.Since(sessionStart))
+	}()
 	for {
 		_ = conn.SetDeadline(time.Now().Add(60 * time.Second))
 		pduType, _, body, err := readPDU(conn)
@@ -290,25 +341,41 @@ func (s *Server) handle(conn net.Conn) {
 			// protocol or transport failure worth surfacing.
 			if err != io.EOF {
 				mServeErrors.Inc()
+				mDropReadError.Inc()
 				logger.Warn("pdu read failed", "remote", conn.RemoteAddr().String(), "err", err)
 			}
 			return
 		}
+		pdus++
+		start := time.Now()
+		ctx, sp := telemetry.StartSpan(s.baseCtx)
+		sp.Mark(obs.PhaseParse)
+		_ = ctx // spans stay on this frame: PDU handling never fans out
 		switch pduType {
 		case pduResetQuery:
 			mResetQueries.Inc()
-			start := time.Now()
-			if err := s.sendSnapshot(conn); err != nil {
+			if err := s.sendSnapshot(conn, sp); err != nil {
 				mServeErrors.Inc()
+				mDropWriteError.Inc()
 				logger.Warn("snapshot send failed", "remote", conn.RemoteAddr().String(), "err", err)
+				telemetry.Finish(sp, obs.QueryInfo{
+					Start: start, Text: "reset_query", Type: "reset_query",
+					Outcome: "write_error", SnapshotVersion: uint64(s.Serial())})
 				return
 			}
 			mSnapshots.Inc()
 			mSnapshotTime.ObserveSince(start)
+			telemetry.Finish(sp, obs.QueryInfo{
+				Start: start, Text: "reset_query", Type: "reset_query",
+				Outcome: "snapshot", SnapshotVersion: uint64(s.Serial())})
 		case pduSerialQuery:
 			mSerialQueries.Inc()
 			if len(body) != 4 {
+				mDropBadLength.Inc()
 				_ = writePDU(conn, pduErrorReport, 3, nil) // invalid request
+				telemetry.Finish(sp, obs.QueryInfo{
+					Start: start, Text: "serial_query", Type: "serial_query",
+					Outcome: "bad_length", SnapshotVersion: uint64(s.Serial())})
 				return
 			}
 			clientSerial := binary.BigEndian.Uint32(body)
@@ -316,34 +383,55 @@ func (s *Server) handle(conn net.Conn) {
 			current := s.serial
 			session := s.session
 			s.mu.RUnlock()
+			sp.Mark(obs.PhaseLookup)
+			// Serial lag is how far the polling router trails the cache —
+			// persistent lag means routers are not resyncing after swaps.
+			mSerialLag.Set(float64(current - clientSerial))
 			if clientSerial == current {
 				// Up to date: empty delta.
 				if err := writePDU(conn, pduCacheResponse, session, nil); err != nil {
+					mDropWriteError.Inc()
 					return
 				}
 				if err := s.sendEndOfData(conn); err != nil {
+					mDropWriteError.Inc()
 					return
 				}
+				sp.Mark(obs.PhaseWrite)
+				telemetry.Finish(sp, obs.QueryInfo{
+					Start: start, Text: "serial_query", Type: "serial_query",
+					Outcome: "current", SnapshotVersion: uint64(current)})
 			} else {
 				// No delta history kept: ask the router to reset.
+				mResyncs.Inc()
 				if err := writePDU(conn, pduCacheReset, 0, nil); err != nil {
+					mDropWriteError.Inc()
 					return
 				}
+				sp.Mark(obs.PhaseWrite)
+				telemetry.Finish(sp, obs.QueryInfo{
+					Start: start, Text: "serial_query", Type: "serial_query",
+					Outcome: "resync", SnapshotVersion: uint64(current)})
 			}
 		default:
 			mUnsupported.Inc()
+			mDropUnsupPDU.Inc()
 			logger.Warn("unsupported pdu", "remote", conn.RemoteAddr().String(), "pdu", pduType)
 			_ = writePDU(conn, pduErrorReport, 5, nil) // unsupported PDU
+			telemetry.Finish(sp, obs.QueryInfo{
+				Start: start, Text: "unsupported", Type: "unsupported",
+				Outcome: "unsupported_pdu", SnapshotVersion: uint64(s.Serial())})
 			return
 		}
 	}
 }
 
-func (s *Server) sendSnapshot(conn net.Conn) error {
+func (s *Server) sendSnapshot(conn net.Conn, sp *obs.QuerySpan) error {
 	s.mu.RLock()
 	vrps := s.vrps
 	session := s.session
 	s.mu.RUnlock()
+	sp.Mark(obs.PhaseLookup)
 	if err := writePDU(conn, pduCacheResponse, session, nil); err != nil {
 		return err
 	}
@@ -353,7 +441,11 @@ func (s *Server) sendSnapshot(conn net.Conn) error {
 			return err
 		}
 	}
-	return s.sendEndOfData(conn)
+	if err := s.sendEndOfData(conn); err != nil {
+		return err
+	}
+	sp.Mark(obs.PhaseWrite)
+	return nil
 }
 
 func (s *Server) sendEndOfData(conn net.Conn) error {

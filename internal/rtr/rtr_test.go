@@ -1,6 +1,7 @@
 package rtr
 
 import (
+	"context"
 	"net/netip"
 	"testing"
 	"time"
@@ -39,7 +40,7 @@ func TestVRPsFromRepositoryDedupSorted(t *testing.T) {
 
 func TestClientSync(t *testing.T) {
 	srv := NewServer(testRepo(t))
-	addr, err := srv.Start("127.0.0.1:0")
+	addr, err := srv.Start(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestClientSync(t *testing.T) {
 
 func TestSerialQueryFlow(t *testing.T) {
 	srv := NewServer(testRepo(t))
-	addr, err := srv.Start("127.0.0.1:0")
+	addr, err := srv.Start(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestSyncAgainstSyntheticWorld(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := NewServer(w.RPKI)
-	addr, err := srv.Start("127.0.0.1:0")
+	addr, err := srv.Start(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

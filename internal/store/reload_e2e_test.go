@@ -83,7 +83,7 @@ func TestHotReloadEndToEnd(t *testing.T) {
 	go rel.Run(ctx)
 
 	wsrv := whoisd.New(st)
-	whoisAddr, err := wsrv.Start("127.0.0.1:0")
+	whoisAddr, err := wsrv.Start(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestHotReloadEndToEnd(t *testing.T) {
 
 	rsrv := rtr.NewServer(snap1.Repo)
 	defer rsrv.Track(st)()
-	rtrAddr, err := rsrv.Start("127.0.0.1:0")
+	rtrAddr, err := rsrv.Start(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

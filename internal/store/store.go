@@ -31,6 +31,10 @@ import (
 var (
 	mSnapshotVersion = obs.Default().Gauge("store_snapshot_version")
 	mSwaps           = obs.Default().Counter("store_swaps_total")
+	// mLastSuccess is the unix time a real snapshot was last installed
+	// (initial build or reload). A dashboard alerting on "now - this"
+	// catches a daemon silently serving ever-staler data.
+	mLastSuccess = obs.Default().Gauge("store_reload_last_success_unix")
 
 	logger = obs.Logger("store")
 )
@@ -85,7 +89,30 @@ func New(initial *Snapshot) *Store {
 	s := &Store{}
 	s.cur.Store(initial)
 	mSnapshotVersion.Set(float64(initial.Version))
+	if initial.Dataset != nil || initial.Repo != nil {
+		mLastSuccess.Set(float64(time.Now().Unix()))
+	}
 	return s
+}
+
+// NewPending builds a store with an empty placeholder snapshot (version
+// 0, no dataset, no repository): the daemon-bootstrap shape where the
+// admin listener — and its readiness probe — comes up before the first
+// build completes. Readers get a valid snapshot immediately; Ready
+// reports false until a real snapshot is swapped in.
+func NewPending(source string) *Store {
+	s := &Store{}
+	s.cur.Store(&Snapshot{Source: source})
+	mSnapshotVersion.Set(0)
+	return s
+}
+
+// Ready reports whether the store serves a real snapshot — one carrying
+// a dataset or a repository. A pending store (NewPending) is not ready
+// until its first Swap; /healthz returns 503 until then.
+func (s *Store) Ready() bool {
+	c := s.Current()
+	return c != nil && (c.Dataset != nil || c.Repo != nil)
 }
 
 // Current returns the snapshot being served. The result is immutable
@@ -109,6 +136,9 @@ func (s *Store) Swap(next *Snapshot) (old *Snapshot) {
 	s.cur.Store(next)
 	mSnapshotVersion.Set(float64(next.Version))
 	mSwaps.Inc()
+	if next.Dataset != nil || next.Repo != nil {
+		mLastSuccess.Set(float64(time.Now().Unix()))
+	}
 	for _, sub := range s.subs {
 		sub.fn(next)
 	}

@@ -12,12 +12,69 @@ import (
 	"time"
 
 	"github.com/prefix2org/prefix2org/internal/obs"
+	"github.com/prefix2org/prefix2org/internal/rpki"
 )
 
 func TestNewAssignsVersionOne(t *testing.T) {
 	st := New(&Snapshot{})
 	if got := st.Current().Version; got != 1 {
 		t.Errorf("initial version = %d, want 1", got)
+	}
+}
+
+// TestPendingStoreReadiness covers the readiness/liveness split: a
+// pending store answers reads (liveness) but reports not-ready — and
+// its /healthz serves 503 — until the first real snapshot is installed.
+func TestPendingStoreReadiness(t *testing.T) {
+	st := NewPending("dir:data")
+	if st.Current() == nil {
+		t.Fatal("pending store must still serve a placeholder snapshot")
+	}
+	if st.Current().Version != 0 {
+		t.Errorf("placeholder version = %d, want 0", st.Current().Version)
+	}
+	if st.Ready() {
+		t.Error("pending store reports ready before the first snapshot")
+	}
+
+	srv := httptest.NewServer(obs.ReadyHandler(st.Ready))
+	defer srv.Close()
+	get := func() int {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(); code != 503 {
+		t.Errorf("healthz before first snapshot = %d, want 503", code)
+	}
+
+	before := obs.Default().Gauge("store_reload_last_success_unix").Value()
+	st.Swap(&Snapshot{Repo: rpki.NewRepository()})
+	if !st.Ready() {
+		t.Error("store not ready after installing a real snapshot")
+	}
+	if got := st.Current().Version; got != 1 {
+		t.Errorf("first real snapshot version = %d, want 1", got)
+	}
+	if code := get(); code != 200 {
+		t.Errorf("healthz after first snapshot = %d, want 200", code)
+	}
+	if after := obs.Default().Gauge("store_reload_last_success_unix").Value(); after <= 0 || after < before {
+		t.Errorf("store_reload_last_success_unix = %v, want a recent unix time", after)
+	}
+}
+
+// TestSwapOfEmptySnapshotNotReady pins that readiness tracks content,
+// not swap count: swapping in a data-less snapshot keeps Ready false.
+func TestSwapOfEmptySnapshotNotReady(t *testing.T) {
+	st := NewPending("dir:data")
+	st.Swap(&Snapshot{})
+	if st.Ready() {
+		t.Error("empty snapshot must not flip readiness")
 	}
 }
 

@@ -1,6 +1,7 @@
 package whoisd
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net"
@@ -34,7 +35,7 @@ func fetchSnapshot(t *testing.T, addr string) obs.Snapshot {
 func TestMetricsEndToEnd(t *testing.T) {
 	ds := dataset(t)
 	srv := NewStatic(ds)
-	addr, err := srv.Start("127.0.0.1:0")
+	addr, err := srv.Start(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 func TestServeErrorsCounted(t *testing.T) {
 	ds := dataset(t)
 	srv := NewStatic(ds)
-	addr, err := srv.Start("127.0.0.1:0")
+	addr, err := srv.Start(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,16 +8,26 @@
 // current snapshot once and answers entirely from it, so a concurrent
 // snapshot swap (hot reload) never blocks a query and never shows a
 // query a mix of two dataset versions.
+//
+// Every query is accounted by the package's obs.QueryTelemetry: rolling
+// p50/p90/p99/p999 latency gauges, an SLO-violation counter, per-
+// snapshot-version query counters, and — for sampled or slow queries —
+// a QuerySpan carried on the request context through parse, lookup, and
+// write phases, landing in the /debug/queries ring. The unsampled path
+// stays allocation-free.
 package whoisd
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/netip"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	prefix2org "github.com/prefix2org/prefix2org"
@@ -36,15 +46,62 @@ var (
 	mNoMatch       = obs.Default().Counter("whoisd_no_match_total")
 	mAcceptErrors  = obs.Default().Counter("whoisd_accept_errors_total")
 	mServeErrors   = obs.Default().Counter("whoisd_serve_errors_total")
+	mSLOViolations = obs.Default().Counter("whoisd_slo_violations_total")
 	mLatency       = obs.Default().Histogram("whoisd_query_seconds", obs.DefBuckets)
 
 	logger = obs.Logger("whoisd")
+
+	// telemetry accounts every query: the rolling quantile window behind
+	// the whoisd_query_seconds_p* gauges, SLO tracking, and the sampled
+	// QuerySpan rings served at /debug/queries. Daemon flags tune it via
+	// Telemetry().
+	telemetry = obs.NewQueryTelemetry(obs.QueryTelemetryConfig{
+		Latency:       mLatency,
+		SLOViolations: mSLOViolations,
+		Logger:        logger,
+	})
 )
+
+func init() {
+	// Rolling SLO quantiles, computed from the telemetry window at
+	// scrape time: gauges on /metrics without any per-query cost beyond
+	// the window's atomic store.
+	obs.Default().GaugeFunc("whoisd_query_seconds_p50", func() float64 { return telemetry.Quantile(0.50) })
+	obs.Default().GaugeFunc("whoisd_query_seconds_p90", func() float64 { return telemetry.Quantile(0.90) })
+	obs.Default().GaugeFunc("whoisd_query_seconds_p99", func() float64 { return telemetry.Quantile(0.99) })
+	obs.Default().GaugeFunc("whoisd_query_seconds_p999", func() float64 { return telemetry.Quantile(0.999) })
+}
+
+// Telemetry returns the package's query telemetry: daemons wire the
+// -slo-target / -slow-query-threshold / -query-sample flags and mount
+// its DebugHandler at /debug/queries.
+func Telemetry() *obs.QueryTelemetry { return telemetry }
+
+// Query outcome classes recorded on spans and /debug/queries records.
+const (
+	outcomeMatch      = "match"
+	outcomeCovering   = "covering"
+	outcomeNoMatch    = "no_match"
+	outcomeError      = "error"
+	outcomeWriteError = "write_error"
+)
+
+// snapshotCounter caches the labeled per-snapshot-version query counter
+// so the steady-state path is one pointer load and an atomic increment;
+// the registry lookup and label rendering run only when a reload swaps
+// the version.
+type snapshotCounter struct {
+	version uint64
+	c       *obs.Counter
+}
 
 // Server answers WHOIS queries from a snapshot store. Safe for
 // concurrent queries and concurrent snapshot swaps.
 type Server struct {
 	store *store.Store
+
+	baseCtx   context.Context
+	snapCount atomic.Pointer[snapshotCounter]
 
 	lis  net.Listener
 	done chan struct{}
@@ -64,12 +121,14 @@ func NewStatic(ds *prefix2org.Dataset) *Server {
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
-// until Close. It returns the bound address.
-func (s *Server) Start(addr string) (string, error) {
+// until Close. ctx is the base context sampled query spans ride on; it
+// does not stop the server (Close does). It returns the bound address.
+func (s *Server) Start(ctx context.Context, addr string) (string, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("whoisd: listen %s: %w", addr, err)
 	}
+	s.baseCtx = ctx
 	s.lis = lis
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -129,16 +188,28 @@ func (s *Server) handle(conn net.Conn) {
 		logger.Warn("query read failed", "remote", conn.RemoteAddr().String(), "err", err)
 		return
 	}
+	q := strings.TrimSpace(line)
+	// Sampled queries get a pooled span on the context; the rest ride
+	// the base context untouched — that path never allocates.
+	ctx, sp := telemetry.StartSpan(s.baseCtx)
 	// Answer straight onto the buffered socket writer: the response
 	// body never materializes as one large string on the wire path.
 	bw := bufio.NewWriter(conn)
-	s.answer(bw, strings.TrimSpace(line))
+	res := s.answer(ctx, bw, q)
 	if err := bw.Flush(); err != nil {
 		mServeErrors.Inc()
 		logger.Warn("response write failed", "remote", conn.RemoteAddr().String(), "err", err)
+		telemetry.Finish(sp, obs.QueryInfo{
+			Start: start, Text: q, Type: res.qtype,
+			Outcome: outcomeWriteError, SnapshotVersion: res.version,
+		})
 		return
 	}
-	mLatency.ObserveSince(start)
+	sp.Mark(obs.PhaseWrite)
+	telemetry.Finish(sp, obs.QueryInfo{
+		Start: start, Text: q, Type: res.qtype,
+		Outcome: res.outcome, SnapshotVersion: res.version,
+	})
 }
 
 // Answer resolves one query line to the response body, entirely against
@@ -147,15 +218,29 @@ func (s *Server) handle(conn net.Conn) {
 // connection's buffered writer.
 func (s *Server) Answer(q string) string {
 	var b strings.Builder
-	s.answer(&b, q)
+	s.answer(nil, &b, q)
 	return b.String()
 }
 
-// answer writes the response for one query line to w. Writes to a
-// strings.Builder or bufio.Writer cannot fail; transport errors
-// surface at Flush time in the caller.
-func (s *Server) answer(w io.Writer, q string) {
-	ds := s.store.Current().Dataset
+// answerResult classifies one answered query for telemetry. Plain
+// values and constant strings: building one allocates nothing.
+type answerResult struct {
+	qtype   string
+	outcome string
+	version uint64
+}
+
+// answer writes the response for one query line to w, marking the
+// span phases (parse / lookup; write closes at flush time) on the
+// sampled span riding ctx, if any. Writes to a strings.Builder or
+// bufio.Writer cannot fail; transport errors surface at Flush time in
+// the caller.
+func (s *Server) answer(ctx context.Context, w io.Writer, q string) answerResult {
+	sp := obs.SpanFromContext(ctx)
+	snap := s.store.Current()
+	ds := snap.Dataset
+	s.countSnapshotQuery(snap.Version)
+	res := answerResult{qtype: "bad", outcome: outcomeError, version: snap.Version}
 	io.WriteString(w, "% Prefix2Org whois (synthetic dataset)\r\n")
 	switch {
 	case ds == nil:
@@ -165,44 +250,64 @@ func (s *Server) answer(w io.Writer, q string) {
 		mQueriesBad.Inc()
 		io.WriteString(w, "% error: empty query\r\n")
 	case strings.Contains(q, "/"):
+		res.qtype = "prefix"
 		p, err := netip.ParsePrefix(q)
+		sp.Mark(obs.PhaseParse)
 		if err != nil {
 			mQueriesBad.Inc()
+			res.qtype = "bad"
 			fmt.Fprintf(w, "%% error: bad prefix %q\r\n", q)
 			break
 		}
 		mQueriesPrefix.Inc()
 		if rec, ok := ds.Lookup(p); ok {
+			sp.Mark(obs.PhaseLookup)
+			res.outcome = outcomeMatch
 			writeRecord(w, rec)
 			break
 		}
 		// Fall back to the most specific covering routed prefix.
 		if rec, ok := ds.LookupCovering(p); ok {
+			sp.Mark(obs.PhaseLookup)
+			res.outcome = outcomeCovering
 			fmt.Fprintf(w, "%% note: %s not announced; answering for covering %s\r\n", q, rec.Prefix)
 			writeRecord(w, rec)
 			break
 		}
+		sp.Mark(obs.PhaseLookup)
+		res.outcome = outcomeNoMatch
 		mNoMatch.Inc()
 		io.WriteString(w, "% no match\r\n")
 	default:
 		if a, err := netip.ParseAddr(q); err == nil {
+			sp.Mark(obs.PhaseParse)
+			res.qtype = "addr"
 			mQueriesAddr.Inc()
 			if rec, ok := ds.LookupAddr(a); ok {
+				sp.Mark(obs.PhaseLookup)
+				res.outcome = outcomeMatch
 				writeRecord(w, rec)
 				break
 			}
+			sp.Mark(obs.PhaseLookup)
+			res.outcome = outcomeNoMatch
 			mNoMatch.Inc()
 			io.WriteString(w, "% no match\r\n")
 			break
 		}
 		// Organization-name query.
+		sp.Mark(obs.PhaseParse)
+		res.qtype = "org"
 		mQueriesOrg.Inc()
 		c, ok := ds.ClusterOfOwner(q)
+		sp.Mark(obs.PhaseLookup)
 		if !ok {
+			res.outcome = outcomeNoMatch
 			mNoMatch.Inc()
 			io.WriteString(w, "% no match\r\n")
 			break
 		}
+		res.outcome = outcomeMatch
 		fmt.Fprintf(w, "cluster:      %s\r\n", c.ID)
 		fmt.Fprintf(w, "base-name:    %s\r\n", c.BaseName)
 		for _, n := range c.OwnerNames {
@@ -212,6 +317,22 @@ func (s *Server) answer(w io.Writer, q string) {
 			fmt.Fprintf(w, "prefix:       %s\r\n", p)
 		}
 	}
+	return res
+}
+
+// countSnapshotQuery ties query traffic to the snapshot version that
+// answered it — whoisd_queries_by_snapshot_total{version="N"} — so a
+// reload's effect on traffic is directly observable on /metrics. The
+// labeled counter is re-resolved only when the version changes.
+func (s *Server) countSnapshotQuery(version uint64) {
+	if sc := s.snapCount.Load(); sc != nil && sc.version == version {
+		sc.c.Inc()
+		return
+	}
+	c := obs.Default().Counter(obs.Label(
+		"whoisd_queries_by_snapshot_total", "version", strconv.FormatUint(version, 10)))
+	s.snapCount.Store(&snapshotCounter{version: version, c: c})
+	c.Inc()
 }
 
 func writeRecord(w io.Writer, rec *prefix2org.Record) {

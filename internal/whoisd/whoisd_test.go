@@ -19,25 +19,29 @@ var (
 	dsErr  error
 )
 
+// buildSharedDataset populates dsVal/dsErr once; tests reach it through
+// dataset(t), benchmarks through dsWorld().
+func buildSharedDataset() {
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		dsErr = err
+		return
+	}
+	dir, err := mkTemp()
+	if err != nil {
+		dsErr = err
+		return
+	}
+	if err := w.WriteDir(dir); err != nil {
+		dsErr = err
+		return
+	}
+	dsVal, dsErr = prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+}
+
 func dataset(t *testing.T) *prefix2org.Dataset {
 	t.Helper()
-	dsOnce.Do(func() {
-		w, err := synth.Generate(synth.SmallConfig())
-		if err != nil {
-			dsErr = err
-			return
-		}
-		dir, err := mkTemp()
-		if err != nil {
-			dsErr = err
-			return
-		}
-		if err := w.WriteDir(dir); err != nil {
-			dsErr = err
-			return
-		}
-		dsVal, dsErr = prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
-	})
+	dsOnce.Do(buildSharedDataset)
 	if dsErr != nil {
 		t.Fatal(dsErr)
 	}
@@ -112,7 +116,7 @@ func TestAnswerErrors(t *testing.T) {
 func TestServeOverTCP(t *testing.T) {
 	ds := dataset(t)
 	srv := NewStatic(ds)
-	addr, err := srv.Start("127.0.0.1:0")
+	addr, err := srv.Start(context.Background(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,10 @@
 // accidental O(n^2), a lost fast path — not noise. Allocation counts
 // are compared exactly (they are deterministic): any benchmark that
 // reported 0 allocs/op in the saved run must still report 0.
+//
+// Benchmarks whose name matches -strict-match are held to the tighter
+// -strict-threshold (default 1.2x) instead: the hot lookup path is
+// stable enough on one machine that a >20% slowdown is signal.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -53,7 +58,17 @@ func main() {
 	out := flag.String("out", "", "write parsed results as JSON to this file")
 	against := flag.String("against", "", "compare parsed results against this saved JSON file")
 	threshold := flag.Float64("threshold", 2.5, "max allowed ns/op slowdown factor in compare mode")
+	strictMatch := flag.String("strict-match", "", "regexp of benchmark names held to -strict-threshold instead")
+	strictThreshold := flag.Float64("strict-threshold", 1.2, "max allowed slowdown factor for -strict-match benchmarks")
 	flag.Parse()
+	var strictRe *regexp.Regexp
+	if *strictMatch != "" {
+		var err error
+		if strictRe, err = regexp.Compile(*strictMatch); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -strict-match:", err)
+			os.Exit(2)
+		}
+	}
 	if (*out == "") == (*against == "") {
 		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -against is required")
 		os.Exit(2)
@@ -80,7 +95,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(2)
 	}
-	if !compare(os.Stdout, base, cur, *threshold) {
+	if !compare(os.Stdout, base, cur, *threshold, strictRe, *strictThreshold) {
 		os.Exit(1)
 	}
 }
@@ -185,7 +200,7 @@ func load(path string) (*File, error) {
 	return f, nil
 }
 
-func compare(w io.Writer, base, cur *File, threshold float64) bool {
+func compare(w io.Writer, base, cur *File, threshold float64, strictRe *regexp.Regexp, strictThreshold float64) bool {
 	baseBy := map[string]Result{}
 	for _, r := range base.Results {
 		baseBy[r.Name] = r
@@ -209,8 +224,12 @@ func compare(w io.Writer, base, cur *File, threshold float64) bool {
 		}
 		compared++
 		factor := c.NsPerOp / b.NsPerOp
+		limit := threshold
+		if strictRe != nil && strictRe.MatchString(name) {
+			limit = strictThreshold
+		}
 		verdict := "ok"
-		if factor > threshold {
+		if factor > limit {
 			verdict = "REGRESSION"
 			ok = false
 		}
@@ -226,7 +245,7 @@ func compare(w io.Writer, base, cur *File, threshold float64) bool {
 		return false
 	}
 	if !ok {
-		fmt.Fprintf(w, "benchjson: regression beyond %.1fx threshold\n", threshold)
+		fmt.Fprintf(w, "benchjson: regression beyond the allowed threshold\n")
 	}
 	return ok
 }
