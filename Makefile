@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-concurrency lint race bench bench-all bench-save bench-compare fuzz-short loadgen-smoke verify ci
+.PHONY: build test vet vet-concurrency lint race bench bench-all bench-save bench-compare fuzz-short loadgen-smoke httpd-smoke verify ci
 
 build:
 	$(GO) build ./...
@@ -47,9 +47,10 @@ bench-all:
 
 # The serve-path benchmark set tracked across commits: frozen-index and
 # radix LPM lookups, snapshot save/load in both formats, the bulk WHOIS
-# parsers, and the whoisd answer path (in-process and over loopback TCP).
-BENCH_TRACKED = ^(BenchmarkLookupAddr|BenchmarkLookupAddrRadix|BenchmarkSnapshotSaveLoad|BenchmarkFrozenLookup|BenchmarkRadixLookup|BenchmarkFreeze|BenchmarkParseRPSL|BenchmarkParseARIN|BenchmarkParseLACNIC|BenchmarkAnswerAddr|BenchmarkAnswerOverTCP)$$
-BENCH_PKGS = . ./internal/lpm ./internal/whois ./internal/whoisd
+# parsers, the whoisd answer path (in-process and over loopback TCP),
+# and the httpd per-line bulk lookup path.
+BENCH_TRACKED = ^(BenchmarkLookupAddr|BenchmarkLookupAddrRadix|BenchmarkSnapshotSaveLoad|BenchmarkFrozenLookup|BenchmarkRadixLookup|BenchmarkFreeze|BenchmarkParseRPSL|BenchmarkParseARIN|BenchmarkParseLACNIC|BenchmarkAnswerAddr|BenchmarkAnswerOverTCP|BenchmarkBulkLookup)$$
+BENCH_PKGS = . ./internal/lpm ./internal/whois ./internal/whoisd ./internal/httpd
 # Lookup benchmarks are stable enough that a >20% slowdown is signal,
 # not noise; they get the strict threshold in bench-compare.
 BENCH_STRICT = Lookup
@@ -93,10 +94,18 @@ fuzz-short:
 loadgen-smoke:
 	$(GO) test -run TestLoadgenSmoke -count=1 ./cmd/p2o-loadgen
 
+# httpd-smoke drives p2o-loadgen's HTTP modes against an in-process
+# p2o-httpd (TestLoadgenHTTPSmoke): a mixed single-query run and a bulk
+# run streaming 10k-address NDJSON bodies, each answered from one
+# pinned snapshot, must finish with zero transport errors.
+httpd-smoke:
+	$(GO) test -run TestLoadgenHTTPSmoke -count=1 ./cmd/p2o-loadgen
+
 # verify is the tier-1 gate: vet (+ concurrency analyzers) + the
 # repository's own linter + build + race-enabled tests.
 verify: vet vet-concurrency lint build race
 
 # ci is the full gate: everything verify runs plus a short fuzz pass,
-# the loadgen smoke run, and the benchmark-regression comparison.
-ci: vet vet-concurrency lint build race fuzz-short loadgen-smoke bench-compare
+# the loadgen smoke runs (WHOIS and HTTP), and the benchmark-regression
+# comparison.
+ci: vet vet-concurrency lint build race fuzz-short loadgen-smoke httpd-smoke bench-compare

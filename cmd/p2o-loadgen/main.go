@@ -1,7 +1,7 @@
-// Command p2o-loadgen drives synthetic WHOIS query load against a
-// running p2o-whoisd and reports client-side throughput and latency —
-// the harness behind the serve-path BENCH entries and the way to watch
-// the daemon's rolling SLO gauges move under pressure.
+// Command p2o-loadgen drives synthetic query load against a running
+// p2o-whoisd or p2o-httpd and reports client-side throughput and
+// latency — the harness behind the serve-path BENCH entries and the
+// way to watch the daemons' rolling SLO gauges move under pressure.
 //
 // Usage:
 //
@@ -9,8 +9,15 @@
 //
 // The query pool is sampled from the same dataset the server runs on
 // (-data builds it, -snapshot loads it), mixed across query types with
-// -mix addr=70,prefix=20,org=10. Each query is one RFC 3912 exchange:
-// dial, one line, read to EOF.
+// -mix addr=70,prefix=20,org=10.
+//
+// -proto selects the wire protocol: whois (default) makes one RFC 3912
+// exchange per query — dial, one line, read to EOF; http drives the
+// p2o-httpd JSON endpoints (/v1/addr, /v1/prefix, /v1/org) over
+// keep-alive connections. With -proto http, -bulk N switches to the
+// streaming bulk endpoint: each request POSTs N NDJSON address lines
+// to /v1/bulk and reads N result lines back, so one "query" in the
+// report is one whole bulk round-trip (bulk_lines counts the lines).
 //
 // With -reload-url and -reload-every, the run periodically triggers the
 // daemon's /reload endpoint — reload churn — to measure serve latency
@@ -22,12 +29,15 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -42,6 +52,8 @@ import (
 
 type config struct {
 	addr        string
+	proto       string
+	bulk        int
 	dataDir     string
 	snapshot    string
 	duration    time.Duration
@@ -57,7 +69,9 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.addr, "addr", "", "whoisd address to load (host:port, required)")
+	flag.StringVar(&cfg.addr, "addr", "", "server address to load (host:port, required)")
+	flag.StringVar(&cfg.proto, "proto", "whois", "wire protocol: whois (RFC 3912) or http (p2o-httpd JSON)")
+	flag.IntVar(&cfg.bulk, "bulk", 0, "with -proto http: POST N-line NDJSON bodies to /v1/bulk instead of single queries; 0 disables")
 	flag.StringVar(&cfg.dataDir, "data", "", "data directory to sample queries from (the server's corpus)")
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "pre-built dataset snapshot to sample queries from (alternative to -data)")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run")
@@ -74,6 +88,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p2o-loadgen: -addr and exactly one of -data or -snapshot are required")
 		os.Exit(2)
 	}
+	if cfg.proto != protoWhois && cfg.proto != protoHTTP {
+		fmt.Fprintln(os.Stderr, "p2o-loadgen: -proto must be whois or http")
+		os.Exit(2)
+	}
+	if cfg.bulk > 0 && cfg.proto != protoHTTP {
+		fmt.Fprintln(os.Stderr, "p2o-loadgen: -bulk requires -proto http")
+		os.Exit(2)
+	}
 	rep, err := run(context.Background(), cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p2o-loadgen:", err)
@@ -88,9 +110,16 @@ func main() {
 	fmt.Print(rep)
 }
 
+// Wire protocols the generator speaks.
+const (
+	protoWhois = "whois"
+	protoHTTP  = "http"
+)
+
 // report is one load run's client-side result.
 type report struct {
 	Queries       int64   `json:"queries"`
+	BulkLines     int64   `json:"bulk_lines,omitempty"`
 	Errors        int64   `json:"errors"`
 	SLOViolations int64   `json:"slo_violations,omitempty"`
 	Reloads       int64   `json:"reloads,omitempty"`
@@ -105,6 +134,9 @@ type report struct {
 func (r report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "queries:  %d (%d errors)\n", r.Queries, r.Errors)
+	if r.BulkLines > 0 {
+		fmt.Fprintf(&b, "bulk:     %d lines\n", r.BulkLines)
+	}
 	fmt.Fprintf(&b, "duration: %.2fs\n", r.Seconds)
 	fmt.Fprintf(&b, "qps:      %.0f\n", r.QPS)
 	fmt.Fprintf(&b, "latency:  p50=%.3fms p90=%.3fms p99=%.3fms p999=%.3fms\n",
@@ -183,15 +215,97 @@ func parseMix(s string) (mixWeights, error) {
 
 // pick selects one query by the mix from the pool using r.
 func (p pool) pick(m mixWeights, r *rand.Rand) string {
+	q, _ := p.pickTyped(m, r)
+	return q
+}
+
+// pickTyped also reports the query's type — the HTTP protocol routes
+// each type to its own endpoint.
+func (p pool) pickTyped(m mixWeights, r *rand.Rand) (q, qtype string) {
 	n := r.Intn(m.total)
 	switch {
 	case n < m.addr:
-		return p.addrs[r.Intn(len(p.addrs))]
+		return p.addrs[r.Intn(len(p.addrs))], "addr"
 	case n < m.addr+m.prefix:
-		return p.prefixes[r.Intn(len(p.prefixes))]
+		return p.prefixes[r.Intn(len(p.prefixes))], "prefix"
 	default:
-		return p.orgs[r.Intn(len(p.orgs))]
+		return p.orgs[r.Intn(len(p.orgs))], "org"
 	}
+}
+
+// httpQuery runs one single-query exchange against a p2o-httpd: any
+// status with a body is a served answer (404 no_match is a correct
+// response, not an error); only transport failures and 5xx count as
+// errors.
+func httpQuery(ctx context.Context, client *http.Client, base string, p pool, m mixWeights, rng *rand.Rand) error {
+	q, qtype := p.pickTyped(m, rng)
+	var u string
+	switch qtype {
+	case "addr":
+		u = base + "/v1/addr/" + q
+	case "prefix":
+		u = base + "/v1/prefix/" + q
+	default:
+		u = base + "/v1/org/" + url.PathEscape(q)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("status %d for %s", resp.StatusCode, u)
+	}
+	return nil
+}
+
+// httpBulk runs one bulk round-trip: POST n sampled address lines to
+// /v1/bulk, count the NDJSON result lines — a short count means the
+// stream was dropped or truncated and the exchange is an error.
+func httpBulk(ctx context.Context, client *http.Client, base string, p pool, rng *rand.Rand, n int) (int64, error) {
+	var body strings.Builder
+	body.Grow(n * 16)
+	for i := 0; i < n; i++ {
+		body.WriteString(p.addrs[rng.Intn(len(p.addrs))])
+		body.WriteByte('\n')
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/bulk", strings.NewReader(body.String()))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("bulk status %d", resp.StatusCode)
+	}
+	var lines int64
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			lines++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return lines, err
+	}
+	if lines != int64(n) {
+		return lines, fmt.Errorf("bulk returned %d lines, want %d", lines, n)
+	}
+	return lines, nil
 }
 
 // run executes one load run and returns the client-side report; the
@@ -218,7 +332,7 @@ func run(ctx context.Context, cfg config) (report, error) {
 	// Client-side latency accounting: the same estimator the daemon uses
 	// for its rolling gauges, so the two views are directly comparable.
 	window := obs.NewQuantileWindow(obs.DefaultQuantileWindow)
-	var queries, errs, sloViolations, reloads atomic.Int64
+	var queries, bulkLines, errs, sloViolations, reloads atomic.Int64
 
 	ctx, cancel := context.WithTimeout(ctx, cfg.duration)
 	defer cancel()
@@ -259,7 +373,36 @@ func run(ctx context.Context, cfg config) (report, error) {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
-			client := &whois.Client{Addr: cfg.addr, Timeout: cfg.timeout}
+
+			// exchange runs one protocol round-trip — a WHOIS dial, an
+			// HTTP single query, or a whole bulk POST.
+			var exchange func() error
+			switch {
+			case cfg.proto == protoHTTP && cfg.bulk > 0:
+				client := &http.Client{Timeout: cfg.timeout}
+				base := "http://" + cfg.addr
+				exchange = func() error {
+					n, err := httpBulk(ctx, client, base, p, rng, cfg.bulk)
+					if err == nil {
+						// Only completed round-trips count lines, so the
+						// report invariant bulk_lines == queries*bulk holds
+						// even when the deadline cuts a stream mid-flight.
+						bulkLines.Add(n)
+					}
+					return err
+				}
+			case cfg.proto == protoHTTP:
+				client := &http.Client{Timeout: cfg.timeout}
+				base := "http://" + cfg.addr
+				exchange = func() error { return httpQuery(ctx, client, base, p, mix, rng) }
+			default:
+				client := &whois.Client{Addr: cfg.addr, Timeout: cfg.timeout}
+				exchange = func() error {
+					_, err := client.Query(ctx, p.pick(mix, rng))
+					return err
+				}
+			}
+
 			// Check the wall clock against the run deadline, not just
 			// ctx.Err(): the net layer compares deadlines directly and
 			// starts failing dials the instant the deadline passes, a
@@ -271,9 +414,8 @@ func run(ctx context.Context, cfg config) (report, error) {
 				return ctx.Err() != nil || !time.Now().Before(deadline)
 			}
 			for !expired() {
-				q := p.pick(mix, rng)
 				qStart := time.Now()
-				_, err := client.Query(ctx, q)
+				err := exchange()
 				lat := time.Since(qStart)
 				if err != nil {
 					if expired() {
@@ -297,6 +439,7 @@ func run(ctx context.Context, cfg config) (report, error) {
 	qs := window.Quantiles(0.50, 0.90, 0.99, 0.999)
 	return report{
 		Queries:       queries.Load(),
+		BulkLines:     bulkLines.Load(),
 		Errors:        errs.Load(),
 		SLOViolations: sloViolations.Load(),
 		Reloads:       reloads.Load(),

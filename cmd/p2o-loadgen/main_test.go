@@ -8,6 +8,7 @@ import (
 	"time"
 
 	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/httpd"
 	"github.com/prefix2org/prefix2org/internal/synth"
 	"github.com/prefix2org/prefix2org/internal/whoisd"
 )
@@ -88,5 +89,84 @@ func TestLoadgenSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestLoadgenHTTPSmoke runs the harness against a real p2o-httpd over
+// loopback, in both HTTP modes: a mixed single-query run, then a bulk
+// run where every request streams a 10k-address NDJSON body answered
+// from one pinned snapshot. `make httpd-smoke` runs exactly this as
+// part of make ci.
+func TestLoadgenHTTPSmoke(t *testing.T) {
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "loadgen-http")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := prefix2org.BuildFromDir(context.Background(), dir, prefix2org.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httpd.NewStatic(ds)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, err := srv.Start(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rep, err := run(context.Background(), config{
+		addr:        addr,
+		proto:       protoHTTP,
+		dataDir:     dir,
+		duration:    500 * time.Millisecond,
+		concurrency: 4,
+		mix:         "addr=70,prefix=20,org=10",
+		timeout:     5 * time.Second,
+		seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("no http queries completed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("http errors = %d, want 0", rep.Errors)
+	}
+
+	rep, err = run(context.Background(), config{
+		addr:        addr,
+		proto:       protoHTTP,
+		bulk:        10000,
+		dataDir:     dir,
+		duration:    500 * time.Millisecond,
+		concurrency: 2,
+		mix:         "addr=100",
+		timeout:     30 * time.Second,
+		seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("no bulk round-trips completed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("bulk errors = %d, want 0 (every request must get all its lines back)", rep.Errors)
+	}
+	if rep.BulkLines != rep.Queries*10000 {
+		t.Errorf("bulk_lines = %d, want %d", rep.BulkLines, rep.Queries*10000)
+	}
+	if !strings.Contains(rep.String(), "bulk:") {
+		t.Errorf("report missing bulk line:\n%s", rep)
 	}
 }

@@ -1,0 +1,32 @@
+package httpd
+
+import (
+	"testing"
+)
+
+// TestBulkLineZeroAlloc pins the per-line bulk contract: with a warmed
+// output buffer and an unsampled request (nil span), answering one line
+// — classify, parse, lookup, encode, metrics — performs zero heap
+// allocations, for every line class on the fast path. If this fires,
+// something on the line path started escaping; find it with
+// `go build -gcflags=-m` before weakening the guard.
+func TestBulkLineZeroAlloc(t *testing.T) {
+	ds := dataset(t)
+	lines := [][]byte{
+		[]byte(ds.Records[0].Prefix.Addr().String()),              // bare match
+		[]byte(`"` + ds.Records[0].Prefix.Addr().String() + `"`),  // string match
+		[]byte(`{"q":"` + ds.Records[0].Prefix.Addr().String() + `"}`), // object match
+		[]byte("192.0.2.1"),   // no_match
+		[]byte("not-an-ip"),   // bad_input
+		[]byte("2001:db8::1"), // v6 (likely no_match in the synth world)
+	}
+	out := make([]byte, 0, 4096)
+	for _, line := range lines {
+		line := line
+		if n := testing.AllocsPerRun(300, func() {
+			out = appendBulkLine(ds, nil, line, out[:0])
+		}); n != 0 {
+			t.Errorf("appendBulkLine(%q) allocates %.1f times per line, want 0", line, n)
+		}
+	}
+}

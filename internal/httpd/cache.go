@@ -1,0 +1,144 @@
+package httpd
+
+import "sync"
+
+// The hot-prefix response cache. A handful of prefixes and orgs receive
+// the bulk of a public query service's traffic; caching the fully
+// rendered response body (status, JSON bytes, telemetry classification)
+// turns a hot repeat query into one map read and one socket write — no
+// parse, no lookup, no encode.
+//
+// Correctness contract: a cached body embeds the snapshot version it
+// was rendered from, so an entry may only be served while that snapshot
+// is current. Two mechanisms enforce it. Every entry carries its
+// version and get compares it against the caller's pinned version,
+// deleting on mismatch — airtight even when a fill races a swap. And
+// the Server subscribes to the store, clearing the whole cache on every
+// swap — reclaiming the memory promptly rather than waiting for misses.
+
+const cacheShardCount = 16
+
+// cacheEntry is one rendered response.
+type cacheEntry struct {
+	version uint64
+	status  int
+	qtype   string
+	outcome string
+	body    []byte
+}
+
+// cacheShard is one lock domain: a map for lookup plus a FIFO ring of
+// the keys occupying the shard's slots, evicted oldest-first.
+type cacheShard struct {
+	mu   sync.Mutex
+	m    map[string]*cacheEntry
+	keys []string
+	next int
+}
+
+// responseCache shards entries across cacheShardCount lock domains so
+// concurrent handlers rarely contend. A nil *responseCache is the
+// disabled cache: get always misses and put is a no-op.
+type responseCache struct {
+	shards [cacheShardCount]cacheShard
+}
+
+// newResponseCache builds a cache bounded to size entries in total
+// (rounded up to a multiple of the shard count); size <= 0 returns nil,
+// the disabled cache.
+func newResponseCache(size int) *responseCache {
+	if size <= 0 {
+		return nil
+	}
+	per := (size + cacheShardCount - 1) / cacheShardCount
+	c := &responseCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*cacheEntry, per)
+		c.shards[i].keys = make([]string, per)
+	}
+	return c
+}
+
+// shard routes a key to its lock domain (inline FNV-1a; hash/fnv would
+// allocate a hasher per call).
+func (c *responseCache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.shards[h%cacheShardCount]
+}
+
+// get returns the entry for key if present and rendered from the given
+// snapshot version; a version mismatch deletes the stale entry.
+func (c *responseCache) get(key string, version uint64) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.m[key]
+	if e == nil {
+		return nil, false
+	}
+	if e.version != version {
+		delete(sh.m, key)
+		return nil, false
+	}
+	return e, true
+}
+
+// put inserts (or refreshes) one entry, evicting the shard's oldest
+// insertion when its slots are full.
+func (c *responseCache) put(key string, e *cacheEntry) {
+	if c == nil {
+		return
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.m[key]; !exists {
+		if old := sh.keys[sh.next]; old != "" {
+			if _, ok := sh.m[old]; ok {
+				delete(sh.m, old)
+				mCacheEvictions.Inc()
+			}
+		}
+		sh.keys[sh.next] = key
+		sh.next = (sh.next + 1) % len(sh.keys)
+	}
+	sh.m[key] = e
+}
+
+// invalidate clears every shard — the store-swap subscription callback.
+func (c *responseCache) invalidate() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		clear(sh.m)
+		for j := range sh.keys {
+			sh.keys[j] = ""
+		}
+		sh.next = 0
+		sh.mu.Unlock()
+	}
+}
+
+// len reports the live entry count across shards (tests and debugging).
+func (c *responseCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

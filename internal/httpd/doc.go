@@ -1,0 +1,51 @@
+// Package httpd serves a Prefix2Org dataset over HTTP/JSON — the
+// fleet-facing front end next to the RFC 3912 whoisd. Four endpoints
+// cover the query surface (API.md is the wire reference):
+//
+//	GET  /v1/addr/{ip}      ownership record covering one address
+//	GET  /v1/prefix/{cidr}  exact record, falling back to the covering one
+//	GET  /v1/org/{id}       organization cluster by ID or WHOIS name
+//	POST /v1/bulk           streaming NDJSON: one address per line in,
+//	                        one result line out, same order
+//
+// The server owns no dataset state. Every request — including a bulk
+// request of a million lines — loads the store's current snapshot
+// exactly once and answers entirely from it, so a concurrent snapshot
+// swap (hot reload) never blocks a request and never shows one request
+// a mix of two dataset versions. The snapshot version that answered is
+// echoed on every response (the snapshot_version field, and the
+// X-P2O-Snapshot header on bulk streams).
+//
+// The bulk path is built for amortization: the snapshot pin, the output
+// buffer, and the lookup scratch space are per-request, reused across
+// every line, and the per-line fast path (classify line → parse address
+// from bytes → frozen-index lookup → hand-rolled JSON append) performs
+// zero heap allocations — pinned by this package's alloc guard. Output
+// is flushed every Config.BulkFlushEvery lines, so a slow client
+// backpressures the stream through the TCP send buffer instead of
+// buffering the whole response.
+//
+// Hot single-query responses are cached: a sharded response cache keyed
+// by endpoint and query stores fully rendered bodies, is bounded by
+// Config.CacheSize, and is invalidated as a store.Subscribe callback
+// the moment a new snapshot is swapped in (entries additionally carry
+// their snapshot version, so a stale entry can never be served even if
+// it races the invalidation).
+//
+// Every request is accounted by the package's obs.QueryTelemetry:
+// rolling p50/p90/p99/p999 latency gauges, httpd_slo_violations_total,
+// per-snapshot-version counters, and — for sampled or slow queries — a
+// QuerySpan carried on the request context through the parse, lookup,
+// encode, and write phases, landing in the /debug/queries ring.
+//
+// # Goroutine safety
+//
+// A Server is safe for any number of concurrent requests and concurrent
+// snapshot swaps. Handlers share no mutable state beyond the response
+// cache (internally sharded and locked), the telemetry instance
+// (lock-free or internally synchronized throughout), and the cached
+// per-snapshot counter (an atomic pointer). Start may be called once;
+// Close stops the listener and closes active connections. The bulk
+// scratch buffers (scanner, writer, output line) are allocated per
+// request and never shared across goroutines.
+package httpd

@@ -1,0 +1,472 @@
+package httpd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/obs"
+	"github.com/prefix2org/prefix2org/internal/store"
+)
+
+// Server metrics, registered on the process-wide registry so the admin
+// listener's /metrics page exposes them.
+var (
+	mQueriesAddr   = obs.Default().Counter(obs.Label("httpd_queries_total", "type", "addr"))
+	mQueriesPrefix = obs.Default().Counter(obs.Label("httpd_queries_total", "type", "prefix"))
+	mQueriesOrg    = obs.Default().Counter(obs.Label("httpd_queries_total", "type", "org"))
+	mQueriesBulk   = obs.Default().Counter(obs.Label("httpd_queries_total", "type", "bulk"))
+	mQueriesBad    = obs.Default().Counter(obs.Label("httpd_queries_total", "type", "bad"))
+	mNoMatch       = obs.Default().Counter("httpd_no_match_total")
+	mServeErrors   = obs.Default().Counter("httpd_serve_errors_total")
+	mSLOViolations = obs.Default().Counter("httpd_slo_violations_total")
+	mLatency       = obs.Default().Histogram("httpd_query_seconds", obs.DefBuckets)
+
+	mBulkRequests     = obs.Default().Counter("httpd_bulk_requests_total")
+	mBulkLinesMatch   = obs.Default().Counter(obs.Label("httpd_bulk_lines_total", "outcome", "match"))
+	mBulkLinesNoMatch = obs.Default().Counter(obs.Label("httpd_bulk_lines_total", "outcome", "no_match"))
+	mBulkLinesBad     = obs.Default().Counter(obs.Label("httpd_bulk_lines_total", "outcome", "bad_input"))
+	mBulkTruncated    = obs.Default().Counter("httpd_bulk_truncated_total")
+
+	mCacheHits          = obs.Default().Counter("httpd_cache_hits_total")
+	mCacheMisses        = obs.Default().Counter("httpd_cache_misses_total")
+	mCacheEvictions     = obs.Default().Counter("httpd_cache_evictions_total")
+	mCacheInvalidations = obs.Default().Counter("httpd_cache_invalidations_total")
+
+	logger = obs.Logger("httpd")
+
+	// telemetry accounts every request: the rolling quantile window
+	// behind the httpd_query_seconds_p* gauges, SLO tracking, and the
+	// sampled QuerySpan rings served at /debug/queries. Daemon flags
+	// tune it via Telemetry().
+	telemetry = obs.NewQueryTelemetry(obs.QueryTelemetryConfig{
+		Latency:       mLatency,
+		SLOViolations: mSLOViolations,
+		Logger:        logger,
+	})
+)
+
+func init() {
+	// Rolling SLO quantiles, computed from the telemetry window at
+	// scrape time: gauges on /metrics without any per-request cost
+	// beyond the window's atomic store.
+	obs.Default().GaugeFunc("httpd_query_seconds_p50", func() float64 { return telemetry.Quantile(0.50) })
+	obs.Default().GaugeFunc("httpd_query_seconds_p90", func() float64 { return telemetry.Quantile(0.90) })
+	obs.Default().GaugeFunc("httpd_query_seconds_p99", func() float64 { return telemetry.Quantile(0.99) })
+	obs.Default().GaugeFunc("httpd_query_seconds_p999", func() float64 { return telemetry.Quantile(0.999) })
+}
+
+// Telemetry returns the package's query telemetry: daemons wire the
+// -slo-target / -slow-query-threshold / -query-sample flags and mount
+// its DebugHandler at /debug/queries.
+func Telemetry() *obs.QueryTelemetry { return telemetry }
+
+// Request outcome classes recorded on spans and /debug/queries records.
+const (
+	outcomeMatch      = "match"
+	outcomeCovering   = "covering"
+	outcomeNoMatch    = "no_match"
+	outcomeError      = "error"
+	outcomeWriteError = "write_error"
+	outcomeOK         = "ok"        // a bulk stream that completed
+	outcomeTruncated  = "truncated" // a bulk stream cut at BulkMaxLines
+)
+
+// Config bounds one Server's request handling. The zero value of any
+// field selects the DefaultConfig value for it, except CacheSize, where
+// zero disables the response cache entirely (there is no "cache of
+// default size" spelling other than DefaultConfig().CacheSize).
+type Config struct {
+	// BulkMaxLines caps the number of input lines one /v1/bulk request
+	// may carry; the stream ends with a too_many_lines error line when
+	// exceeded.
+	BulkMaxLines int
+	// BulkFlushEvery flushes the bulk response stream every N result
+	// lines, bounding client-visible latency and buffer growth.
+	BulkFlushEvery int
+	// CacheSize bounds the response cache in entries across all shards.
+	// Zero or negative disables caching.
+	CacheSize int
+}
+
+// DefaultConfig is the daemon-flag default configuration.
+func DefaultConfig() Config {
+	return Config{BulkMaxLines: 100000, BulkFlushEvery: 512, CacheSize: 4096}
+}
+
+// snapshotCounter caches the labeled per-snapshot-version counter so
+// the steady-state path is one pointer load and an atomic increment;
+// the registry lookup and label rendering run only when a reload swaps
+// the version.
+type snapshotCounter struct {
+	version uint64
+	c       *obs.Counter
+}
+
+// Server answers HTTP/JSON queries from a snapshot store. Safe for
+// concurrent requests and concurrent snapshot swaps; see the package
+// documentation for the full contract.
+type Server struct {
+	store *store.Store
+	cfg   Config
+	cache *responseCache
+
+	snapCount atomic.Pointer[snapshotCounter]
+
+	lis   net.Listener
+	srv   *http.Server
+	unsub func()
+}
+
+// New builds a server reading each request from st's current snapshot.
+// When cfg enables the response cache, the server subscribes to the
+// store so every snapshot swap invalidates the cache; Close cancels the
+// subscription.
+func New(st *store.Store, cfg Config) *Server {
+	if cfg.BulkMaxLines <= 0 {
+		cfg.BulkMaxLines = DefaultConfig().BulkMaxLines
+	}
+	if cfg.BulkFlushEvery <= 0 {
+		cfg.BulkFlushEvery = DefaultConfig().BulkFlushEvery
+	}
+	s := &Server{store: st, cfg: cfg, cache: newResponseCache(cfg.CacheSize)}
+	if s.cache != nil {
+		s.unsub = st.Subscribe(func(*store.Snapshot) {
+			s.cache.invalidate()
+			mCacheInvalidations.Inc()
+		})
+	}
+	return s
+}
+
+// NewStatic builds a server over one fixed dataset — a single-snapshot
+// store that is never swapped — with the default configuration.
+// Embedders and tests with no reload story use this.
+func NewStatic(ds *prefix2org.Dataset) *Server {
+	return New(store.New(&store.Snapshot{Dataset: ds}), DefaultConfig())
+}
+
+// Handler returns the query-surface handler (the /v1/ endpoints). The
+// daemon serves it on the public listener; tests drive it through
+// httptest directly.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/addr/{ip}", s.handleAddr)
+	mux.HandleFunc("/v1/prefix/{cidr...}", s.handlePrefix)
+	mux.HandleFunc("/v1/org/{id...}", s.handleOrg)
+	mux.HandleFunc("/v1/bulk", s.handleBulk)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		writeErrorEnvelope(w, http.StatusNotFound, "not_found", "unknown endpoint (see API.md: /v1/addr, /v1/prefix, /v1/org, /v1/bulk)")
+	})
+	return mux
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// serves until Close. ctx becomes the base context of every request
+// (sampled query spans ride it); it does not stop the server (Close
+// does). It returns the bound address.
+func (s *Server) Start(ctx context.Context, addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("httpd: listen %s: %w", addr, err)
+	}
+	s.lis = lis
+	s.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+	go func() { _ = s.srv.Serve(lis) }()
+	return lis.Addr().String(), nil
+}
+
+// Close stops the listener, closes active connections, and cancels the
+// cache-invalidation subscription.
+func (s *Server) Close() error {
+	if s.unsub != nil {
+		s.unsub()
+	}
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// --- single-query endpoints --------------------------------------------------
+
+// answerFunc resolves one parsed query against the pinned dataset and
+// returns the ready-to-cache response: HTTP status, rendered JSON body,
+// the resolved query type (it may degrade to "bad"), and the outcome
+// class for telemetry.
+type answerFunc func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (status int, body []byte, qtype, outcome string)
+
+// serve is the shared single-query skeleton: method check, snapshot
+// pin, cache lookup, answer, cache fill, write, telemetry. The snapshot
+// is loaded exactly once per request and every byte of the response is
+// derived from it.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, qtype, q string, answer answerFunc) {
+	start := time.Now()
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErrorEnvelope(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	_, sp := telemetry.StartSpan(r.Context())
+	snap := s.store.Current()
+	s.countSnapshotQuery(snap.Version)
+	info := obs.QueryInfo{Start: start, Text: q, Type: qtype, SnapshotVersion: snap.Version}
+	if snap.Dataset == nil {
+		writeErrorEnvelope(w, http.StatusServiceUnavailable, "not_ready", "no dataset loaded yet")
+		info.Outcome = outcomeError
+		telemetry.Finish(sp, info)
+		return
+	}
+	key := qtype + "/" + q
+	if s.cache != nil {
+		if e, ok := s.cache.get(key, snap.Version); ok {
+			mCacheHits.Inc()
+			sp.Mark(obs.PhaseLookup)
+			info.Type, info.Outcome = e.qtype, e.outcome
+			if !writeBody(w, e.status, e.body) {
+				info.Outcome = outcomeWriteError
+				mServeErrors.Inc()
+			}
+			sp.Mark(obs.PhaseWrite)
+			telemetry.Finish(sp, info)
+			return
+		}
+		mCacheMisses.Inc()
+	}
+	status, body, rtype, outcome := answer(snap.Dataset, snap.Version, sp)
+	sp.Mark(obs.PhaseEncode)
+	info.Type, info.Outcome = rtype, outcome
+	// Negative answers (bad input, no match) are cached too: a hot
+	// mistyped query is still hot. Only not_ready is transient.
+	s.cache.put(key, &cacheEntry{version: snap.Version, status: status, body: body, qtype: rtype, outcome: outcome})
+	if !writeBody(w, status, body) {
+		info.Outcome = outcomeWriteError
+		mServeErrors.Inc()
+	}
+	sp.Mark(obs.PhaseWrite)
+	telemetry.Finish(sp, info)
+}
+
+func (s *Server) handleAddr(w http.ResponseWriter, r *http.Request) {
+	q := r.PathValue("ip")
+	s.serve(w, r, "addr", q, func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (int, []byte, string, string) {
+		a, err := netip.ParseAddr(q)
+		sp.Mark(obs.PhaseParse)
+		if err != nil {
+			mQueriesBad.Inc()
+			return http.StatusBadRequest, marshalError(http.StatusBadRequest, "bad_request", "bad address "+strconv.Quote(q)), "bad", outcomeError
+		}
+		mQueriesAddr.Inc()
+		rec, ok := ds.LookupAddr(a)
+		sp.Mark(obs.PhaseLookup)
+		if !ok {
+			mNoMatch.Inc()
+			return http.StatusNotFound, marshalError(http.StatusNotFound, "no_match", "no record covers "+q), "addr", outcomeNoMatch
+		}
+		return http.StatusOK, marshalQuery(q, "addr", outcomeMatch, version, rec, nil), "addr", outcomeMatch
+	})
+}
+
+func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
+	q := r.PathValue("cidr")
+	s.serve(w, r, "prefix", q, func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (int, []byte, string, string) {
+		p, err := netip.ParsePrefix(q)
+		sp.Mark(obs.PhaseParse)
+		if err != nil {
+			mQueriesBad.Inc()
+			return http.StatusBadRequest, marshalError(http.StatusBadRequest, "bad_request", "bad prefix "+strconv.Quote(q)), "bad", outcomeError
+		}
+		mQueriesPrefix.Inc()
+		if rec, ok := ds.Lookup(p); ok {
+			sp.Mark(obs.PhaseLookup)
+			return http.StatusOK, marshalQuery(q, "prefix", outcomeMatch, version, rec, nil), "prefix", outcomeMatch
+		}
+		// Fall back to the most specific covering routed prefix, the
+		// same degradation the whois surface answers with a note.
+		if rec, ok := ds.LookupCovering(p); ok {
+			sp.Mark(obs.PhaseLookup)
+			return http.StatusOK, marshalQuery(q, "prefix", outcomeCovering, version, rec, nil), "prefix", outcomeCovering
+		}
+		sp.Mark(obs.PhaseLookup)
+		mNoMatch.Inc()
+		return http.StatusNotFound, marshalError(http.StatusNotFound, "no_match", "no record covers "+q), "prefix", outcomeNoMatch
+	})
+}
+
+func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
+	q := r.PathValue("id")
+	s.serve(w, r, "org", q, func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (int, []byte, string, string) {
+		sp.Mark(obs.PhaseParse)
+		if q == "" {
+			mQueriesBad.Inc()
+			return http.StatusBadRequest, marshalError(http.StatusBadRequest, "bad_request", "empty organization query"), "bad", outcomeError
+		}
+		mQueriesOrg.Inc()
+		// Final-cluster ID first, then any exact WHOIS owner name.
+		c, ok := ds.ClusterByID(q)
+		if !ok {
+			c, ok = ds.ClusterOfOwner(q)
+		}
+		sp.Mark(obs.PhaseLookup)
+		if !ok {
+			mNoMatch.Inc()
+			return http.StatusNotFound, marshalError(http.StatusNotFound, "no_match", "no cluster with ID or owner name "+strconv.Quote(q)), "org", outcomeNoMatch
+		}
+		return http.StatusOK, marshalQuery(q, "org", outcomeMatch, version, nil, c), "org", outcomeMatch
+	})
+}
+
+// countSnapshotQuery ties request traffic to the snapshot version that
+// answered it — httpd_queries_by_snapshot_total{version="N"} — so a
+// reload's effect on traffic is directly observable on /metrics. The
+// labeled counter is re-resolved only when the version changes.
+func (s *Server) countSnapshotQuery(version uint64) {
+	if sc := s.snapCount.Load(); sc != nil && sc.version == version {
+		sc.c.Inc()
+		return
+	}
+	c := obs.Default().Counter(obs.Label(
+		"httpd_queries_by_snapshot_total", "version", strconv.FormatUint(version, 10)))
+	s.snapCount.Store(&snapshotCounter{version: version, c: c})
+	c.Inc()
+}
+
+// --- wire shapes -------------------------------------------------------------
+
+// customerJSON is one Delegated Customer level of a record, outermost
+// first.
+type customerJSON struct {
+	Name   string `json:"name"`
+	Prefix string `json:"prefix"`
+	Type   string `json:"type"`
+}
+
+// recordJSON is the wire form of a prefix2org.Record (API.md: Record
+// object). It is a clean snake_case projection rather than the
+// release-JSONL column names the Record struct tags carry.
+type recordJSON struct {
+	Prefix             string         `json:"prefix"`
+	RIR                string         `json:"rir"`
+	DirectOwner        string         `json:"direct_owner"`
+	DOPrefix           string         `json:"do_prefix"`
+	DOType             string         `json:"do_type"`
+	DelegatedCustomers []customerJSON `json:"delegated_customers,omitempty"`
+	BaseName           string         `json:"base_name"`
+	RPKICert           string         `json:"rpki_cert,omitempty"`
+	OriginASN          uint32         `json:"origin_asn,omitempty"`
+	ASNCluster         string         `json:"asn_cluster,omitempty"`
+	FinalCluster       string         `json:"final_cluster"`
+}
+
+// clusterJSON is the wire form of a prefix2org.Cluster (API.md: Cluster
+// object).
+type clusterJSON struct {
+	ID       string   `json:"id"`
+	BaseName string   `json:"base_name"`
+	OrgNames []string `json:"org_names"`
+	Prefixes []string `json:"prefixes"`
+}
+
+// queryResponse is the single-query success envelope.
+type queryResponse struct {
+	Query           string       `json:"query"`
+	Type            string       `json:"type"`
+	Outcome         string       `json:"outcome"`
+	SnapshotVersion uint64       `json:"snapshot_version"`
+	Record          *recordJSON  `json:"record,omitempty"`
+	Cluster         *clusterJSON `json:"cluster,omitempty"`
+}
+
+// errorResponse is the error envelope every non-2xx response carries.
+type errorResponse struct {
+	Error  errorBody `json:"error"`
+	Status int       `json:"status"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func recordWire(rec *prefix2org.Record) *recordJSON {
+	out := &recordJSON{
+		Prefix:       rec.Prefix.String(),
+		RIR:          rec.RIR,
+		DirectOwner:  rec.DirectOwner,
+		DOPrefix:     rec.DOPrefix.String(),
+		DOType:       rec.DOType,
+		BaseName:     rec.BaseName,
+		RPKICert:     rec.RPKICert,
+		OriginASN:    rec.OriginASN,
+		ASNCluster:   rec.ASNCluster,
+		FinalCluster: rec.FinalCluster,
+	}
+	for i, name := range rec.DelegatedCustomers {
+		c := customerJSON{Name: name}
+		if i < len(rec.DCPrefixes) {
+			c.Prefix = rec.DCPrefixes[i].String()
+		}
+		if i < len(rec.DCTypes) {
+			c.Type = rec.DCTypes[i]
+		}
+		out.DelegatedCustomers = append(out.DelegatedCustomers, c)
+	}
+	return out
+}
+
+func clusterWire(c *prefix2org.Cluster) *clusterJSON {
+	out := &clusterJSON{ID: c.ID, BaseName: c.BaseName, OrgNames: c.OwnerNames, Prefixes: make([]string, 0, len(c.Prefixes))}
+	for _, p := range c.Prefixes {
+		out.Prefixes = append(out.Prefixes, p.String())
+	}
+	return out
+}
+
+// marshalQuery renders the success envelope. Marshal of these plain
+// structs cannot fail; the rendered bytes end in a newline so curl
+// output is line-clean.
+func marshalQuery(q, qtype, outcome string, version uint64, rec *prefix2org.Record, c *prefix2org.Cluster) []byte {
+	resp := queryResponse{Query: q, Type: qtype, Outcome: outcome, SnapshotVersion: version}
+	if rec != nil {
+		resp.Record = recordWire(rec)
+	}
+	if c != nil {
+		resp.Cluster = clusterWire(c)
+	}
+	b, _ := json.Marshal(resp)
+	return append(b, '\n')
+}
+
+// marshalError renders the error envelope.
+func marshalError(status int, code, msg string) []byte {
+	b, _ := json.Marshal(errorResponse{Error: errorBody{Code: code, Message: msg}, Status: status})
+	return append(b, '\n')
+}
+
+// writeBody writes one rendered response; false reports a transport
+// write failure (the status and headers may already be on the wire).
+func writeBody(w http.ResponseWriter, status int, body []byte) bool {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	_, err := w.Write(body)
+	return err == nil
+}
+
+// writeErrorEnvelope renders and writes an error envelope in one step —
+// the paths with no cache or telemetry involvement (unknown routes,
+// method mismatches, not-ready).
+func writeErrorEnvelope(w http.ResponseWriter, status int, code, msg string) {
+	writeBody(w, status, marshalError(status, code, msg))
+}

@@ -1,0 +1,5 @@
+package httpd
+
+import "os"
+
+func mkTemp() (string, error) { return os.MkdirTemp("", "p2o-httpd-test") }

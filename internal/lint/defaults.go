@@ -46,6 +46,7 @@ func DefaultConfig(modPath string) *Config {
 	servingAndAbove := []string{
 		"internal/store",
 		"internal/whoisd",
+		"internal/httpd",
 		"internal/rtr",
 		"internal/experiments",
 		"internal/casestudy",
@@ -58,8 +59,8 @@ func DefaultConfig(modPath string) *Config {
 	for _, p := range []string{
 		"internal/alloc", "internal/as2org", "internal/bgp", "internal/casestudy",
 		"internal/cluster", "internal/delegated", "internal/diff", "internal/dsu",
-		"internal/experiments", "internal/intern", "internal/leasing", "internal/lint",
-		"internal/lpm", "internal/names", "internal/netx", "internal/obs",
+		"internal/experiments", "internal/httpd", "internal/intern", "internal/leasing",
+		"internal/lint", "internal/lpm", "internal/names", "internal/netx", "internal/obs",
 		"internal/radix", "internal/report", "internal/retry", "internal/rpki",
 		"internal/rtr", "internal/store", "internal/synth", "internal/validate",
 		"internal/whois", "internal/whoisd",
@@ -93,7 +94,7 @@ func DefaultConfig(modPath string) *Config {
 		"internal/lpm":    leafDeny,
 		"internal/intern": leafDeny,
 		// The store is below the daemons and the harnesses.
-		"internal/store": {"internal/whoisd", "internal/rtr", "internal/experiments", "internal/casestudy"},
+		"internal/store": {"internal/whoisd", "internal/httpd", "internal/rtr", "internal/experiments", "internal/casestudy"},
 		// The linter analyzes everything and depends on nothing.
 		"internal/lint": leafDeny,
 	}

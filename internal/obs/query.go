@@ -24,15 +24,19 @@ import (
 type QueryPhase uint8
 
 // The serve-path phases a QuerySpan times. Servers Mark each phase as it
-// completes; the span records the time since the previous mark.
+// completes; the span records the time since the previous mark. Not
+// every server crosses every phase: whoisd writes its response directly
+// (parse/lookup/write), while httpd renders JSON into a buffer first
+// (parse/lookup/encode/write). An unmarked phase simply reports zero.
 const (
 	PhaseParse QueryPhase = iota
 	PhaseLookup
+	PhaseEncode
 	PhaseWrite
 	numQueryPhases
 )
 
-var phaseNames = [numQueryPhases]string{"parse", "lookup", "write"}
+var phaseNames = [numQueryPhases]string{"parse", "lookup", "encode", "write"}
 
 // QuerySpan carries per-phase timings for one sampled query. Spans are
 // pooled: servers obtain one from QueryTelemetry.StartSpan (nil when the
@@ -301,7 +305,7 @@ func (t *QueryTelemetry) Finish(sp *QuerySpan, info QueryInfo) {
 				"query", info.Text, "type", info.Type, "outcome", info.Outcome,
 				"snapshot", info.SnapshotVersion, "duration", dur,
 				"parse", sp.Phase(PhaseParse), "lookup", sp.Phase(PhaseLookup),
-				"write", sp.Phase(PhaseWrite))
+				"encode", sp.Phase(PhaseEncode), "write", sp.Phase(PhaseWrite))
 		}
 	}
 	if sp != nil {

@@ -148,8 +148,9 @@ func (s *Store) Swap(next *Snapshot) (old *Snapshot) {
 // Subscribe registers fn to run after every future Swap, receiving the
 // newly published snapshot. Callbacks run synchronously on the swapping
 // goroutine, in subscription order — keep them short (the RTR server's
-// serial bump re-derives its VRP set, the intended scale). The returned
-// cancel removes the subscription.
+// serial bump re-derives its VRP set, the httpd response cache clears
+// its shards; that is the intended scale). The returned cancel removes
+// the subscription.
 func (s *Store) Subscribe(fn func(*Snapshot)) (cancel func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
