@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-concurrency lint race bench bench-all bench-save bench-compare fuzz-short loadgen-smoke httpd-smoke verify ci
+.PHONY: build test vet vet-concurrency lint race bench bench-all bench-save bench-compare fuzz-short loadgen-smoke httpd-smoke snapshot-compat verify ci
 
 build:
 	$(GO) build ./...
@@ -39,20 +39,23 @@ race:
 # the serving-layer benchmarks (LPM lookups, snapshot swap under load) and
 # renders the per-stage wall times as a stage x worker-count table.
 bench:
-	$(GO) test -bench='^(BenchmarkPipelineBuild|BenchmarkLookupAddr|BenchmarkStoreSwapUnderLoad)$$' -run='^$$' . | awk -f scripts/benchtable.awk
+	$(GO) test -bench='^(BenchmarkPipelineBuild|BenchmarkLookupAddr|BenchmarkLookupAddrView|BenchmarkLoadBinaryV2|BenchmarkOpenMmap|BenchmarkStoreSwapUnderLoad)$$' -run='^$$' . | awk -f scripts/benchtable.awk
 
 # bench-all runs the full benchmark suite, raw output.
 bench-all:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # The serve-path benchmark set tracked across commits: frozen-index and
-# radix LPM lookups, snapshot save/load in both formats, the bulk WHOIS
+# radix LPM lookups, snapshot save/load in both formats, the v2 codec
+# (eager decode, in-place mmap open, warm view lookups), the bulk WHOIS
 # parsers, the whoisd answer path (in-process and over loopback TCP),
 # and the httpd per-line bulk lookup path.
-BENCH_TRACKED = ^(BenchmarkLookupAddr|BenchmarkLookupAddrRadix|BenchmarkSnapshotSaveLoad|BenchmarkFrozenLookup|BenchmarkRadixLookup|BenchmarkFreeze|BenchmarkParseRPSL|BenchmarkParseARIN|BenchmarkParseLACNIC|BenchmarkAnswerAddr|BenchmarkAnswerOverTCP|BenchmarkBulkLookup)$$
+BENCH_TRACKED = ^(BenchmarkLookupAddr|BenchmarkLookupAddrRadix|BenchmarkLookupAddrView|BenchmarkSnapshotSaveLoad|BenchmarkLoadBinaryV2|BenchmarkOpenMmap|BenchmarkFrozenLookup|BenchmarkRadixLookup|BenchmarkFreeze|BenchmarkParseRPSL|BenchmarkParseARIN|BenchmarkParseLACNIC|BenchmarkAnswerAddr|BenchmarkAnswerOverTCP|BenchmarkBulkLookup)$$
 BENCH_PKGS = . ./internal/lpm ./internal/whois ./internal/whoisd ./internal/httpd
-# Lookup benchmarks are stable enough that a >20% slowdown is signal,
-# not noise; they get the strict threshold in bench-compare.
+# Lookup benchmarks — the eager frozen-index paths and the view-backed
+# BenchmarkLookupAddrView alike — are stable enough that a >20%
+# slowdown is signal, not noise; they get the strict threshold in
+# bench-compare.
 BENCH_STRICT = Lookup
 BENCH_FILE ?= BENCH_$(shell date +%F).json
 
@@ -87,6 +90,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzParseUpdate -fuzztime=$(FUZZTIME) ./internal/bgp
 	$(GO) test -run='^$$' -fuzz=FuzzReadMRT -fuzztime=$(FUZZTIME) ./internal/bgp
 	$(GO) test -run='^$$' -fuzz=FuzzReadPDU -fuzztime=$(FUZZTIME) ./internal/rtr
+	$(GO) test -run='^$$' -fuzz=FuzzLoadBinary -fuzztime=$(FUZZTIME) .
 
 # loadgen-smoke drives the committed p2o-loadgen harness end to end
 # against an in-process whoisd (TestLoadgenSmoke): a short mixed-load
@@ -101,6 +105,12 @@ loadgen-smoke:
 httpd-smoke:
 	$(GO) test -run TestLoadgenHTTPSmoke -count=1 ./cmd/p2o-loadgen
 
+# snapshot-compat proves the v2 codec is self-stable: save, load, and
+# re-save must be byte-identical through both the eager loader and the
+# in-place view opener (TestSnapshotCompatRoundTrip).
+snapshot-compat:
+	$(GO) test -run TestSnapshotCompatRoundTrip -count=1 .
+
 # verify is the tier-1 gate: vet (+ concurrency analyzers) + the
 # repository's own linter + build + race-enabled tests.
 verify: vet vet-concurrency lint build race
@@ -108,4 +118,4 @@ verify: vet vet-concurrency lint build race
 # ci is the full gate: everything verify runs plus a short fuzz pass,
 # the loadgen smoke runs (WHOIS and HTTP), and the benchmark-regression
 # comparison.
-ci: vet vet-concurrency lint build race fuzz-short loadgen-smoke httpd-smoke bench-compare
+ci: vet vet-concurrency lint build race fuzz-short snapshot-compat loadgen-smoke httpd-smoke bench-compare

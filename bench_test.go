@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -483,4 +484,105 @@ func BenchmarkSnapshotSaveLoad(b *testing.B) {
 	})
 	b.ReportMetric(float64(jsonSnap.Len()), "json_bytes")
 	b.ReportMetric(float64(binSnap.Len()), "binary_bytes")
+}
+
+// BenchmarkLoadBinaryV2 measures the eager decode of a v2 snapshot —
+// the path FileBuilder and non-view tools take. Contrast with
+// BenchmarkOpenMmap, the in-place open of the same bytes.
+func BenchmarkLoadBinaryV2(b *testing.B) {
+	e := env(b)
+	var snap bytes.Buffer
+	if err := e.DS.SaveBinary(&snap); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(snap.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back, err := prefix2org.Load(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if back.NumRecords() != len(e.DS.Records) {
+			b.Fatal("lossy roundtrip")
+		}
+	}
+}
+
+// BenchmarkOpenMmap is the cold-open comparison behind -snapshot-mmap:
+// "view" maps a v2 snapshot and serves the first lookup without
+// decoding a single record; "v1-decode" is the legacy format's full
+// decode of the same dataset. The gap between the two is the startup
+// win the view format exists for.
+func BenchmarkOpenMmap(b *testing.B) {
+	e := env(b)
+	path := filepath.Join(benchDir, "bench-open.p2o")
+	if err := e.DS.SaveFile(path); err != nil {
+		b.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := e.DS.SaveBinaryV1(&v1); err != nil {
+		b.Fatal(err)
+	}
+	addr := e.DS.Records[0].Prefix.Addr()
+
+	b.Run("view", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ds, err := prefix2org.OpenSnapshotFile(context.Background(), path, prefix2org.OpenOptions{Mmap: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := ds.LookupAddr(addr); !ok {
+				b.Fatal("lookup miss")
+			}
+			if err := ds.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v1-decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ds, err := prefix2org.Load(bytes.NewReader(v1.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := ds.LookupAddr(addr); !ok {
+				b.Fatal("lookup miss")
+			}
+		}
+	})
+}
+
+// BenchmarkLookupAddrView measures steady-state lookups against a
+// view-backed (mmap'd) dataset with every record chunk warm — the
+// serve path of a daemon running -snapshot-mmap. The acceptance bar is
+// parity with BenchmarkLookupAddr (the eagerly decoded index) within
+// the bench-compare strict threshold.
+func BenchmarkLookupAddrView(b *testing.B) {
+	e := env(b)
+	path := filepath.Join(benchDir, "bench-lookup-view.p2o")
+	if err := e.DS.SaveFile(path); err != nil {
+		b.Fatal(err)
+	}
+	ds, err := prefix2org.OpenSnapshotFile(context.Background(), path, prefix2org.OpenOptions{Mmap: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	for i := 0; i < ds.NumRecords(); i++ {
+		_ = ds.RecordAt(i) // warm every chunk: steady state, not first touch
+	}
+	addrs := make([]netip.Addr, 0, 1024)
+	for i := range e.DS.Records {
+		addrs = append(addrs, e.DS.Records[i].Prefix.Addr())
+		if len(addrs) == cap(addrs) {
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ds.LookupAddr(addrs[i%len(addrs)]); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	p2o-httpd -data DIR [-listen ADDR] [-metrics-listen ADDR] [options]
-//	p2o-httpd -snapshot FILE [-listen ADDR]
+//	p2o-httpd -snapshot FILE [-snapshot-mmap] [-listen ADDR]
 //
 // Then:
 //
@@ -17,6 +17,14 @@
 // export-snapshot` writes — the binary serve format (which carries the
 // pre-built LPM index and loads several times faster) or JSON lines —
 // detected from the file contents, not the name.
+//
+// -snapshot-mmap serves a v2 binary snapshot in place: the file is
+// mapped read-only and queried directly (records materialize lazily on
+// first touch), so startup is near-instant and replicas pointed at the
+// same file share page cache. The mapping of a swapped-out snapshot is
+// released only after its last in-flight request — including a
+// long-running bulk stream — drops its pin. Other formats fall back to
+// the normal eager load.
 //
 // The daemon serves immutable dataset snapshots from a hot-swappable
 // store and picks up new data without restarting: SIGHUP rebuilds from
@@ -50,6 +58,7 @@ import (
 type config struct {
 	dataDir        string
 	snapshot       string
+	snapshotMmap   bool
 	listen         string
 	metricsListen  string
 	reloadInterval time.Duration
@@ -68,6 +77,7 @@ func main() {
 	def := httpd.DefaultConfig()
 	flag.StringVar(&cfg.dataDir, "data", "", "data directory to build the dataset from")
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "pre-built dataset snapshot (alternative to -data)")
+	flag.BoolVar(&cfg.snapshotMmap, "snapshot-mmap", false, "serve a v2 binary -snapshot in place via mmap (lazy materialization, shared page cache)")
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8080", "address to serve HTTP/JSON queries on")
 	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, /reload, /debug/queries, pprof); empty disables it")
 	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0, "rebuild and swap the dataset periodically (e.g. 1h); 0 reloads only on SIGHUP or /reload")
@@ -92,13 +102,13 @@ func main() {
 
 // app is one running daemon instance; tests drive start/Close directly.
 type app struct {
-	srv      *httpd.Server
-	admin    *obs.Admin
-	store    *store.Store
-	reloader *store.Reloader
-	stop     context.CancelFunc
-	logger   *slog.Logger
-	HTTPAddr string
+	srv       *httpd.Server
+	admin     *obs.Admin
+	store     *store.Store
+	reloader  *store.Reloader
+	stop      context.CancelFunc
+	logger    *slog.Logger
+	HTTPAddr  string
 	AdminAddr string
 }
 
@@ -113,7 +123,7 @@ func start(cfg config) (*app, error) {
 	var build store.BuildFunc
 	source := cfg.dataDir
 	if cfg.snapshot != "" {
-		build = store.FileBuilder(cfg.snapshot)
+		build = store.ViewFileBuilder(cfg.snapshot, cfg.snapshotMmap)
 		source = cfg.snapshot
 	} else {
 		build = store.DirBuilder(cfg.dataDir, prefix2org.Options{})
@@ -169,7 +179,7 @@ func start(cfg config) (*app, error) {
 
 	ds := snap.Dataset
 	logger.Info("serving http",
-		"addr", addr, "snapshot", snap.Version, "records", len(ds.Records), "clusters", len(ds.Clusters))
+		"addr", addr, "snapshot", snap.Version, "records", ds.NumRecords(), "clusters", ds.NumClusters())
 	return a, nil
 }
 

@@ -56,6 +56,7 @@ type config struct {
 	bulk        int
 	dataDir     string
 	snapshot    string
+	snapMmap    bool
 	duration    time.Duration
 	concurrency int
 	mix         string
@@ -74,6 +75,7 @@ func main() {
 	flag.IntVar(&cfg.bulk, "bulk", 0, "with -proto http: POST N-line NDJSON bodies to /v1/bulk instead of single queries; 0 disables")
 	flag.StringVar(&cfg.dataDir, "data", "", "data directory to sample queries from (the server's corpus)")
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "pre-built dataset snapshot to sample queries from (alternative to -data)")
+	flag.BoolVar(&cfg.snapMmap, "snapshot-mmap", false, "open a v2 binary -snapshot via mmap and sample lazily (skips the eager decode)")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to run")
 	flag.IntVar(&cfg.concurrency, "concurrency", 8, "concurrent client connections")
 	flag.StringVar(&cfg.mix, "mix", "addr=70,prefix=20,org=10", "query type mix as weights")
@@ -163,11 +165,11 @@ const maxPoolPerType = 4096
 
 func buildPool(ds *prefix2org.Dataset) (pool, error) {
 	var p pool
-	for i := range ds.Records {
+	for i, n := 0, ds.NumRecords(); i < n; i++ {
 		if len(p.addrs) >= maxPoolPerType {
 			break
 		}
-		rec := &ds.Records[i]
+		rec := ds.RecordAt(i)
 		p.addrs = append(p.addrs, rec.Prefix.Addr().String())
 		p.prefixes = append(p.prefixes, rec.Prefix.String())
 		p.orgs = append(p.orgs, rec.DirectOwner)
@@ -317,7 +319,13 @@ func run(ctx context.Context, cfg config) (report, error) {
 	}
 	var ds *prefix2org.Dataset
 	if cfg.snapshot != "" {
-		ds, err = prefix2org.LoadFile(ctx, cfg.snapshot)
+		// A v2 binary snapshot opens lazily (mapped in place with
+		// -snapshot-mmap): only the bounded sample of records ever
+		// materializes. Other formats fall back to the eager load.
+		ds, err = prefix2org.OpenSnapshotFile(ctx, cfg.snapshot, prefix2org.OpenOptions{Mmap: cfg.snapMmap})
+		if err == nil {
+			defer ds.Close()
+		}
 	} else {
 		ds, err = prefix2org.BuildFromDir(ctx, cfg.dataDir, prefix2org.Options{})
 	}

@@ -13,6 +13,11 @@
 // same on a timer, and the admin listener's /reload endpoint reloads
 // synchronously. A failed reload leaves the current VRP set serving.
 //
+// Unlike p2o-whoisd and p2o-httpd there is no -snapshot/-snapshot-mmap
+// mode: serialized dataset snapshots carry the prefix-to-organization
+// records but not the raw RPKI repository this daemon replays, so it
+// always builds from -data.
+//
 // With -metrics-listen, an admin HTTP listener exposes /metrics (text or
 // ?format=json), /healthz, /reload, and /debug/pprof/.
 package main

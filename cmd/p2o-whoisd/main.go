@@ -4,7 +4,7 @@
 // Usage:
 //
 //	p2o-whoisd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-reload-interval D] [-log-level LEVEL] [-log-json]
-//	p2o-whoisd -snapshot FILE [-listen ADDR]
+//	p2o-whoisd -snapshot FILE [-snapshot-mmap] [-listen ADDR]
 //
 // Then:  whois -h 127.0.0.1 -p 4343 63.80.52.0/24
 //
@@ -12,6 +12,13 @@
 // export-snapshot` writes — the binary serve format (which carries the
 // pre-built LPM index and loads several times faster) or JSON lines —
 // detected from the file contents, not the name.
+//
+// -snapshot-mmap serves a v2 binary snapshot in place: the file is
+// mapped read-only and queried directly (records materialize lazily on
+// first touch), so startup is near-instant and replicas pointed at the
+// same file share page cache. The mapping of a swapped-out snapshot is
+// released only after its last in-flight query finishes. Other formats
+// fall back to the normal eager load.
 //
 // The daemon serves immutable dataset snapshots from a hot-swappable
 // store and can pick up new data without restarting: SIGHUP rebuilds
@@ -43,6 +50,7 @@ import (
 type config struct {
 	dataDir        string
 	snapshot       string
+	snapshotMmap   bool
 	listen         string
 	metricsListen  string
 	reloadInterval time.Duration
@@ -57,6 +65,7 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.dataDir, "data", "", "data directory to build the dataset from")
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "pre-built dataset snapshot (alternative to -data)")
+	flag.BoolVar(&cfg.snapshotMmap, "snapshot-mmap", false, "serve a v2 binary -snapshot in place via mmap (lazy materialization, shared page cache)")
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:4343", "address to serve WHOIS on")
 	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, /reload, pprof); empty disables it")
 	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0, "rebuild and swap the dataset periodically (e.g. 1h); 0 reloads only on SIGHUP or /reload")
@@ -99,7 +108,7 @@ func start(cfg config) (*app, error) {
 	var build store.BuildFunc
 	source := cfg.dataDir
 	if cfg.snapshot != "" {
-		build = store.FileBuilder(cfg.snapshot)
+		build = store.ViewFileBuilder(cfg.snapshot, cfg.snapshotMmap)
 		source = cfg.snapshot
 	} else {
 		build = store.DirBuilder(cfg.dataDir, prefix2org.Options{})
@@ -147,7 +156,7 @@ func start(cfg config) (*app, error) {
 	a.WhoisAddr = addr
 	ds := snap.Dataset
 	logger.Info("serving whois",
-		"addr", addr, "snapshot", snap.Version, "records", len(ds.Records), "clusters", len(ds.Clusters))
+		"addr", addr, "snapshot", snap.Version, "records", ds.NumRecords(), "clusters", ds.NumClusters())
 	return a, nil
 }
 

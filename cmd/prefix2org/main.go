@@ -13,9 +13,9 @@
 // "cluster" prints the final cluster containing an organization name;
 // "export" streams the whole dataset as JSON lines; "export-snapshot"
 // writes a reloadable snapshot for p2o-whoisd, p2o-rtrd and p2o-diff —
-// binary (dataset plus the frozen LPM index, the fast-loading serve
-// format) unless OUT ends in .json/.jsonl, which selects the
-// JSON-lines release format; "stats" prints the Table 4 metrics. With
+// binary (the offset-based P2OSNAP v2 serve format: dataset plus the
+// frozen LPM index, openable in place via -snapshot-mmap) unless OUT
+// ends in .json/.jsonl, which selects the JSON-lines release format; "stats" prints the Table 4 metrics. With
 // -trace, the per-stage build trace (wall time and record counts per
 // pipeline pass) is printed to stderr after the build.
 package main
@@ -133,7 +133,7 @@ func run(dataDir, jpnic string, trace bool, workers int, args []string) error {
 			return err
 		}
 		fmt.Printf("snapshot with %d records and %d clusters written to %s\n",
-			len(ds.Records), len(ds.Clusters), args[1])
+			ds.NumRecords(), ds.NumClusters(), args[1])
 		return nil
 	case "export":
 		w := bufio.NewWriter(os.Stdout)

@@ -68,11 +68,17 @@ func (r *Report) Summary() string {
 		len(r.OriginChanges), len(r.TypeChanges), r.RPKINewlyCovered, r.Stable)
 }
 
-// Compare diffs two snapshots (old → new).
+// Compare diffs two snapshots (old → new). View-backed (lazy)
+// datasets are materialized first: the diff walks every record of
+// both sides anyway, and the flat slices are what the loops below
+// index. Callers diffing a mmap-backed dataset must keep it pinned
+// (unclosed) for the duration.
 func Compare(oldDS, newDS *prefix2org.Dataset) (*Report, error) {
 	if oldDS == nil || newDS == nil {
 		return nil, fmt.Errorf("diff: nil dataset")
 	}
+	oldDS.MaterializeAll()
+	newDS.MaterializeAll()
 	rep := &Report{}
 	oldSet := map[netip.Prefix]*prefix2org.Record{}
 	for i := range oldDS.Records {

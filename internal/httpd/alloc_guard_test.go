@@ -13,8 +13,8 @@ import (
 func TestBulkLineZeroAlloc(t *testing.T) {
 	ds := dataset(t)
 	lines := [][]byte{
-		[]byte(ds.Records[0].Prefix.Addr().String()),              // bare match
-		[]byte(`"` + ds.Records[0].Prefix.Addr().String() + `"`),  // string match
+		[]byte(ds.Records[0].Prefix.Addr().String()),                   // bare match
+		[]byte(`"` + ds.Records[0].Prefix.Addr().String() + `"`),       // string match
 		[]byte(`{"q":"` + ds.Records[0].Prefix.Addr().String() + `"}`), // object match
 		[]byte("192.0.2.1"),   // no_match
 		[]byte("not-an-ip"),   // bad_input

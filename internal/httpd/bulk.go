@@ -44,7 +44,11 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_, sp := telemetry.StartSpan(r.Context())
-	snap := s.store.Current()
+	// One snapshot pin per bulk request: the stream may run for a long
+	// time across swaps, and every line answers from — and keeps alive —
+	// this one snapshot.
+	snap, release := s.store.Acquire()
+	defer release()
 	s.countSnapshotQuery(snap.Version)
 	info := obs.QueryInfo{Start: start, Text: "bulk", Type: "bulk", SnapshotVersion: snap.Version}
 	if snap.Dataset == nil {

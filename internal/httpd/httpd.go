@@ -219,7 +219,11 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, qtype, q string, 
 		return
 	}
 	_, sp := telemetry.StartSpan(r.Context())
-	snap := s.store.Current()
+	// Acquire pins the snapshot's backing buffer until the response is
+	// written; cached bodies are copies, so cache entries outliving the
+	// pin is fine.
+	snap, release := s.store.Acquire()
+	defer release()
 	s.countSnapshotQuery(snap.Version)
 	info := obs.QueryInfo{Start: start, Text: q, Type: qtype, SnapshotVersion: snap.Version}
 	if snap.Dataset == nil {

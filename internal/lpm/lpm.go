@@ -98,7 +98,7 @@ func mask128(hi, lo uint64, bits int) (uint64, uint64) {
 	case bits == 64:
 		return hi, 0
 	case bits < 128:
-		return hi, lo &^ (1 << (128 - bits) - 1)
+		return hi, lo &^ (1<<(128-bits) - 1)
 	default:
 		return hi, lo
 	}

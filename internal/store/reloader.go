@@ -160,11 +160,21 @@ func (r *Reloader) reloadOnce(ctx context.Context) error {
 			"version", r.store.Current().Version, "err", err)
 		return err
 	}
-	old := r.store.Swap(next)
+	// Pin the outgoing snapshot before the swap so its backing buffer
+	// (a view-backed dataset's mmap) survives long enough to diff
+	// against the incoming one; the pin is the only thing keeping it
+	// alive once Swap drops the store's reference.
+	old, release := r.store.Acquire()
+	defer release()
+	r.store.Swap(next)
 	dur := time.Since(start)
 	mReloads.Inc()
 	mReloadSeconds.Observe(dur.Seconds())
-	if old.Dataset != nil && next.Dataset != nil {
+	// Diffing walks both datasets in full, which would force a lazy
+	// (view-backed) snapshot to materialize every record on the reload
+	// path — the opposite of what serving in place is for. Skip the
+	// change summary when either side is lazy.
+	if old.Dataset != nil && next.Dataset != nil && !old.Dataset.Lazy() && !next.Dataset.Lazy() {
 		if rep, derr := diff.Compare(old.Dataset, next.Dataset); derr == nil {
 			logger.Info("snapshot swapped",
 				"snapshot", describe(next), "duration", dur, "changes", rep.Summary())

@@ -58,6 +58,46 @@ type Snapshot struct {
 	// snapshot was loaded from a serialized dataset file, which carries
 	// no repository.
 	Repo *rpki.Repository
+	// Closer releases resources the snapshot's data aliases — the mmap
+	// of a view-backed dataset. It runs exactly once, when the last
+	// reference is dropped: the Store holds one reference for as long
+	// as the snapshot is current (Swap drops it), and every
+	// Acquire/release pair brackets one in-flight reader. Snapshots
+	// with a nil Closer (every eager dataset) skip the machinery
+	// entirely on the read side except for two atomic ops.
+	Closer func() error
+
+	// refs counts the Store's publication reference plus in-flight
+	// Acquire pins. Managed by the Store; builders leave it zero.
+	refs atomic.Int64
+}
+
+// tryRef acquires a reference if the snapshot is still live (refs >
+// 0). It fails only when the snapshot already hit zero — swapped out
+// with no readers — at which point its Closer may have run.
+func (s *Snapshot) tryRef() bool {
+	for {
+		n := s.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if s.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// unref drops one reference and runs the Closer on the last one.
+func (s *Snapshot) unref() {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	if s.Closer == nil {
+		return
+	}
+	if err := s.Closer(); err != nil {
+		logger.Error("snapshot close failed", "version", s.Version, "source", s.Source, "err", err)
+	}
 }
 
 // Store publishes the current Snapshot to concurrent readers. The zero
@@ -86,6 +126,7 @@ func New(initial *Snapshot) *Store {
 	if initial.Version == 0 {
 		initial.Version = 1
 	}
+	publish(initial)
 	s := &Store{}
 	s.cur.Store(initial)
 	mSnapshotVersion.Set(float64(initial.Version))
@@ -102,9 +143,22 @@ func New(initial *Snapshot) *Store {
 // reports false until a real snapshot is swapped in.
 func NewPending(source string) *Store {
 	s := &Store{}
-	s.cur.Store(&Snapshot{Source: source})
+	placeholder := &Snapshot{Source: source}
+	publish(placeholder)
+	s.cur.Store(placeholder)
 	mSnapshotVersion.Set(0)
 	return s
+}
+
+// publish normalizes a snapshot's refcount to the single publication
+// reference the Store owns. Snapshots arrive with refs == 0 from
+// builders (and from tests constructing bare literals); publishing
+// twice — a restore flow re-seeding a store — keeps the existing
+// count.
+func publish(s *Snapshot) {
+	if s.refs.Load() == 0 {
+		s.refs.Store(1)
+	}
 }
 
 // Ready reports whether the store serves a real snapshot — one carrying
@@ -119,7 +173,29 @@ func (s *Store) Ready() bool {
 // and remains internally consistent for as long as the caller holds it,
 // no matter how many swaps happen meanwhile; per-request readers call
 // Current once and answer entirely from that snapshot.
+//
+// Current does not pin the snapshot's backing resources: a view-backed
+// dataset's mapping may be released once the snapshot is swapped out.
+// Request handlers that serve from snapshot data use Acquire instead.
 func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// Acquire returns the current snapshot with its backing resources
+// pinned, plus the release function that undoes the pin. The snapshot
+// — including every string and record reachable from a view-backed
+// dataset — stays valid until release is called, even across swaps;
+// the mapping of a swapped-out snapshot is only closed after its last
+// reader releases. release is idempotent-unsafe: call it exactly once.
+func (s *Store) Acquire() (*Snapshot, func()) {
+	for {
+		snap := s.cur.Load()
+		if snap.tryRef() {
+			return snap, snap.unref
+		}
+		// The snapshot hit refcount zero between our load and the
+		// tryRef — meaning it was already swapped out. The new current
+		// is published with a reference, so the retry terminates.
+	}
+}
 
 // Swap publishes next as the current snapshot, assigns it the next
 // version, notifies subscribers (in subscription order, on the caller's
@@ -133,6 +209,7 @@ func (s *Store) Swap(next *Snapshot) (old *Snapshot) {
 	defer s.mu.Unlock()
 	old = s.cur.Load()
 	next.Version = old.Version + 1
+	publish(next)
 	s.cur.Store(next)
 	mSnapshotVersion.Set(float64(next.Version))
 	mSwaps.Inc()
@@ -142,6 +219,11 @@ func (s *Store) Swap(next *Snapshot) (old *Snapshot) {
 	for _, sub := range s.subs {
 		sub.fn(next)
 	}
+	// Drop the publication reference of the snapshot we replaced: its
+	// Closer runs now if no reader holds a pin, or when the last pinned
+	// reader releases. Subscribers were notified first, so a subscriber
+	// still reading old data did so before the release.
+	old.unref()
 	return old
 }
 
@@ -210,6 +292,21 @@ func FileBuilder(path string) BuildFunc {
 	}
 }
 
+// ViewFileBuilder opens a serialized dataset snapshot for serving in
+// place: a v2 binary snapshot is view-backed (optionally mmap'd) with
+// its release threaded through the snapshot's Closer, any other format
+// transparently falls back to the eager load. This is the builder
+// behind the daemons' -snapshot-mmap mode.
+func ViewFileBuilder(path string, mmap bool) BuildFunc {
+	return func(ctx context.Context) (*Snapshot, error) {
+		ds, err := prefix2org.OpenSnapshotFile(ctx, path, prefix2org.OpenOptions{Mmap: mmap})
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{BuiltAt: time.Now(), Source: "file:" + path, Dataset: ds, Closer: ds.Close}, nil
+	}
+}
+
 // RepoBuilder loads only the RPKI repository from a data directory —
 // what an RTR-only daemon needs, skipping the full pipeline.
 func RepoBuilder(dir string) BuildFunc {
@@ -228,7 +325,7 @@ func RepoBuilder(dir string) BuildFunc {
 // describe renders a snapshot for logs.
 func describe(s *Snapshot) string {
 	if s.Dataset != nil {
-		return fmt.Sprintf("v%d (%d records, %d clusters)", s.Version, len(s.Dataset.Records), len(s.Dataset.Clusters))
+		return fmt.Sprintf("v%d (%d records, %d clusters)", s.Version, s.Dataset.NumRecords(), s.Dataset.NumClusters())
 	}
 	if s.Repo != nil {
 		return fmt.Sprintf("v%d (%d certs, %d roas)", s.Version, len(s.Repo.Certs), len(s.Repo.ROAs))

@@ -237,7 +237,11 @@ type answerResult struct {
 // the caller.
 func (s *Server) answer(ctx context.Context, w io.Writer, q string) answerResult {
 	sp := obs.SpanFromContext(ctx)
-	snap := s.store.Current()
+	// Acquire pins the snapshot's backing buffer (a view-backed
+	// dataset's mmap) for the duration of the answer; a swap happening
+	// mid-query cannot release data this response still reads.
+	snap, release := s.store.Acquire()
+	defer release()
 	ds := snap.Dataset
 	s.countSnapshotQuery(snap.Version)
 	res := answerResult{qtype: "bad", outcome: outcomeError, version: snap.Version}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package prefix2org
+
+// mmapFile on platforms without mmap: OpenSnapshotFile sees
+// errMmapUnsupported and degrades to a full read.
+func mmapFile(string) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnsupported
+}

@@ -201,11 +201,32 @@ type Dataset struct {
 	// prefixes (LookupAddr, LookupCovering, CoveringChainInto): flat
 	// sorted arrays mapping each prefix to its position in Records,
 	// immutable once built, shared by any number of concurrent readers.
+	// On a view-backed Dataset it points into the snapshot's lpm.View,
+	// whose columns alias the file bytes.
 	idx *lpm.Index
+	// view/lazy are set on a Dataset opened in place from a v2 binary
+	// snapshot (OpenSnapshotFile): view holds the sliced file sections,
+	// lazy the chunked Record/Cluster materialization tables. Both are
+	// nil on an eagerly built or loaded Dataset. See snapview.go.
+	view *snapView
+	lazy *lazyTables
 }
 
 // Lookup returns the record for a routed prefix.
 func (d *Dataset) Lookup(p netip.Prefix) (*Record, bool) {
+	if d.lazy != nil {
+		// View-backed: an exact-match probe of the lpm index replaces
+		// the byPrefix map, which a lazy Dataset never builds.
+		if !p.IsValid() {
+			return nil, false
+		}
+		q := p.Masked()
+		m, ok := d.idx.Match(q)
+		if !ok || m.Prefix() != q {
+			return nil, false
+		}
+		return d.recordAt(int(m.Val())), true
+	}
 	r, ok := d.byPrefix[p.Masked()]
 	return r, ok
 }
@@ -222,7 +243,7 @@ func (d *Dataset) LookupAddr(a netip.Addr) (*Record, bool) {
 	if !ok {
 		return nil, false
 	}
-	return &d.Records[i], true
+	return d.recordAt(int(i)), true
 }
 
 // LookupCovering returns the record of the most specific routed prefix
@@ -237,7 +258,7 @@ func (d *Dataset) LookupCovering(p netip.Prefix) (*Record, bool) {
 	if !ok {
 		return nil, false
 	}
-	return &d.Records[i], true
+	return d.recordAt(int(i)), true
 }
 
 // CoveringChainInto appends the records of every routed prefix
@@ -250,7 +271,7 @@ func (d *Dataset) CoveringChainInto(p netip.Prefix, buf []*Record) []*Record {
 	}
 	start := len(buf)
 	for m, ok := d.idx.Match(p); ok; m, ok = m.Parent() {
-		buf = append(buf, &d.Records[m.Val()])
+		buf = append(buf, d.recordAt(int(m.Val())))
 	}
 	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
 		buf[i], buf[j] = buf[j], buf[i]
@@ -275,6 +296,9 @@ func (d *Dataset) buildPrefixIndexes() {
 
 // ClusterByID returns a final cluster by its ID.
 func (d *Dataset) ClusterByID(id string) (*Cluster, bool) {
+	if d.lazy != nil {
+		return d.view.clusterByID(d, id)
+	}
 	c, ok := d.byCluster[id]
 	return c, ok
 }
@@ -282,6 +306,9 @@ func (d *Dataset) ClusterByID(id string) (*Cluster, bool) {
 // ClusterOfOwner returns the cluster containing the exact Direct Owner
 // name (matching is case-insensitive on the basic-cleaned form).
 func (d *Dataset) ClusterOfOwner(name string) (*Cluster, bool) {
+	if d.lazy != nil {
+		return d.view.clusterOfOwner(d, basicClean(name))
+	}
 	c, ok := d.byOwner[basicClean(name)]
 	return c, ok
 }

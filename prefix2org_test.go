@@ -206,7 +206,7 @@ func TestRIPELegacyNotSponsored(t *testing.T) {
 }
 
 // End-to-end over the synthetic world, through the on-disk formats.
-func buildWorldDataset(t *testing.T) (*synth.World, *Dataset) {
+func buildWorldDataset(t testing.TB) (*synth.World, *Dataset) {
 	t.Helper()
 	w, err := synth.Generate(synth.SmallConfig())
 	if err != nil {

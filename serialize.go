@@ -62,6 +62,7 @@ type snapshotRecord struct {
 // Save writes the dataset snapshot in the JSON-lines format.
 func (d *Dataset) Save(w io.Writer) error {
 	defer obs.Time(mCodecSeconds.saveJSON)()
+	d.MaterializeAll()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(snapshotStats{Kind: "stats", Stats: d.Stats}); err != nil {
@@ -95,17 +96,29 @@ func (d *Dataset) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a snapshot written by Save or SaveBinary — the format is
-// sniffed from the leading bytes — and rebuilds all indexes, including
-// the frozen longest-prefix-match index behind LookupAddr.
+// Load reads a snapshot written by Save, SaveBinary (v2) or
+// SaveBinaryV1 — the format is sniffed from the leading bytes — and
+// rebuilds all indexes, including the frozen longest-prefix-match
+// index behind LookupAddr. Load always returns an eager Dataset;
+// OpenSnapshotFile is the in-place (lazy, view-backed) entry point for
+// v2 snapshots.
 func Load(r io.Reader) (*Dataset, error) {
 	br := bufio.NewReaderSize(r, 64*1024)
-	if head, err := br.Peek(len(binaryMagic)); err == nil && bytes.Equal(head, binaryMagic[:]) {
-		data, err := io.ReadAll(br)
-		if err != nil {
-			return nil, fmt.Errorf("prefix2org: read binary snapshot: %w", err)
+	if head, err := br.Peek(len(binaryMagic)); err == nil {
+		switch {
+		case bytes.Equal(head, binaryMagicV2[:]):
+			data, err := io.ReadAll(br)
+			if err != nil {
+				return nil, fmt.Errorf("prefix2org: read binary snapshot: %w", err)
+			}
+			return loadBinaryV2(data)
+		case bytes.Equal(head, binaryMagic[:]):
+			data, err := io.ReadAll(br)
+			if err != nil {
+				return nil, fmt.Errorf("prefix2org: read binary snapshot: %w", err)
+			}
+			return loadBinary(data)
 		}
-		return loadBinary(data)
 	}
 	return loadJSON(br)
 }

@@ -13,10 +13,16 @@ import (
 	"github.com/prefix2org/prefix2org/internal/obs"
 )
 
-// The binary snapshot is the serve-path format: the same Dataset the
-// JSON-lines snapshot carries, plus the frozen LPM index, in a shape
-// that loads without re-parsing prefixes from text or re-freezing the
-// index. The file is the 8-byte magic (the last byte is the format
+// This file implements format version 1 of the binary snapshot: the
+// same Dataset the JSON-lines snapshot carries, plus the frozen LPM
+// index, decoded into heap objects on load. Version 2 — the current
+// write format, implemented in serialize_binary_v2.go — keeps the same
+// data in fixed-width, offset-based sections that are served in place
+// from the file bytes. Load sniffs the version byte and reads either;
+// SaveBinary writes v2, SaveBinaryV1 remains for downgrade paths and
+// compatibility tests.
+//
+// The v1 file is the 8-byte magic (the last byte is the format
 // version) followed by tagged, length-prefixed sections; readers skip
 // sections with unknown tags, so later versions can add data without
 // breaking older readers.
@@ -98,10 +104,13 @@ func appendSection(buf []byte, tag byte, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
-// SaveBinary writes the dataset as a binary snapshot, including the
-// frozen LPM index so Load skips the freeze step entirely.
-func (d *Dataset) SaveBinary(w io.Writer) error {
+// SaveBinaryV1 writes the dataset in the legacy v1 binary layout,
+// including the frozen LPM index so Load skips the freeze step. New
+// snapshots should use SaveBinary (v2, served in place); v1 remains
+// the downgrade path for older readers.
+func (d *Dataset) SaveBinaryV1(w io.Writer) error {
 	defer obs.Time(mCodecSeconds.saveBin)()
+	d.MaterializeAll()
 	stats, err := json.Marshal(d.Stats)
 	if err != nil {
 		return fmt.Errorf("prefix2org: encode stats: %w", err)
@@ -270,24 +279,40 @@ func (c *cursor) prefix() (netip.Prefix, error) {
 	return p, nil
 }
 
-// loadBinary decodes a full binary snapshot (magic included) into a
-// ready-to-serve Dataset: the persisted LPM index is installed
-// directly, skipping the radix build and freeze.
-func loadBinary(data []byte) (*Dataset, error) {
-	defer obs.Time(mCodecSeconds.loadBin)()
-	data = data[len(binaryMagic):]
+// parseSectionsV1 walks the tagged, uvarint-length-prefixed section
+// stream that follows the v1 magic. Every claimed length is checked
+// against the bytes actually remaining *after* the tag and varint have
+// been consumed, before any slicing, so a corrupt or hostile length
+// can neither panic nor drive an allocation.
+func parseSectionsV1(data []byte) (map[byte][]byte, error) {
 	secs := map[byte][]byte{}
 	for len(data) > 0 {
 		tag := data[0]
 		n, w := binary.Uvarint(data[1:])
-		if w <= 0 || n > uint64(len(data)-1-w) {
-			return nil, fmt.Errorf("prefix2org: binary snapshot: section %d: bad length", tag)
+		if w <= 0 {
+			return nil, fmt.Errorf("prefix2org: binary snapshot: section %d: bad length varint", tag)
+		}
+		body := data[1+w:]
+		if n > uint64(len(body)) {
+			return nil, fmt.Errorf("prefix2org: binary snapshot: section %d: length %d exceeds %d remaining bytes", tag, n, len(body))
 		}
 		if _, dup := secs[tag]; dup {
 			return nil, fmt.Errorf("prefix2org: binary snapshot: duplicate section %d", tag)
 		}
-		secs[tag] = data[1+w : 1+w+int(n)]
-		data = data[1+w+int(n):]
+		secs[tag] = body[:n:n]
+		data = body[n:]
+	}
+	return secs, nil
+}
+
+// loadBinary decodes a full v1 binary snapshot (magic included) into a
+// ready-to-serve Dataset: the persisted LPM index is installed
+// directly, skipping the radix build and freeze.
+func loadBinary(data []byte) (*Dataset, error) {
+	defer obs.Time(mCodecSeconds.loadBin)()
+	secs, err := parseSectionsV1(data[len(binaryMagic):])
+	if err != nil {
+		return nil, err
 	}
 	for _, tag := range []byte{secStats, secStrings, secClusters, secRecords, secIndex} {
 		if _, ok := secs[tag]; !ok {

@@ -129,14 +129,14 @@ func TestSaveFilePicksFormatByExtension(t *testing.T) {
 			t.Errorf("%s: records = %d, want %d", path, len(back.Records), len(ds.Records))
 		}
 	}
-	// The extension picked the format: binary starts with the magic,
-	// JSON with a stats line.
+	// The extension picked the format: binary starts with the (v2)
+	// magic, JSON with a stats line.
 	for path, wantMagic := range map[string]bool{binPath: true, jsonPath: false} {
-		back, err := readFilePrefix(path, len(binaryMagic))
+		back, err := readFilePrefix(path, len(binaryMagicV2))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := bytes.Equal(back, binaryMagic[:]); got != wantMagic {
+		if got := bytes.Equal(back, binaryMagicV2[:]); got != wantMagic {
 			t.Errorf("%s: magic = %v, want %v", path, got, wantMagic)
 		}
 	}
@@ -189,12 +189,69 @@ func TestBinarySnapshotRejectsForeignIndex(t *testing.T) {
 	other.buildPrefixIndexes()
 
 	var keep bytes.Buffer
-	if err := ds.SaveBinary(&keep); err != nil {
+	if err := ds.SaveBinaryV1(&keep); err != nil {
 		t.Fatal(err)
 	}
 	spliced := replaceSection(t, keep.Bytes(), secIndex, other.idx.AppendBinary(nil))
 	if _, err := Load(bytes.NewReader(spliced)); err == nil {
 		t.Error("index of a different dataset accepted")
+	}
+}
+
+// TestBinarySnapshotV1RoundTrip keeps the legacy writer honest: v1
+// output still loads into an equivalent dataset.
+func TestBinarySnapshotV1RoundTrip(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	var buf bytes.Buffer
+	if err := ds.SaveBinaryV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), binaryMagic[:]) {
+		t.Fatal("v1 writer did not emit the v1 magic")
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datasetsEquivalent(t, ds, back)
+}
+
+// TestParseSectionsV1Hardened pins the section walk's bounds checking:
+// hostile lengths and framings error cleanly, with no panic and no
+// length-driven allocation.
+func TestParseSectionsV1Hardened(t *testing.T) {
+	section := func(tag byte, payload []byte) []byte {
+		return appendSection(nil, tag, payload)
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"huge claimed length", append([]byte{secStats}, binary.AppendUvarint(nil, 1<<40)...)},
+		{"length one past end", append(section(secStats, []byte("x")), func() []byte {
+			s := section(secStrings, []byte("abc"))
+			s[1]++ // claims 4 bytes, 3 remain
+			return s
+		}()...)},
+		{"truncated varint", []byte{secStats, 0x80}},
+		{"tag with no length", []byte{secStats}},
+		{"duplicate section", append(section(secStats, nil), section(secStats, nil)...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parseSectionsV1(tc.body); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+	// And the happy path still parses.
+	body := append(section(secStats, []byte("a")), section(secStrings, nil)...)
+	secs, err := parseSectionsV1(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(secs[secStats]) != "a" || secs[secStrings] == nil {
+		t.Errorf("sections misparsed: %v", secs)
 	}
 }
 

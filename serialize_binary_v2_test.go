@@ -1,0 +1,454 @@
+package prefix2org
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// saveV2 returns the v2 binary snapshot bytes of ds.
+func saveV2(t testing.TB, ds *Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// lazyEquivalent checks a view-backed dataset against its eager source:
+// every accessor the serve path uses must answer identically.
+func lazyEquivalent(t *testing.T, eager, lazy *Dataset) {
+	t.Helper()
+	if got, want := lazy.NumRecords(), eager.NumRecords(); got != want {
+		t.Fatalf("NumRecords = %d, want %d", got, want)
+	}
+	if got, want := lazy.NumClusters(), eager.NumClusters(); got != want {
+		t.Fatalf("NumClusters = %d, want %d", got, want)
+	}
+	if lazy.Stats != eager.Stats {
+		t.Error("stats diverged")
+	}
+	for i := range eager.Records {
+		if !reflect.DeepEqual(*lazy.RecordAt(i), eager.Records[i]) {
+			t.Fatalf("RecordAt(%d) diverged:\n%+v\n%+v", i, *lazy.RecordAt(i), eager.Records[i])
+		}
+	}
+	for i := range eager.Clusters {
+		if !reflect.DeepEqual(lazy.ClusterAt(i), eager.Clusters[i]) {
+			t.Fatalf("ClusterAt(%d) diverged:\n%+v\n%+v", i, lazy.ClusterAt(i), eager.Clusters[i])
+		}
+		c := eager.Clusters[i]
+		got, ok := lazy.ClusterByID(c.ID)
+		if !ok || got.ID != c.ID {
+			t.Fatalf("ClusterByID(%q) diverged", c.ID)
+		}
+		for _, o := range c.OwnerNames {
+			ec, eok := eager.ClusterOfOwner(o)
+			lc, lok := lazy.ClusterOfOwner(o)
+			if eok != lok || (eok && ec.ID != lc.ID) {
+				t.Fatalf("ClusterOfOwner(%q) diverged", o)
+			}
+		}
+	}
+	chainA := make([]*Record, 0, 16)
+	chainB := make([]*Record, 0, 16)
+	for i := range eager.Records {
+		p := eager.Records[i].Prefix
+		ra, aok := eager.Lookup(p)
+		rb, bok := lazy.Lookup(p)
+		if aok != bok || (aok && ra.Prefix != rb.Prefix) {
+			t.Fatalf("Lookup(%s) diverged", p)
+		}
+		ra, aok = eager.LookupAddr(p.Addr())
+		rb, bok = lazy.LookupAddr(p.Addr())
+		if aok != bok || (aok && ra.Prefix != rb.Prefix) {
+			t.Fatalf("LookupAddr(%s) diverged", p.Addr())
+		}
+		ra, aok = eager.LookupCovering(p)
+		rb, bok = lazy.LookupCovering(p)
+		if aok != bok || (aok && ra.Prefix != rb.Prefix) {
+			t.Fatalf("LookupCovering(%s) diverged", p)
+		}
+		chainA = eager.CoveringChainInto(p, chainA[:0])
+		chainB = lazy.CoveringChainInto(p, chainB[:0])
+		if len(chainA) != len(chainB) {
+			t.Fatalf("CoveringChainInto(%s): %d links, want %d", p, len(chainB), len(chainA))
+		}
+		for j := range chainA {
+			if chainA[j].Prefix != chainB[j].Prefix {
+				t.Fatalf("CoveringChainInto(%s) link %d diverged", p, j)
+			}
+		}
+	}
+	// Misses must agree too.
+	if _, ok := lazy.Lookup(netip.MustParsePrefix("203.0.113.0/24")); ok {
+		t.Error("Lookup hit on an absent prefix")
+	}
+	if _, ok := lazy.ClusterOfOwner("No Such Organization LLC"); ok {
+		t.Error("ClusterOfOwner hit on an absent owner")
+	}
+	if _, ok := lazy.ClusterByID("no-such-cluster"); ok {
+		t.Error("ClusterByID hit on an absent ID")
+	}
+}
+
+// TestOpenSnapshotFileLazyEquivalence serves a v2 snapshot in place —
+// mmap and read-into-memory paths both — and checks every accessor
+// against the eager dataset it was saved from.
+func TestOpenSnapshotFileLazyEquivalence(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	path := filepath.Join(t.TempDir(), "world.p2o")
+	if err := os.WriteFile(path, saveV2(t, ds), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		mmap bool
+	}{{"mmap", true}, {"readfile", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			lazy, err := OpenSnapshotFile(context.Background(), path, OpenOptions{Mmap: mode.mmap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer lazy.Close()
+			if !lazy.Lazy() {
+				t.Fatal("v2 snapshot did not open lazily")
+			}
+			lazyEquivalent(t, ds, lazy)
+		})
+	}
+}
+
+// TestOpenSnapshotFileFallback: OpenSnapshotFile on non-v2 inputs (v1
+// binary, JSON) degrades to the eager loader in both modes.
+func TestOpenSnapshotFileFallback(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	dir := t.TempDir()
+	var v1 bytes.Buffer
+	if err := ds.SaveBinaryV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	var jsonl bytes.Buffer
+	if err := ds.Save(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{"v1.p2o": v1.Bytes(), "world.jsonl": jsonl.Bytes()}
+	for name, data := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, mmap := range []bool{true, false} {
+			back, err := OpenSnapshotFile(context.Background(), path, OpenOptions{Mmap: mmap})
+			if err != nil {
+				t.Fatalf("OpenSnapshotFile(%s, mmap=%v): %v", name, mmap, err)
+			}
+			if back.Lazy() {
+				t.Fatalf("%s opened lazily; only v2 has a view form", name)
+			}
+			datasetsEquivalent(t, ds, back)
+		}
+	}
+}
+
+// TestV2MaterializeAll promotes a view-backed dataset to the eager
+// representation; the result must be indistinguishable — including the
+// nil-vs-empty slice conventions reflect.DeepEqual sees — from a
+// dataset decoded eagerly.
+func TestV2MaterializeAll(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	data := saveV2(t, ds)
+	lazy, err := openViewBytes(append([]byte(nil), data...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy.MaterializeAll()
+	datasetsEquivalent(t, ds, lazy)
+	if !lazy.Lazy() {
+		t.Error("MaterializeAll dropped the view; concurrent lazy readers would break")
+	}
+}
+
+// TestSnapshotCompatRoundTrip is the `make snapshot-compat` invariant:
+// save → load → re-save must be byte-identical, through both the eager
+// loader and the view opener.
+func TestSnapshotCompatRoundTrip(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	first := saveV2(t, ds)
+
+	eager, err := Load(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := saveV2(t, eager); !bytes.Equal(first, again) {
+		t.Error("re-save after eager load is not byte-identical")
+	}
+
+	lazy, err := openViewBytes(append([]byte(nil), first...), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := saveV2(t, lazy); !bytes.Equal(first, again) {
+		t.Error("re-save after view open is not byte-identical")
+	}
+}
+
+// TestV2RejectsCorruption drives truncated and bit-flipped v2 images
+// through the view opener: truncation must error, and no corruption may
+// panic — not at open time and not later when a lazy accessor touches
+// the mapped bytes.
+func TestV2RejectsCorruption(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	data := saveV2(t, ds)
+
+	for _, n := range []int{0, 7, 8, 15, 16, 40, len(data) / 4, len(data) / 2, len(data) - 1} {
+		if _, err := openViewBytes(data[:n:n], nil); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	for i := 0; i < len(data); i += 7 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corrupt byte %d: %v", i, r)
+				}
+			}()
+			v, err := openViewBytes(mut, nil)
+			if err != nil {
+				return
+			}
+			// The opener accepted the flip (it landed in string bytes or
+			// stats): every lazy accessor must still be safe to run.
+			for j := 0; j < v.NumRecords(); j++ {
+				_ = *v.RecordAt(j)
+			}
+			for j := 0; j < v.NumClusters(); j++ {
+				_ = v.ClusterAt(j)
+			}
+			if v.NumRecords() > 0 {
+				_, _ = v.LookupAddr(v.RecordAt(0).Prefix.Addr())
+			}
+		}()
+	}
+}
+
+// replaceSectionV2 rebuilds a v2 image with one section's payload
+// swapped out, preserving the directory layout rules (ascending tags,
+// 8-aligned section starts).
+func replaceSectionV2(t *testing.T, data []byte, tag uint32, payload []byte) []byte {
+	t.Helper()
+	if !hasMagic(data, binaryMagicV2) {
+		t.Fatal("not a v2 image")
+	}
+	count := int(binary.LittleEndian.Uint32(data[8:]))
+	type sec struct {
+		tag     uint32
+		payload []byte
+	}
+	var secs []sec
+	replaced := false
+	for i := 0; i < count; i++ {
+		e := data[16+24*i:]
+		etag := binary.LittleEndian.Uint32(e)
+		off := binary.LittleEndian.Uint64(e[8:])
+		ln := binary.LittleEndian.Uint64(e[16:])
+		body := data[off : off+ln]
+		if etag == tag {
+			body = payload
+			replaced = true
+		}
+		secs = append(secs, sec{etag, body})
+	}
+	if !replaced {
+		t.Fatalf("section %d not present", tag)
+	}
+	hdrLen := 16 + 24*len(secs)
+	offs := make([]int, len(secs))
+	total := hdrLen
+	for i, s := range secs {
+		total = (total + 7) &^ 7
+		offs[i] = total
+		total += len(s.payload)
+	}
+	out := append([]byte(nil), binaryMagicV2[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(secs)))
+	out = binary.LittleEndian.AppendUint32(out, 0)
+	for i, s := range secs {
+		out = binary.LittleEndian.AppendUint32(out, s.tag)
+		out = binary.LittleEndian.AppendUint32(out, 0)
+		out = binary.LittleEndian.AppendUint64(out, uint64(offs[i]))
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(s.payload)))
+	}
+	for i, s := range secs {
+		for len(out) < offs[i] {
+			out = append(out, 0)
+		}
+		out = append(out, s.payload...)
+	}
+	return out
+}
+
+// TestV2RejectsForeignIndex splices the index of a different dataset
+// into a v2 image; the opener's index↔records cross-check must refuse
+// it.
+func TestV2RejectsForeignIndex(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	other := &Dataset{Records: []Record{{Prefix: netip.MustParsePrefix("203.0.113.0/24")}}}
+	other.buildPrefixIndexes()
+
+	data := saveV2(t, ds)
+	spliced := replaceSectionV2(t, data, v2SecIndex, other.idx.AppendColumns(nil))
+	if _, err := openViewBytes(spliced, nil); err == nil {
+		t.Error("index of a different dataset accepted by the view opener")
+	}
+	if _, err := Load(bytes.NewReader(spliced)); err == nil {
+		t.Error("index of a different dataset accepted by Load")
+	}
+}
+
+// TestV2OpenAllocBounded pins the "open does no per-record work" claim:
+// opening a view plus the first lookup stays under a fixed allocation
+// bound no matter how many records the snapshot holds. (The bound
+// absorbs the stats-JSON unmarshal and the fixed view scaffolding.)
+func TestV2OpenAllocBounded(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	data := saveV2(t, ds)
+	addr := ds.Records[0].Prefix.Addr()
+	const maxAllocs = 512
+	if n := testing.AllocsPerRun(10, func() {
+		v, err := openViewBytes(data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := v.LookupAddr(addr); !ok {
+			t.Fatal("lookup miss")
+		}
+	}); n > maxAllocs {
+		t.Errorf("open+first-lookup allocates %.0f times (%d records), want <= %d — the opener is doing per-record work",
+			n, len(ds.Records), maxAllocs)
+	}
+}
+
+// TestV2WarmLookupZeroAlloc: once a record chunk is materialized,
+// lazy-path lookups are allocation-free, same as the eager serve path.
+func TestV2WarmLookupZeroAlloc(t *testing.T) {
+	_, ds := buildWorldDataset(t)
+	data := saveV2(t, ds)
+	v, err := openViewBytes(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, 0, 64)
+	for i := 0; i < v.NumRecords(); i++ {
+		addrs = append(addrs, v.RecordAt(i).Prefix.Addr()) // warms every chunk
+		if len(addrs) == cap(addrs) {
+			break
+		}
+	}
+	for i := 0; i < v.NumRecords(); i++ {
+		_ = v.RecordAt(i)
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		if _, ok := v.LookupAddr(addrs[i%len(addrs)]); !ok {
+			t.Fatal("lookup miss")
+		}
+		i++
+	}); n != 0 {
+		t.Errorf("warm lazy LookupAddr allocates %.1f times per call, want 0", n)
+	}
+}
+
+// FuzzLoadBinary feeds arbitrary bytes to both snapshot openers. Neither
+// may ever panic; on a successful open, the accessors and a re-save must
+// hold up too.
+func FuzzLoadBinary(f *testing.F) {
+	// A small handcrafted dataset keeps worker start-up cheap (each fuzz
+	// worker process rebuilds the seeds); the world-scale corpus is
+	// covered by the deterministic tests above.
+	mp := netip.MustParsePrefix
+	ds := &Dataset{
+		Records: []Record{
+			{Prefix: mp("192.0.2.0/24"), RIR: "ARIN", DirectOwner: "Example Net",
+				DOType: "allocation", BaseName: "example", FinalCluster: "c1", OriginASN: 64500},
+			{Prefix: mp("192.0.2.128/25"), RIR: "ARIN", DirectOwner: "Example Sub",
+				DOPrefix: mp("192.0.2.0/24"), DOType: "reallocation",
+				DelegatedCustomers: []string{"Cust A"},
+				DCPrefixes:         []netip.Prefix{mp("192.0.2.128/26")},
+				DCTypes:            []string{"reassignment"},
+				BaseName:           "example", FinalCluster: "c1"},
+			{Prefix: mp("2001:db8::/32"), RIR: "RIPE", DirectOwner: "Example Six",
+				DOType: "allocation", BaseName: "example", RPKICert: "cert-1", FinalCluster: "c1"},
+		},
+		Clusters: []*Cluster{{
+			ID: "c1", BaseName: "example",
+			OwnerNames: []string{"Example Net", "Example Six", "Example Sub"},
+			Prefixes:   []netip.Prefix{mp("192.0.2.0/24"), mp("2001:db8::/32")},
+		}},
+	}
+	ds.buildPrefixIndexes()
+	var v2, v1, jsonl bytes.Buffer
+	if err := ds.SaveBinary(&v2); err != nil {
+		f.Fatal(err)
+	}
+	if err := ds.SaveBinaryV1(&v1); err != nil {
+		f.Fatal(err)
+	}
+	if err := ds.Save(&jsonl); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v1.Bytes())
+	f.Add(jsonl.Bytes())
+	f.Add(v2.Bytes()[:16])
+	f.Add(v2.Bytes()[:64])
+	f.Add(v2.Bytes()[:v2.Len()/2])
+	f.Add(binaryMagicV2[:])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d, err := Load(bytes.NewReader(data)); err == nil {
+			exerciseDataset(d)
+		}
+		if hasMagic(data, binaryMagicV2) {
+			if d, err := openViewBytes(data, nil); err == nil {
+				exerciseDataset(d)
+			}
+		}
+	})
+}
+
+// exerciseDataset walks every accessor a fuzz-accepted dataset exposes;
+// any latent inconsistency the opener missed shows up here as a panic.
+func exerciseDataset(d *Dataset) {
+	n := d.NumRecords()
+	if n > 256 {
+		n = 256
+	}
+	for i := 0; i < n; i++ {
+		r := d.RecordAt(i)
+		_, _ = d.LookupAddr(r.Prefix.Addr())
+		_, _ = d.LookupCovering(r.Prefix)
+	}
+	m := d.NumClusters()
+	if m > 256 {
+		m = 256
+	}
+	for i := 0; i < m; i++ {
+		c := d.ClusterAt(i)
+		_, _ = d.ClusterByID(c.ID)
+		if len(c.OwnerNames) > 0 {
+			_, _ = d.ClusterOfOwner(c.OwnerNames[0])
+		}
+	}
+	_ = d.SaveBinary(io.Discard)
+}
