@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-concurrency lint race bench bench-all bench-save bench-compare fuzz-short loadgen-smoke httpd-smoke snapshot-compat verify ci
+.PHONY: build test vet vet-concurrency lint lint-fix-list race bench bench-all bench-save bench-compare fuzz-short loadgen-smoke httpd-smoke snapshot-compat verify ci
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,18 @@ vet-concurrency:
 	fi
 
 # lint runs the repository's own analyzer (cmd/p2o-lint): determinism,
-# ctx-discipline, layering, immutability, and obs-conventions. See the
-# "Enforced invariants" section of ARCHITECTURE.md. Suppress a finding
-# with //p2olint:ignore <rule> <reason> — the reason is mandatory.
+# ctx-discipline, layering, immutability, obs-conventions, pin-release,
+# unsafe-confinement, and hotpath-alloc. See the "Enforced invariants"
+# section of ARCHITECTURE.md. Suppress a finding with
+# //p2olint:ignore <rule> <reason> — the reason is mandatory.
 lint:
 	$(GO) run ./cmd/p2o-lint
+
+# lint-fix-list prints the current findings as JSON, one object per
+# line — the machine-readable worklist for editors and scripts. Unlike
+# `make lint` it does not fail the build on findings.
+lint-fix-list:
+	-$(GO) run ./cmd/p2o-lint -json
 
 race:
 	$(GO) test -race ./...
@@ -91,6 +98,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMRT -fuzztime=$(FUZZTIME) ./internal/bgp
 	$(GO) test -run='^$$' -fuzz=FuzzReadPDU -fuzztime=$(FUZZTIME) ./internal/rtr
 	$(GO) test -run='^$$' -fuzz=FuzzLoadBinary -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzIgnoreDirective -fuzztime=$(FUZZTIME) ./internal/lint
 
 # loadgen-smoke drives the committed p2o-loadgen harness end to end
 # against an in-process whoisd (TestLoadgenSmoke): a short mixed-load

@@ -6,13 +6,18 @@
 //
 // Usage:
 //
-//	p2o-lint [-C dir] [-rules determinism,layering] [-v]
+//	p2o-lint [-C dir] [-rules determinism,layering] [-json] [-v]
+//
+// With -json each finding is printed as one JSON object per line
+// ({"file":..., "line":..., "rule":..., "message":...}) for editors and
+// scripts; `make lint-fix-list` is the canonical consumer.
 //
 // Findings are suppressed with //p2olint:ignore <rule> <reason> on the
 // offending line or the line above; the reason is mandatory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,11 +31,21 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// findingJSON is the -json wire shape: one object per finding, one
+// finding per line, stable field names for scripted consumers.
+type findingJSON struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("p2o-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
 	rules := fs.String("rules", "", "comma-separated rule subset to report (default: all)")
+	jsonOut := fs.Bool("json", false, "print findings as JSON objects, one per line")
 	verbose := fs.Bool("v", false, "print per-package type-check diagnostics")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,8 +75,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		findings = kept
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f.String())
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, f := range findings {
+			if err := enc.Encode(findingJSON{
+				File:    f.File,
+				Line:    f.Line,
+				Rule:    f.Rule,
+				Message: f.Msg,
+			}); err != nil {
+				fmt.Fprintln(stderr, "p2o-lint:", err)
+				return 2
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "p2o-lint: %d finding(s)\n", len(findings))

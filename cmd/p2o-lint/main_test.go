@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -64,6 +65,44 @@ func Add(a, b int) int { return a + b }
 	}
 	if stdout.Len() != 0 {
 		t.Errorf("unexpected output for clean module:\n%s", stdout.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	// -json emits one object per finding with stable field names, still
+	// exiting 1 when findings survive.
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/victim\n\ngo 1.22\n",
+		"victim.go": `package victim
+
+import "time"
+
+// Stamp leaks the wall clock into build output.
+func Stamp() string { return time.Now().String() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("expected 1 JSON line, got %d:\n%s", len(lines), stdout.String())
+	}
+	var f struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, lines[0])
+	}
+	if f.File != "victim.go" || f.Line != 6 || f.Rule != "determinism" {
+		t.Errorf("unexpected finding fields: %+v", f)
+	}
+	if !strings.Contains(f.Message, "time.Now") {
+		t.Errorf("message lost the violation detail: %q", f.Message)
 	}
 }
 

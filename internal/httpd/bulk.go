@@ -137,6 +137,8 @@ scan:
 // the grown buffer. With a warmed buffer the whole path — classify,
 // parse, lookup, encode — performs zero heap allocations; the guard in
 // alloc_guard_test.go and BenchmarkBulkLookup pin that.
+//
+//p2o:hotpath
 func appendBulkLine(ds *prefix2org.Dataset, sp *obs.QuerySpan, line, out []byte) []byte {
 	q, ok := extractQuery(line)
 	var addr netip.Addr
@@ -186,6 +188,8 @@ func appendBulkLine(ds *prefix2org.Dataset, sp *obs.QuerySpan, line, out []byte)
 // a JSON string, an object carrying a "q" member, or a bare token. The
 // returned slice aliases line on the fast paths; lines with JSON
 // escapes fall back to encoding/json (allocating — rare by design).
+//
+//p2o:hotpath
 func extractQuery(line []byte) ([]byte, bool) {
 	switch line[0] {
 	case '"':
@@ -259,6 +263,8 @@ const hexDigits = "0123456789abcdef"
 // appendJSONString appends s as a JSON string. Dataset strings are
 // valid UTF-8 (they came through the WHOIS parsers), so bytes >= 0x20
 // other than the two JSON metacharacters pass through raw.
+//
+//p2o:hotpath
 func appendJSONString(dst []byte, s string) []byte {
 	dst = append(dst, '"')
 	for i := 0; i < len(s); i++ {
@@ -279,6 +285,8 @@ func appendJSONString(dst []byte, s string) []byte {
 // escaping everything outside printable ASCII byte by byte — the input
 // is untrusted and may not be valid UTF-8, and the echo must never
 // corrupt the NDJSON stream.
+//
+//p2o:hotpath
 func appendJSONEcho(dst, b []byte) []byte {
 	dst = append(dst, '"')
 	for _, c := range b {

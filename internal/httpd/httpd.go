@@ -335,6 +335,8 @@ func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
 // answered it — httpd_queries_by_snapshot_total{version="N"} — so a
 // reload's effect on traffic is directly observable on /metrics. The
 // labeled counter is re-resolved only when the version changes.
+//
+//p2o:hotpath
 func (s *Server) countSnapshotQuery(version uint64) {
 	if sc := s.snapCount.Load(); sc != nil && sc.version == version {
 		sc.c.Inc()

@@ -118,5 +118,38 @@ func DefaultConfig(modPath string) *Config {
 			LabelFunc:    modPath + "/internal/obs.Label",
 			Methods:      []string{"Counter", "Gauge", "Histogram", "GaugeFunc"},
 		},
+		// Every handler that answers from snapshot data pins it via
+		// Acquire; the pass holds each pin to a release on all exits.
+		Pin: PinConfig{
+			StoreType: modPath + "/internal/store.Store",
+			Method:    "Acquire",
+		},
+		Unsafe: UnsafeConfig{
+			// The only files allowed to alias raw memory: the snapshot
+			// blob view (unsafe.String over file bytes) and the LPM
+			// column views (unsafe.Slice over the mmap'd arrays).
+			AllowUnsafe: []string{
+				"snapview.go",
+				"internal/lpm/view.go",
+			},
+			// syscall is confined to the mmap platform glue and the
+			// daemon mains, which need the SIGHUP/SIGTERM constants for
+			// reload/shutdown wiring (os/signal carries no such names).
+			AllowSyscall: []string{
+				"mmap_unix.go",
+				"cmd/p2o-httpd/main.go",
+				"cmd/p2o-rtrd/main.go",
+				"cmd/p2o-synth/main.go",
+				"cmd/p2o-whoisd/main.go",
+			},
+			// On a view-backed Dataset these accessors return records
+			// whose strings alias the snapshot's buffer.
+			AliasAccessors: map[string][]string{
+				modPath + ".Dataset": {"RecordAt", "ClusterAt"},
+			},
+			// The root package implements the view and its
+			// materialization caches.
+			AliasExempt: []string{""},
+		},
 	}
 }

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective hammers the //p2olint:ignore parser with
+// arbitrary comment text. The parser gates every suppression in the
+// suite, so its invariants are contractual: deterministic, prefix-bound
+// (only real directives parse), whitespace-normal (rule never holds
+// whitespace, reason comes back trimmed), and round-trippable.
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add("//p2olint:ignore determinism seeded rng for jitter")
+	f.Add("//p2olint:ignore")
+	f.Add("//p2olint:ignore  ")
+	f.Add("//p2olint:ignore rule-only")
+	f.Add("//p2olint:ignored not a directive")
+	f.Add("// regular comment")
+	f.Add("//p2olint:ignore\thotpath-alloc\ttab separated reason")
+	f.Add("//p2olint:ignore pin-release reason with trailing space ")
+	f.Fuzz(func(t *testing.T, comment string) {
+		rule, reason, ok := parseIgnoreDirective(comment)
+		rule2, reason2, ok2 := parseIgnoreDirective(comment)
+		if rule != rule2 || reason != reason2 || ok != ok2 {
+			t.Fatalf("non-deterministic parse of %q", comment)
+		}
+		if !ok {
+			if rule != "" || reason != "" {
+				t.Fatalf("failed parse of %q leaked values (%q, %q)", comment, rule, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(comment, ignorePrefix) {
+			t.Fatalf("parsed %q without the directive prefix", comment)
+		}
+		if strings.ContainsAny(rule, " \t") {
+			t.Fatalf("rule %q from %q contains whitespace", rule, comment)
+		}
+		if reason != strings.TrimSpace(reason) {
+			t.Fatalf("reason %q from %q is not trimmed", reason, comment)
+		}
+		if rule == "" && reason != "" {
+			t.Fatalf("empty rule carries a reason %q in %q", reason, comment)
+		}
+		if rule != "" {
+			// A parsed directive re-rendered in canonical form must
+			// parse back to the same (rule, reason).
+			rt := ignorePrefix + " " + rule
+			if reason != "" {
+				rt += " " + reason
+			}
+			rrule, rreason, rok := parseIgnoreDirective(rt)
+			if !rok || rrule != rule || rreason != reason {
+				t.Fatalf("round trip of %q diverged: (%q, %q, %v)", rt, rrule, rreason, rok)
+			}
+		}
+	})
+}

@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotpathRule checks functions annotated //p2o:hotpath (in the doc
+// comment) for allocation-introducing constructs. These are the
+// functions the runtime alloc guards pin at zero allocations per call —
+// the LPM lookup, the httpd bulk line, the whoisd answer, the telemetry
+// fast paths; the static pass names the offending construct at the
+// source line instead of leaving a bare "got 1 allocs, want 0".
+//
+// Flagged constructs, with the exemptions that keep the real hot paths
+// clean:
+//
+//   - fmt.Sprintf / fmt.Errorf calls (always allocate);
+//   - string ↔ []byte conversions of non-constant operands, unless fed
+//     directly to an alias-safe sink the compiler optimizes (map index,
+//     comparison, switch tag, len);
+//   - closure literals capturing variables, unless passed directly as a
+//     call argument outside a go statement (sort.Search-style literals
+//     do not escape);
+//   - interface boxing at call boundaries: a non-constant,
+//     non-pointer-shaped, non-zero-size value passed to an interface
+//     (including ...any) parameter;
+//   - append on locals not preallocated via make or a reslice —
+//     parameters and package-level buffers are the caller's business.
+//
+// The rule needs no config: it fires wherever the annotation appears.
+// An unavoidable construct off the measured path takes a
+// //p2olint:ignore hotpath-alloc with a reason.
+func hotpathRule(m *Module, _ *Config) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !isHotpath(fn) {
+					continue
+				}
+				out = append(out, hotpathFindings(m, p, fn)...)
+			}
+		}
+	}
+	return out
+}
+
+const hotpathAnnotation = "//p2o:hotpath"
+
+// isHotpath reports whether the function's doc comment carries the
+// //p2o:hotpath annotation (alone on its line, optionally followed by a
+// note).
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathAnnotation || strings.HasPrefix(c.Text, hotpathAnnotation+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// HotpathFuncs lists every //p2o:hotpath-annotated function in the
+// module as "pkg.Func" (methods as "pkg.Recv.Func"), sorted.
+// TestRepoIsClean asserts over this so the annotation surface — and
+// with it the rule's coverage — cannot silently erode.
+func HotpathFuncs(m *Module) []string {
+	var out []string
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || !isHotpath(fn) {
+					continue
+				}
+				name := fn.Name.Name
+				if fn.Recv != nil && len(fn.Recv.List) > 0 {
+					if tn := recvTypeName(fn.Recv.List[0].Type); tn != "" {
+						name = tn + "." + name
+					}
+				}
+				out = append(out, p.RelName()+"."+name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(x.X)
+	case *ast.Ident:
+		return x.Name
+	case *ast.IndexExpr:
+		return recvTypeName(x.X)
+	}
+	return ""
+}
+
+func hotpathFindings(m *Module, p *Package, fn *ast.FuncDecl) []Finding {
+	var out []Finding
+	params := paramObjects(p, fn)
+	premade := premadeLocals(p, fn)
+	walkStack(fn.Body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			out = append(out, checkHotCall(m, p, n, params, premade, stack)...)
+		case *ast.FuncLit:
+			out = append(out, checkHotClosure(m, p, n, stack)...)
+		}
+	})
+	return out
+}
+
+// paramObjects collects the function's parameters and receiver —
+// buffers the caller owns, exempt from the append check.
+func paramObjects(p *Package, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := p.Info.ObjectOf(name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results) // named results are the caller's too
+	return out
+}
+
+// premadeLocals collects locals initialized from make(...) or a reslice
+// (buf[:0]) anywhere in the body — buffers with deliberate capacity.
+func premadeLocals(p *Package, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if bid, ok := ast.Unparen(r.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[bid].(*types.Builtin); ok && b.Name() == "make" {
+					if obj := p.Info.ObjectOf(id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					mark(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					mark(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkHotCall(m *Module, p *Package, call *ast.CallExpr, params, premade map[types.Object]bool, stack []ast.Node) []Finding {
+	// A CallExpr that is really a type conversion.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return checkHotConversion(m, p, call, tv.Type, stack)
+	}
+	if isAppend(p.Info, call) {
+		return checkHotAppend(m, p, call, params, premade)
+	}
+	f := calleeOf(p.Info, call)
+	if f == nil {
+		return nil
+	}
+	if pkgFunc(f, "fmt", "Sprintf") || pkgFunc(f, "fmt", "Errorf") {
+		// The fmt finding subsumes the boxing of its variadic args.
+		return []Finding{m.finding(call.Pos(), RuleHotpath, fmt.Sprintf(
+			"fmt.%s allocates on a //p2o:hotpath function; append to a caller-supplied buffer instead", f.Name()))}
+	}
+	if sig, ok := f.Type().(*types.Signature); ok {
+		if at := boxedArgType(p, call, sig); at != nil {
+			return []Finding{m.finding(call.Pos(), RuleHotpath, fmt.Sprintf(
+				"%s boxes %s into an interface parameter on a //p2o:hotpath function",
+				f.Name(), types.TypeString(at, shortQualifier)))}
+		}
+	}
+	return nil
+}
+
+func shortQualifier(pkg *types.Package) string { return pkg.Name() }
+
+// checkHotConversion flags string↔[]byte conversions of non-constant
+// operands whose result is not consumed by an alias-safe sink.
+func checkHotConversion(m *Module, p *Package, call *ast.CallExpr, to types.Type, stack []ast.Node) []Finding {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	atv, ok := p.Info.Types[call.Args[0]]
+	if !ok || atv.Value != nil { // constant operands convert for free
+		return nil
+	}
+	var dir string
+	switch {
+	case isStringType(to) && isByteSliceType(atv.Type):
+		dir = "string([]byte)"
+	case isByteSliceType(to) && isStringType(atv.Type):
+		dir = "[]byte(string)"
+	default:
+		return nil
+	}
+	if aliasSafeSink(p, call, stack) {
+		return nil
+	}
+	return []Finding{m.finding(call.Pos(), RuleHotpath, fmt.Sprintf(
+		"%s conversion copies on a //p2o:hotpath function; feed an alias-safe sink (map index, comparison) or reuse a buffer", dir))}
+}
+
+// aliasSafeSink reports whether the conversion's immediate consumer is
+// one the compiler optimizes to skip the copy: a map index, a
+// comparison, a switch tag, or len.
+func aliasSafeSink(p *Package, call *ast.CallExpr, stack []ast.Node) bool {
+	switch parent := parentNode(stack).(type) {
+	case *ast.BinaryExpr:
+		switch parent.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			return true
+		}
+	case *ast.IndexExpr:
+		if ast.Unparen(parent.Index) == call {
+			if tv, ok := p.Info.Types[parent.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return true
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		return ast.Unparen(parent.Tag) == call
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok {
+			if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "len" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSliceType(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// boxedArgType returns the type of the first argument that boxes into
+// an interface parameter, or nil. Constants, nils, values already of
+// interface type, pointer-shaped values (pointers, channels, maps,
+// funcs — stored in the interface word directly), and zero-size values
+// (interned) do not allocate and pass.
+func boxedArgType(p *Package, call *ast.CallExpr, sig *types.Signature) types.Type {
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // spread of a pre-built slice: no per-arg boxing
+			}
+			s, ok := sig.Params().At(np - 1).Type().Underlying().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = s.Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.Value != nil || tv.IsNil() || tv.Type == nil {
+			continue
+		}
+		at := tv.Type
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if pointerShaped(at) || zeroSized(at) {
+			continue
+		}
+		return at
+	}
+	return nil
+}
+
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func zeroSized(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		return u.NumFields() == 0
+	case *types.Array:
+		return u.Len() == 0
+	}
+	return false
+}
+
+// checkHotAppend flags append on locals without deliberate capacity.
+func checkHotAppend(m *Module, p *Package, call *ast.CallExpr, params, premade map[types.Object]bool) []Finding {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil // appends to fields/elements: the owner sized them
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil || params[obj] || premade[obj] || isPkgLevelVar(p, obj) {
+		return nil
+	}
+	return []Finding{m.finding(call.Pos(), RuleHotpath, fmt.Sprintf(
+		"append grows %q, which is not preallocated, on a //p2o:hotpath function; size it with make(..., cap) or take it from the caller", id.Name))}
+}
+
+// checkHotClosure flags closure literals that capture variables, except
+// literals passed straight into a call (outside a go statement) — those
+// stay on the stack.
+func checkHotClosure(m *Module, p *Package, lit *ast.FuncLit, stack []ast.Node) []Finding {
+	captured := capturedVar(p, lit)
+	if captured == "" {
+		return nil
+	}
+	inGo := stackHasGo(stack)
+	if !inGo {
+		if call, ok := parentNode(stack).(*ast.CallExpr); ok {
+			if ast.Unparen(call.Fun) == lit {
+				return nil // immediately invoked
+			}
+			for _, a := range call.Args {
+				if ast.Unparen(a) == lit {
+					return nil // sort.Search-style direct argument
+				}
+			}
+		}
+	}
+	msg := fmt.Sprintf("closure capturing %q allocates on a //p2o:hotpath function; hoist the state or pass it as a parameter", captured)
+	if inGo {
+		msg = fmt.Sprintf("closure capturing %q escapes to a goroutine from a //p2o:hotpath function", captured)
+	}
+	return []Finding{m.finding(lit.Pos(), RuleHotpath, msg)}
+}
+
+// capturedVar returns the name of the first variable the literal
+// captures from its enclosing function, or "".
+func capturedVar(p *Package, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal (params included)
+		}
+		if p.Pkg != nil && v.Parent() == p.Pkg.Scope() {
+			return true // package-level, not a capture
+		}
+		name = id.Name
+		return false
+	})
+	return name
+}

@@ -14,7 +14,18 @@
 //   - immutability: Dataset and store.Snapshot are frozen once built —
 //     only their owning packages may assign to their fields;
 //   - obs-conventions: metric names are snake_case string literals,
-//     each registered at a single call site.
+//     each registered at a single call site;
+//   - pin-release: every store.Acquire() pairs with a release on all
+//     exits — deferred on the acquiring path or threaded onward
+//     explicitly — and neither the pinned snapshot nor its release
+//     func escapes into struct fields, globals, or goroutines;
+//   - unsafe-confinement: unsafe and syscall imports are restricted to
+//     the snapshot-view internals, and blob-aliasing accessor results
+//     (RecordAt and friends) are never stored into long-lived sinks;
+//   - hotpath-alloc: functions annotated //p2o:hotpath are free of
+//     allocation-introducing constructs (fmt.Sprintf/Errorf,
+//     string↔[]byte copies, escaping closures, interface boxing,
+//     append on non-preallocated locals).
 //
 // The analyzer is built entirely on the standard library (go/parser,
 // go/ast, go/types); it deliberately avoids golang.org/x/tools so it
@@ -58,6 +69,9 @@ const (
 	RuleLayering     = "layering"
 	RuleImmutability = "immutability"
 	RuleObs          = "obs-conventions"
+	RulePin          = "pin-release"
+	RuleUnsafe       = "unsafe-confinement"
+	RuleHotpath      = "hotpath-alloc"
 	RuleIgnore       = "ignore" // misuse of the ignore directive itself
 )
 
@@ -71,6 +85,34 @@ type ObsConfig struct {
 	LabelFunc string
 	// Methods are the Registry methods that register an instrument.
 	Methods []string
+}
+
+// PinConfig locates the snapshot-pinning API the pin-release rule
+// audits. A zero StoreType or Method disables the rule.
+type PinConfig struct {
+	// StoreType is the fully qualified store type, e.g.
+	// "example.com/mod/internal/store.Store".
+	StoreType string
+	// Method is the pinning method on StoreType returning
+	// (snapshot, release func).
+	Method string
+}
+
+// UnsafeConfig confines raw-memory machinery for the unsafe-confinement
+// rule. A fully zero config disables the rule; an empty-but-non-nil
+// allowlist means "no file at all".
+type UnsafeConfig struct {
+	// AllowUnsafe lists module-relative files permitted to import
+	// unsafe; AllowSyscall the same for syscall.
+	AllowUnsafe  []string
+	AllowSyscall []string
+	// AliasAccessors maps a fully qualified type name to the methods
+	// whose results alias a snapshot-backed buffer (blob views). Their
+	// results must not be stored into long-lived sinks.
+	AliasAccessors map[string][]string
+	// AliasExempt lists packages (relative paths) that implement the
+	// views themselves and may store aliases as they see fit.
+	AliasExempt []string
 }
 
 // Config is the per-package rule table. Package identity is the import
@@ -101,6 +143,11 @@ type Config struct {
 	// Obs configures the obs-conventions rule; a zero RegistryType
 	// disables it.
 	Obs ObsConfig
+	// Pin configures the pin-release rule.
+	Pin PinConfig
+	// Unsafe configures the unsafe-confinement rule. The hotpath-alloc
+	// rule needs no table: it triggers on //p2o:hotpath annotations.
+	Unsafe UnsafeConfig
 }
 
 func (c *Config) inList(list []string, rel string) bool {
@@ -123,6 +170,9 @@ func Run(m *Module, cfg *Config) []Finding {
 	fs = append(fs, layeringRule(m, cfg)...)
 	fs = append(fs, immutabilityRule(m, cfg)...)
 	fs = append(fs, obsRule(m, cfg)...)
+	fs = append(fs, pinReleaseRule(m, cfg)...)
+	fs = append(fs, unsafeConfineRule(m, cfg)...)
+	fs = append(fs, hotpathRule(m, cfg)...)
 	fs = applyIgnores(m, fs)
 	sort.Slice(fs, func(i, j int) bool {
 		if fs[i].File != fs[j].File {
@@ -156,6 +206,27 @@ type ignoreDirective struct {
 
 const ignorePrefix = "//p2olint:ignore"
 
+// parseIgnoreDirective parses one comment's text as an ignore
+// directive. ok reports whether the comment is a directive at all: the
+// exact //p2olint:ignore prefix followed by end-of-comment or
+// whitespace (so //p2olint:ignorexyz is an ordinary comment). rule and
+// reason may come back empty — applyIgnores turns those into findings
+// rather than silently honoring a malformed directive.
+func parseIgnoreDirective(comment string) (rule, reason string, ok bool) {
+	rest, found := strings.CutPrefix(comment, ignorePrefix)
+	if !found {
+		return "", "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		return rest[:i], strings.TrimSpace(rest[i+1:]), true
+	}
+	return rest, "", true
+}
+
 // collectIgnores parses every ignore directive in the module.
 func collectIgnores(m *Module) []ignoreDirective {
 	var out []ignoreDirective
@@ -163,18 +234,15 @@ func collectIgnores(m *Module) []ignoreDirective {
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, ignorePrefix) {
+					rule, reason, ok := parseIgnoreDirective(c.Text)
+					if !ok {
 						continue
 					}
-					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
 					pos := m.Fset.Position(c.Pos())
-					d := ignoreDirective{file: pos.Filename, line: pos.Line, pos: c.Pos()}
-					if i := strings.IndexAny(rest, " \t"); i >= 0 {
-						d.rule, d.reason = rest[:i], strings.TrimSpace(rest[i+1:])
-					} else {
-						d.rule = rest
-					}
-					out = append(out, d)
+					out = append(out, ignoreDirective{
+						file: pos.Filename, line: pos.Line, pos: c.Pos(),
+						rule: rule, reason: reason,
+					})
 				}
 			}
 		}

@@ -82,6 +82,53 @@ func derefNamed(t types.Type) string {
 	return ""
 }
 
+// walkStack traverses root in source order, invoking visit with each
+// node and the stack of its ancestors within root (outermost first, the
+// immediate parent last). The pin-release and hotpath-alloc passes need
+// ancestor context — "is this call under a defer?", "is this literal a
+// direct call argument?" — that plain ast.Inspect cannot provide.
+func walkStack(root ast.Node, visit func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		visit(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// parentNode returns the nearest ancestor on the stack that is not a
+// ParenExpr, or nil.
+func parentNode(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// stackHasGo reports whether any ancestor on the stack is a go
+// statement.
+func stackHasGo(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgLevelVar reports whether obj is a package-scoped variable of p.
+func isPkgLevelVar(p *Package, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && p.Pkg != nil && v.Parent() == p.Pkg.Scope()
+}
+
 // firstParamIsContext reports whether the signature's first parameter
 // is context.Context.
 func firstParamIsContext(sig *types.Signature) bool {

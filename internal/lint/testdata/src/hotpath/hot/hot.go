@@ -1,0 +1,95 @@
+// Package hot exercises the hotpath-alloc rule: each marked function
+// pairs an allocating shape with the alias-safe or preallocated
+// alternative the rule accepts.
+package hot
+
+import (
+	"fmt"
+	"sort"
+)
+
+var sink func() int
+
+var sinkInt int
+
+// Sprintf formats on a hot path.
+//
+//p2o:hotpath
+func Sprintf(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Convert copies b into a string; the map index on the same bytes is
+// alias-safe and stays clean.
+//
+//p2o:hotpath
+func Convert(b []byte, m map[string]int) (string, int) {
+	s := string(b)
+	return s, m[string(b)]
+}
+
+// Compare only converts inside comparisons: clean.
+//
+//p2o:hotpath
+func Compare(a []byte, s string) bool {
+	return string(a) == s
+}
+
+// Closure passes one literal straight into sort.Search (clean) and
+// stores another into a package var (flagged capture).
+//
+//p2o:hotpath
+func Closure(xs []int, target int) int {
+	i := sort.Search(len(xs), func(j int) bool { return xs[j] >= target })
+	f := func() int { return target }
+	sink = f
+	return i
+}
+
+func discard(v any) { _ = v }
+
+// Box passes an int to an interface parameter (boxes); the error value
+// is already an interface and stays clean.
+//
+//p2o:hotpath
+func Box(n int, err error) {
+	discard(n)
+	discard(err)
+}
+
+// Append grows a fresh local (flagged); the preallocated buffer and
+// the caller-supplied parameter slice are clean.
+//
+//p2o:hotpath
+func Append(xs []int, n int) []int {
+	var out []int
+	out = append(out, n)
+	pre := make([]int, 0, len(xs))
+	pre = append(pre, xs...)
+	xs = append(xs, n)
+	_ = pre
+	_ = xs
+	return out
+}
+
+// Spawn launches a capturing goroutine from a hot path: flagged.
+//
+//p2o:hotpath
+func Spawn(n int) {
+	go func() {
+		sinkInt = n
+	}()
+}
+
+// NotMarked allocates freely; without the annotation nothing fires.
+func NotMarked(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Ignored demonstrates the escape hatch on a marked function.
+//
+//p2o:hotpath
+func Ignored(n int) string {
+	//p2olint:ignore hotpath-alloc fixture demonstrates the escape hatch
+	return fmt.Sprintf("n=%d", n)
+}

@@ -1,0 +1,3 @@
+module example.com/pinrelease
+
+go 1.22

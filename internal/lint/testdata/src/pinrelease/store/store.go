@@ -1,0 +1,12 @@
+// Package store is the fixture stand-in for the snapshot store: just
+// enough surface for the pin-release rule to latch onto.
+package store
+
+// Snapshot is a refcounted view of the served data.
+type Snapshot struct{ V int }
+
+// Store publishes the current snapshot.
+type Store struct{ cur *Snapshot }
+
+// Acquire pins the current snapshot and returns its release func.
+func (s *Store) Acquire() (*Snapshot, func()) { return s.cur, func() {} }

@@ -1,0 +1,116 @@
+// Package use exercises the pin-release rule: clean handler shapes,
+// leaked pins, and escapes of the pin or its release func.
+package use
+
+import "example.com/pinrelease/store"
+
+// Deferred is clean: an immediate defer covers every exit.
+func Deferred(st *store.Store) int {
+	snap, release := st.Acquire()
+	defer release()
+	if snap == nil {
+		return 0
+	}
+	return snap.V
+}
+
+// DeferredClosure is clean: the release runs inside an immediately
+// deferred cleanup closure.
+func DeferredClosure(st *store.Store) int {
+	snap, release := st.Acquire()
+	defer func() {
+		release()
+	}()
+	return snap.V
+}
+
+// Explicit is clean: a single path with the release before the return.
+func Explicit(st *store.Store) int {
+	snap, release := st.Acquire()
+	v := snap.V
+	release()
+	return v
+}
+
+// Discarded leaks: the release func is thrown away.
+func Discarded(st *store.Store) int {
+	snap, _ := st.Acquire()
+	return snap.V
+}
+
+// Dropped leaks: the Acquire result is not captured at all.
+func Dropped(st *store.Store) {
+	st.Acquire()
+}
+
+// LateDefer leaks on the early return: the defer is installed after an
+// exit that skips it.
+func LateDefer(st *store.Store) int {
+	snap, release := st.Acquire()
+	if snap == nil {
+		return 0
+	}
+	defer release()
+	return snap.V
+}
+
+// LeakyPath leaks on the first return: only the second path releases.
+func LeakyPath(st *store.Store) int {
+	snap, release := st.Acquire()
+	if snap.V > 0 {
+		return snap.V
+	}
+	release()
+	return 0
+}
+
+// NeverReleased leaks outright: the release func is never invoked.
+func NeverReleased(st *store.Store) int {
+	snap, release := st.Acquire()
+	_ = release
+	return snap.V
+}
+
+// holder outlives any single request.
+type holder struct {
+	snap    *store.Snapshot
+	release func()
+}
+
+// Escapes moves both the pinned snapshot and its release func into a
+// struct that outlives the call: two findings.
+func Escapes(st *store.Store, h *holder) {
+	snap, release := st.Acquire()
+	h.snap = snap
+	h.release = release
+}
+
+// Goroutine hands the release to a goroutine: the pin's lifetime is no
+// longer tied to the acquiring path.
+func Goroutine(st *store.Store) {
+	_, release := st.Acquire()
+	go func() {
+		release()
+	}()
+}
+
+// closer collects shutdown work; threading a release into it is the
+// sanctioned handoff shape.
+type closer struct{ fns []func() }
+
+func (c *closer) add(f func()) { c.fns = append(c.fns, f) }
+
+// Threaded is clean: the release is passed into a call that owns the
+// shutdown from here on.
+func Threaded(st *store.Store, c *closer) {
+	_, release := st.Acquire()
+	c.add(release)
+}
+
+// Annotated stores the release into a struct field — normally an
+// escape — with the documented ignore escape hatch.
+func Annotated(st *store.Store, h *holder) {
+	_, release := st.Acquire()
+	//p2olint:ignore pin-release release is threaded into the holder's Close, which the caller always runs
+	h.release = release
+}

@@ -1,0 +1,39 @@
+// Package bad violates the confinement: unsafe and syscall imports
+// outside the allowlist, and blob-aliasing accessor results stored in
+// long-lived sinks.
+package bad
+
+import (
+	"syscall"
+	"unsafe"
+
+	"example.com/unsafeconfine/view"
+)
+
+var cached string
+
+var table = map[int]string{}
+
+type server struct{ last string }
+
+// Pointer launders a raw pointer outside the view internals.
+func Pointer(p *int) unsafe.Pointer { return unsafe.Pointer(p) }
+
+// Pid has no business importing syscall for this.
+func Pid() int { return syscall.Getpid() }
+
+// Cache stores blob-aliasing strings into long-lived sinks: a package
+// variable, a package-level map, a struct field. The local is fine.
+func Cache(d *view.Data, s *server) string {
+	cached = d.RecordAt(0)
+	table[1] = d.RecordAt(1)
+	s.last = d.RecordAt(2)
+	local := d.RecordAt(3)
+	return local
+}
+
+// Annotated demonstrates the escape hatch for a deliberate cache.
+func Annotated(d *view.Data) {
+	//p2olint:ignore unsafe-confinement the cache is invalidated on every snapshot swap by Reset
+	cached = d.RecordAt(4)
+}

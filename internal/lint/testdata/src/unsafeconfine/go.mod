@@ -1,0 +1,3 @@
+module example.com/unsafeconfine
+
+go 1.22

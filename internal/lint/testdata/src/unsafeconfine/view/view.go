@@ -1,0 +1,20 @@
+// Package view is the fixture's allowlisted blob-view internal: the
+// one place unsafe may live, and the package exempt from the
+// alias-sink check.
+package view
+
+import "unsafe"
+
+// Str aliases b as a string without copying — the snapview idiom.
+func Str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// Data is the fixture dataset; RecordAt results alias its blob.
+type Data struct{ blob []byte }
+
+// RecordAt returns a string view aliasing the blob at offset i.
+func (d *Data) RecordAt(i int) string { return Str(d.blob[i:]) }

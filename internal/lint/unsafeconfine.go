@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unsafeConfineRule keeps the raw-memory machinery fenced in. Two
+// checks:
+//
+//  1. Imports of unsafe and syscall are restricted to an explicit file
+//     allowlist — the snapshot blob views (unsafe.String/Slice aliasing
+//     file bytes) and the mmap platform glue. Anywhere else, an unsafe
+//     import is a new aliasing surface the mapping-lifetime contract
+//     does not cover.
+//  2. Outside the view-implementing packages, results of blob-aliasing
+//     accessors (the configured AliasAccessors methods) must not be
+//     assigned into long-lived sinks: package-level variables or struct
+//     fields. A cached *Record that aliases a snapshot's buffer turns
+//     into a dangling read the moment the snapshot's last pin drops and
+//     the mapping closes.
+//
+// The sink check is a direct-assignment heuristic over typed ASTs, the
+// static complement of the runtime mapping-lifetime e2e test — escapes
+// through intermediate locals are the e2e test's job.
+func unsafeConfineRule(m *Module, cfg *Config) []Finding {
+	uc := &cfg.Unsafe
+	if uc.AllowUnsafe == nil && uc.AllowSyscall == nil && len(uc.AliasAccessors) == 0 {
+		return nil
+	}
+	var out []Finding
+	out = append(out, confinedImports(m, cfg)...)
+	out = append(out, aliasSinks(m, cfg)...)
+	return out
+}
+
+// confinedImports flags unsafe/syscall imports outside the allowlists.
+func confinedImports(m *Module, cfg *Config) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			fname := m.Fset.Position(f.Pos()).Filename
+			for _, imp := range f.Imports {
+				switch strings.Trim(imp.Path.Value, `"`) {
+				case "unsafe":
+					if !cfg.inList(cfg.Unsafe.AllowUnsafe, fname) {
+						out = append(out, m.finding(imp.Pos(), RuleUnsafe,
+							"import of unsafe outside the allowlist; blob-aliasing views are confined to the snapshot-view internals"))
+					}
+				case "syscall":
+					if !cfg.inList(cfg.Unsafe.AllowSyscall, fname) {
+						out = append(out, m.finding(imp.Pos(), RuleUnsafe,
+							"import of syscall outside the allowlist; platform calls are confined to the mmap glue and daemon signal wiring"))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// aliasSinks flags assignments that store a blob-aliasing accessor
+// result into a long-lived sink.
+func aliasSinks(m *Module, cfg *Config) []Finding {
+	if len(cfg.Unsafe.AliasAccessors) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, p := range m.Pkgs {
+		if p.Info == nil || cfg.inList(cfg.Unsafe.AliasExempt, p.RelPath) {
+			continue
+		}
+		inspectFiles(p, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			// := introduces fresh locals — request-scoped by
+			// construction; only plain assignments can reach
+			// pre-existing long-lived storage.
+			if !ok || as.Tok == token.DEFINE {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				acc := aliasAccessor(p, rhs, &cfg.Unsafe)
+				if acc == "" {
+					continue
+				}
+				if sink := longLivedSink(p, as.Lhs[i]); sink != "" {
+					out = append(out, m.finding(as.Pos(), RuleUnsafe, fmt.Sprintf(
+						"result of blob-aliasing %s stored in %s; views alias the snapshot buffer and must not outlive the request's pin", acc, sink)))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// aliasAccessor reports the "Type.Method" display name when e is a call
+// to a configured blob-aliasing accessor, or "".
+func aliasAccessor(p *Package, e ast.Expr, uc *UnsafeConfig) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	f := calleeOf(p.Info, call)
+	if f == nil {
+		return ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	tn := namedTypeOf(sig.Recv().Type())
+	for _, name := range uc.AliasAccessors[tn] {
+		if name == f.Name() {
+			short := tn
+			if i := strings.LastIndex(tn, "/"); i >= 0 {
+				short = tn[i+1:]
+			}
+			return short + "." + f.Name()
+		}
+	}
+	return ""
+}
+
+// longLivedSink names the long-lived storage the LHS chain roots at —
+// a package-level variable (possibly through map/slice elements) or a
+// struct field — or "" for a plain local.
+func longLivedSink(p *Package, e ast.Expr) string {
+	sawField := false
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := p.Info.ObjectOf(id).(*types.PkgName); isPkg {
+					return "a package-level variable"
+				}
+			}
+			sawField = true
+			e = x.X
+		case *ast.Ident:
+			if isPkgLevelVar(p, p.Info.ObjectOf(x)) {
+				return "a package-level variable"
+			}
+			if sawField {
+				return "a struct field"
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

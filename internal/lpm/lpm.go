@@ -182,6 +182,8 @@ func (f *family) covers(e int32, qhi, qlo uint64, qbits128 int) bool {
 
 // lookup returns the entry index of the most specific prefix covering
 // the query, or -1. The query must be canonical (host bits zeroed).
+//
+//p2o:hotpath
 func (f *family) lookup(qhi, qlo uint64, qbits128 int) int32 {
 	n := len(f.bits)
 	if n == 0 {
@@ -217,6 +219,8 @@ func (ix *Index) family(is4 bool) *family {
 // Lookup returns the value of the most specific indexed prefix
 // containing a — the longest-prefix match. It performs no heap
 // allocations.
+//
+//p2o:hotpath
 func (ix *Index) Lookup(a netip.Addr) (int32, bool) {
 	if !a.IsValid() {
 		return 0, false
@@ -232,6 +236,8 @@ func (ix *Index) Lookup(a netip.Addr) (int32, bool) {
 // LookupPrefix returns the value of the most specific indexed prefix
 // containing p (p itself included when indexed). It performs no heap
 // allocations.
+//
+//p2o:hotpath
 func (ix *Index) LookupPrefix(p netip.Prefix) (int32, bool) {
 	m, ok := ix.Match(p)
 	if !ok {
@@ -250,6 +256,8 @@ type Match struct {
 
 // Match returns a handle to the most specific indexed prefix
 // containing p.
+//
+//p2o:hotpath
 func (ix *Index) Match(p netip.Prefix) (Match, bool) {
 	if !p.IsValid() {
 		return Match{}, false
@@ -290,6 +298,8 @@ func (m Match) Parent() (Match, bool) {
 // to buf, ordered least specific first (the radix CoveringChain
 // order), and returns the extended buffer. With cap(buf) large enough
 // it performs no heap allocations.
+//
+//p2o:hotpath
 func (ix *Index) CoveringInto(p netip.Prefix, buf []int32) []int32 {
 	start := len(buf)
 	for m, ok := ix.Match(p); ok; m, ok = m.Parent() {

@@ -38,6 +38,8 @@ func NewQuantileWindow(size int) *QuantileWindow {
 
 // Observe records one value, evicting the oldest once the window is
 // full. Safe for concurrent use; never allocates.
+//
+//p2o:hotpath
 func (w *QuantileWindow) Observe(v float64) {
 	i := w.n.Add(1) - 1
 	w.slots[i%uint64(len(w.slots))].Store(math.Float64bits(v))

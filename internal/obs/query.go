@@ -50,6 +50,8 @@ type QuerySpan struct {
 // Mark closes phase p, charging it the time elapsed since the previous
 // mark (or since StartSpan for the first). Nil-safe: on an unsampled
 // query the receiver is nil and Mark is a no-op.
+//
+//p2o:hotpath
 func (s *QuerySpan) Mark(p QueryPhase) {
 	if s == nil {
 		return
@@ -82,6 +84,8 @@ func ContextWithSpan(ctx context.Context, s *QuerySpan) context.Context {
 // SpanFromContext returns the span riding ctx, nil when the query is
 // unsampled (or ctx is nil). Callers use the nil-safe span methods
 // directly, no nil check needed.
+//
+//p2o:hotpath
 func SpanFromContext(ctx context.Context) *QuerySpan {
 	if ctx == nil {
 		return nil
@@ -246,6 +250,8 @@ func (t *QueryTelemetry) Quantile(q float64) float64 { return t.window.Quantile(
 // a pooled span attached to the returned context; unsampled queries (and
 // a nil ctx) get the context back untouched and a nil span — that path
 // performs one atomic add and never allocates.
+//
+//p2o:hotpath
 func (t *QueryTelemetry) StartSpan(ctx context.Context) (context.Context, *QuerySpan) {
 	n := t.sampleEvery.Load()
 	if n == 0 || ctx == nil {
@@ -267,6 +273,8 @@ func (t *QueryTelemetry) StartSpan(ctx context.Context) (context.Context, *Query
 //
 // sp may be nil (the unsampled path); info fields are copied by value,
 // so the caller's buffers are not retained.
+//
+//p2o:hotpath
 func (t *QueryTelemetry) Finish(sp *QuerySpan, info QueryInfo) {
 	dur := time.Since(info.Start)
 	t.window.Observe(dur.Seconds())
@@ -301,6 +309,7 @@ func (t *QueryTelemetry) Finish(sp *QuerySpan, info QueryInfo) {
 	if isSlow {
 		t.slow.add(rec)
 		if t.logger != nil {
+			//p2olint:ignore hotpath-alloc slow-query logging is already off the fast path and rate-bounded by the threshold
 			t.logger.Warn("slow query",
 				"query", info.Text, "type", info.Type, "outcome", info.Outcome,
 				"snapshot", info.SnapshotVersion, "duration", dur,

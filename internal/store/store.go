@@ -184,12 +184,23 @@ func (s *Store) Current() *Snapshot { return s.cur.Load() }
 // — including every string and record reachable from a view-backed
 // dataset — stays valid until release is called, even across swaps;
 // the mapping of a swapped-out snapshot is only closed after its last
-// reader releases. release is idempotent-unsafe: call it exactly once.
+// reader releases.
+//
+// release is idempotent: only its first call drops the pin, so a
+// handler that releases explicitly and again via defer cannot
+// double-free the snapshot. Dropping release without calling it leaks
+// the pin (and a view-backed snapshot's mapping); the pin-release lint
+// rule flags call sites where release can escape or go uninvoked.
 func (s *Store) Acquire() (*Snapshot, func()) {
 	for {
 		snap := s.cur.Load()
 		if snap.tryRef() {
-			return snap, snap.unref
+			var released atomic.Bool
+			return snap, func() {
+				if released.CompareAndSwap(false, true) {
+					snap.unref()
+				}
+			}
 		}
 		// The snapshot hit refcount zero between our load and the
 		// tryRef — meaning it was already swapped out. The new current

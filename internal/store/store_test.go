@@ -22,6 +22,48 @@ func TestNewAssignsVersionOne(t *testing.T) {
 	}
 }
 
+// TestAcquireReleaseIdempotent pins the release contract: only the
+// first call of a pin's release drops the reference. Duplicate calls —
+// an explicit release followed by a deferred one, say — must neither
+// close a snapshot that is still current nor double-close one that has
+// been swapped out.
+func TestAcquireReleaseIdempotent(t *testing.T) {
+	var closed atomic.Int64
+	snap := &Snapshot{Closer: func() error { closed.Add(1); return nil }}
+	st := New(snap)
+
+	pinned, release := st.Acquire()
+	if pinned != snap {
+		t.Fatal("Acquire returned a different snapshot")
+	}
+	release()
+	release()
+	release()
+	if got := closed.Load(); got != 0 {
+		t.Fatalf("Closer ran %d times while the snapshot is still current, want 0", got)
+	}
+
+	// The store must still hand out working pins on the same snapshot.
+	again, release2 := st.Acquire()
+	if again != snap {
+		t.Fatal("store stopped serving the current snapshot after duplicate releases")
+	}
+	release2()
+
+	// With every pin dropped, the swap closes the snapshot exactly once.
+	st.Swap(&Snapshot{})
+	if got := closed.Load(); got != 1 {
+		t.Fatalf("Closer ran %d times after the swap, want 1", got)
+	}
+
+	// A duplicate release of a long-dead pin stays a no-op.
+	release()
+	release2()
+	if got := closed.Load(); got != 1 {
+		t.Fatalf("Closer ran %d times after stale releases, want 1", got)
+	}
+}
+
 // TestPendingStoreReadiness covers the readiness/liveness split: a
 // pending store answers reads (liveness) but reports not-ready — and
 // its /healthz serves 503 — until the first real snapshot is installed.

@@ -235,6 +235,8 @@ type answerResult struct {
 // sampled span riding ctx, if any. Writes to a strings.Builder or
 // bufio.Writer cannot fail; transport errors surface at Flush time in
 // the caller.
+//
+//p2o:hotpath
 func (s *Server) answer(ctx context.Context, w io.Writer, q string) answerResult {
 	sp := obs.SpanFromContext(ctx)
 	// Acquire pins the snapshot's backing buffer (a view-backed
@@ -260,6 +262,7 @@ func (s *Server) answer(ctx context.Context, w io.Writer, q string) answerResult
 		if err != nil {
 			mQueriesBad.Inc()
 			res.qtype = "bad"
+			//p2olint:ignore hotpath-alloc error path for malformed queries; not the per-query fast path
 			fmt.Fprintf(w, "%% error: bad prefix %q\r\n", q)
 			break
 		}
@@ -274,6 +277,7 @@ func (s *Server) answer(ctx context.Context, w io.Writer, q string) answerResult
 		if rec, ok := ds.LookupCovering(p); ok {
 			sp.Mark(obs.PhaseLookup)
 			res.outcome = outcomeCovering
+			//p2olint:ignore hotpath-alloc covering-fallback note is a rare informational line
 			fmt.Fprintf(w, "%% note: %s not announced; answering for covering %s\r\n", q, rec.Prefix)
 			writeRecord(w, rec)
 			break
@@ -312,12 +316,16 @@ func (s *Server) answer(ctx context.Context, w io.Writer, q string) answerResult
 			break
 		}
 		res.outcome = outcomeMatch
+		//p2olint:ignore hotpath-alloc org responses are bounded by cluster size, not query rate
 		fmt.Fprintf(w, "cluster:      %s\r\n", c.ID)
+		//p2olint:ignore hotpath-alloc org responses are bounded by cluster size, not query rate
 		fmt.Fprintf(w, "base-name:    %s\r\n", c.BaseName)
 		for _, n := range c.OwnerNames {
+			//p2olint:ignore hotpath-alloc org responses are bounded by cluster size, not query rate
 			fmt.Fprintf(w, "org-name:     %s\r\n", n)
 		}
 		for _, p := range c.Prefixes {
+			//p2olint:ignore hotpath-alloc org responses are bounded by cluster size, not query rate
 			fmt.Fprintf(w, "prefix:       %s\r\n", p)
 		}
 	}
@@ -328,6 +336,8 @@ func (s *Server) answer(ctx context.Context, w io.Writer, q string) answerResult
 // answered it — whoisd_queries_by_snapshot_total{version="N"} — so a
 // reload's effect on traffic is directly observable on /metrics. The
 // labeled counter is re-resolved only when the version changes.
+//
+//p2o:hotpath
 func (s *Server) countSnapshotQuery(version uint64) {
 	if sc := s.snapCount.Load(); sc != nil && sc.version == version {
 		sc.c.Inc()

@@ -213,6 +213,8 @@ type Dataset struct {
 }
 
 // Lookup returns the record for a routed prefix.
+//
+//p2o:hotpath
 func (d *Dataset) Lookup(p netip.Prefix) (*Record, bool) {
 	if d.lazy != nil {
 		// View-backed: an exact-match probe of the lpm index replaces
@@ -235,6 +237,8 @@ func (d *Dataset) Lookup(p netip.Prefix) (*Record, bool) {
 // covering addr — the longest-prefix match a WHOIS address query or a
 // data-plane attribution needs. It performs zero heap allocations, so
 // the serve path can call it per query at line rate.
+//
+//p2o:hotpath
 func (d *Dataset) LookupAddr(a netip.Addr) (*Record, bool) {
 	if d.idx == nil {
 		return nil, false
@@ -250,6 +254,8 @@ func (d *Dataset) LookupAddr(a netip.Addr) (*Record, bool) {
 // covering p (p itself included when it is routed) — the fallback for
 // queries about sub-prefixes that are not announced on their own. Like
 // LookupAddr it allocates nothing.
+//
+//p2o:hotpath
 func (d *Dataset) LookupCovering(p netip.Prefix) (*Record, bool) {
 	if d.idx == nil {
 		return nil, false
@@ -265,6 +271,8 @@ func (d *Dataset) LookupCovering(p netip.Prefix) (*Record, bool) {
 // covering p to buf, least specific first, and returns the extended
 // buffer. With a caller-reused buffer the call performs no heap
 // allocations.
+//
+//p2o:hotpath
 func (d *Dataset) CoveringChainInto(p netip.Prefix, buf []*Record) []*Record {
 	if d.idx == nil {
 		return buf
