@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet vet-concurrency lint lint-fix-list race bench bench-all bench-save bench-compare fuzz-short loadgen-smoke httpd-smoke snapshot-compat verify ci
+.PHONY: build test vet vet-concurrency lint lint-fix-list race bench bench-all bench-save bench-compare bench-ratio fuzz-short loadgen-smoke httpd-smoke snapshot-compat delta-equivalence verify ci
 
 build:
 	$(GO) build ./...
@@ -56,20 +56,32 @@ bench-all:
 # radix LPM lookups, snapshot save/load in both formats, the v2 codec
 # (eager decode, in-place mmap open, warm view lookups), the bulk WHOIS
 # parsers, the whoisd answer path (in-process and over loopback TCP),
-# and the httpd per-line bulk lookup path.
-BENCH_TRACKED = ^(BenchmarkLookupAddr|BenchmarkLookupAddrRadix|BenchmarkLookupAddrView|BenchmarkSnapshotSaveLoad|BenchmarkLoadBinaryV2|BenchmarkOpenMmap|BenchmarkFrozenLookup|BenchmarkRadixLookup|BenchmarkFreeze|BenchmarkParseRPSL|BenchmarkParseARIN|BenchmarkParseLACNIC|BenchmarkAnswerAddr|BenchmarkAnswerOverTCP|BenchmarkBulkLookup)$$
+# the httpd per-line bulk lookup path, and the rebuild path (full vs
+# delta, plus the input-manifest hash it gates on).
+BENCH_TRACKED = ^(BenchmarkLookupAddr|BenchmarkLookupAddrRadix|BenchmarkLookupAddrView|BenchmarkSnapshotSaveLoad|BenchmarkLoadBinaryV2|BenchmarkOpenMmap|BenchmarkFrozenLookup|BenchmarkRadixLookup|BenchmarkFreeze|BenchmarkParseRPSL|BenchmarkParseARIN|BenchmarkParseLACNIC|BenchmarkAnswerAddr|BenchmarkAnswerOverTCP|BenchmarkBulkLookup|BenchmarkDeltaRebuild|BenchmarkBuildManifest)$$
 BENCH_PKGS = . ./internal/lpm ./internal/whois ./internal/whoisd ./internal/httpd
 # Lookup benchmarks — the eager frozen-index paths and the view-backed
 # BenchmarkLookupAddrView alike — are stable enough that a >20%
 # slowdown is signal, not noise; they get the strict threshold in
 # bench-compare.
 BENCH_STRICT = Lookup
+# The delta-rebuild speedup invariant, asserted within one run so it is
+# immune to machine speed: the incremental path must stay at least 5x
+# faster than the full rebuild it replaces.
+BENCH_RATIO = BenchmarkDeltaRebuild/delta:BenchmarkDeltaRebuild/full<=0.2
 BENCH_FILE ?= BENCH_$(shell date +%F).json
+
+# bench-ratio enforces BENCH_RATIO on its own: three paired runs of the
+# full and delta sub-benchmarks, reduced by min ns/op per side (noise
+# only ever adds time). A prerequisite of bench-save, so a baseline
+# that violates the invariant cannot be recorded, and part of ci.
+bench-ratio:
+	$(GO) test -bench='^BenchmarkDeltaRebuild$$' -run='^$$' -count=3 . | $(GO) run ./scripts/benchjson -ratio '$(BENCH_RATIO)'
 
 # bench-save records the tracked benchmarks to a dated JSON file
 # (scripts/benchjson, stdlib only). Commit the file: it is the baseline
 # bench-compare guards against.
-bench-save:
+bench-save: bench-ratio
 	$(GO) test -bench='$(BENCH_TRACKED)' -benchmem -run='^$$' $(BENCH_PKGS) | $(GO) run ./scripts/benchjson -out $(BENCH_FILE)
 
 # bench-compare re-runs the tracked benchmarks and fails on a slowdown
@@ -98,6 +110,7 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMRT -fuzztime=$(FUZZTIME) ./internal/bgp
 	$(GO) test -run='^$$' -fuzz=FuzzReadPDU -fuzztime=$(FUZZTIME) ./internal/rtr
 	$(GO) test -run='^$$' -fuzz=FuzzLoadBinary -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzManifest -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzIgnoreDirective -fuzztime=$(FUZZTIME) ./internal/lint
 
 # loadgen-smoke drives the committed p2o-loadgen harness end to end
@@ -119,11 +132,18 @@ httpd-smoke:
 snapshot-compat:
 	$(GO) test -run TestSnapshotCompatRoundTrip -count=1 .
 
+# delta-equivalence replays a synthetic world through five evolution
+# steps and asserts the incremental rebuild is byte-identical to a full
+# rebuild at every step — the invariant the whole delta path rests on.
+delta-equivalence:
+	$(GO) test -run TestDeltaEquivalence -count=1 .
+
 # verify is the tier-1 gate: vet (+ concurrency analyzers) + the
-# repository's own linter + build + race-enabled tests.
-verify: vet vet-concurrency lint build race
+# repository's own linter + build + the delta≡full equivalence replay +
+# race-enabled tests.
+verify: vet vet-concurrency lint build delta-equivalence race
 
 # ci is the full gate: everything verify runs plus a short fuzz pass,
 # the loadgen smoke runs (WHOIS and HTTP), and the benchmark-regression
 # comparison.
-ci: vet vet-concurrency lint build race fuzz-short snapshot-compat loadgen-smoke httpd-smoke bench-compare
+ci: vet vet-concurrency lint build delta-equivalence race fuzz-short snapshot-compat loadgen-smoke httpd-smoke bench-compare bench-ratio

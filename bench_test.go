@@ -586,3 +586,100 @@ func BenchmarkLookupAddrView(b *testing.B) {
 		}
 	}
 }
+
+// --- incremental-rebuild benchmarks ------------------------------------------
+
+var (
+	deltaBenchOnce sync.Once
+	deltaBenchDir  string
+	deltaBenchPrev *prefix2org.Dataset
+	deltaBenchErr  error
+)
+
+// deltaBenchEnv prepares the incremental-rebuild scenario once: a
+// paper-scale world built with delta state retained, then a BGP-origin
+// churn step written over the same directory. Benchmarks then rebuild
+// that churned directory from scratch (full) or by splicing (delta).
+func deltaBenchEnv(b *testing.B) (string, *prefix2org.Dataset) {
+	b.Helper()
+	deltaBenchOnce.Do(func() {
+		w, err := synth.Generate(synth.DefaultConfig())
+		if err != nil {
+			deltaBenchErr = err
+			return
+		}
+		deltaBenchDir, deltaBenchErr = os.MkdirTemp("", "p2o-bench-delta")
+		if deltaBenchErr != nil {
+			return
+		}
+		if deltaBenchErr = w.WriteDir(deltaBenchDir); deltaBenchErr != nil {
+			return
+		}
+		deltaBenchPrev, deltaBenchErr = prefix2org.BuildFromDir(
+			context.Background(), deltaBenchDir, prefix2org.Options{Incremental: true})
+		if deltaBenchErr != nil {
+			return
+		}
+		if w, deltaBenchErr = w.Evolve(synth.EvolveOptions{Seed: 42, OriginShifts: 8}); deltaBenchErr != nil {
+			return
+		}
+		deltaBenchErr = w.WriteDir(deltaBenchDir)
+	})
+	if deltaBenchErr != nil {
+		b.Fatal(deltaBenchErr)
+	}
+	return deltaBenchDir, deltaBenchPrev
+}
+
+// BenchmarkDeltaRebuild contrasts the two ways to pick up a small input
+// change: a full pipeline run over the churned directory versus an
+// incremental BuildDelta splicing against the previous dataset. Both
+// produce byte-identical snapshots (TestDeltaEquivalence); the
+// acceptance bar is delta at least 5x faster than full, enforced by the
+// bench-compare ratio check.
+func BenchmarkDeltaRebuild(b *testing.B) {
+	dir, prev := deltaBenchEnv(b)
+	opts := prefix2org.Options{Incremental: true}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ds, err := prefix2org.BuildFromDir(context.Background(), dir, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ds.NumRecords() == 0 {
+				b.Fatal("empty dataset")
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		var res *prefix2org.DeltaResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = prefix2org.BuildDelta(context.Background(), prev, dir, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Dataset.NumRecords() == 0 {
+				b.Fatal("empty dataset")
+			}
+		}
+		b.ReportMetric(float64(res.Affected), "affected")
+		b.ReportMetric(float64(res.Reused), "reused")
+	})
+}
+
+// BenchmarkBuildManifest measures the change-detection floor: hashing
+// every input file of the data directory. This is the cost a no-op
+// delta reload pays to discover there is nothing to do.
+func BenchmarkBuildManifest(b *testing.B) {
+	dir, _ := deltaBenchEnv(b)
+	var files int
+	for i := 0; i < b.N; i++ {
+		m, err := prefix2org.BuildManifest(context.Background(), dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		files = len(m.Entries)
+	}
+	b.ReportMetric(float64(files), "files")
+}

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	p2o-diff OLD.jsonl NEW.jsonl [-max N]
+//	p2o-diff [-max N] [-json] OLD.jsonl NEW.jsonl
+//
+// -json switches to machine-readable output: the exact changeset as
+// NDJSON, one object per changed prefix or org, in the same format the
+// serving daemons publish alongside each delta snapshot swap
+// (internal/diff.Changeset.WriteJSON is the one serializer for both).
 package main
 
 import (
@@ -21,18 +26,19 @@ import (
 
 func main() {
 	maxRows := flag.Int("max", 20, "maximum rows to print per change category")
+	asJSON := flag.Bool("json", false, "emit the exact changeset as NDJSON (the format daemons publish on delta swaps) instead of the human report")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: p2o-diff [-max N] OLD.jsonl NEW.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: p2o-diff [-max N] [-json] OLD.jsonl NEW.jsonl")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Arg(1), *maxRows); err != nil {
+	if err := run(flag.Arg(0), flag.Arg(1), *maxRows, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "p2o-diff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath string, maxRows int) error {
+func run(oldPath, newPath string, maxRows int, asJSON bool) error {
 	ctx := context.Background()
 	oldDS, err := prefix2org.LoadFile(ctx, oldPath)
 	if err != nil {
@@ -41,6 +47,13 @@ func run(oldPath, newPath string, maxRows int) error {
 	newDS, err := prefix2org.LoadFile(ctx, newPath)
 	if err != nil {
 		return err
+	}
+	if asJSON {
+		cs, err := diff.Changes(oldDS, newDS)
+		if err != nil {
+			return err
+		}
+		return cs.WriteJSON(os.Stdout)
 	}
 	rep, err := diff.Compare(oldDS, newDS)
 	if err != nil {

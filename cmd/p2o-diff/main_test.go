@@ -2,7 +2,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"io"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	prefix2org "github.com/prefix2org/prefix2org"
@@ -42,13 +46,68 @@ func TestRunDiff(t *testing.T) {
 	if err := ds2.SaveFile(cur); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(old, cur, 5); err != nil {
+	if err := run(old, cur, 5, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("/nonexistent/old.jsonl", cur, 5); err == nil {
+	if err := run("/nonexistent/old.jsonl", cur, 5, false); err == nil {
 		t.Error("missing old snapshot accepted")
 	}
-	if err := run(old, "/nonexistent/new.jsonl", 5); err == nil {
+	if err := run(old, "/nonexistent/new.jsonl", 5, false); err == nil {
 		t.Error("missing new snapshot accepted")
 	}
+
+	// -json: the exact changeset as NDJSON, one self-describing object
+	// per line (the same serializer the daemons publish delta swaps
+	// with).
+	out := captureStdout(t, func() {
+		if err := run(old, cur, 5, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("-json produced no output for a churned world")
+	}
+	kinds := map[string]int{}
+	for _, line := range lines {
+		var obj struct {
+			Kind   string `json:"kind"`
+			Change string `json:"change"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("-json line is not JSON: %v\n%s", err, line)
+		}
+		if obj.Kind != "prefix" && obj.Kind != "org" {
+			t.Fatalf("-json line kind = %q, want prefix or org:\n%s", obj.Kind, line)
+		}
+		if obj.Change == "" {
+			t.Fatalf("-json line missing change discriminator:\n%s", line)
+		}
+		kinds[obj.Kind]++
+	}
+	if kinds["prefix"] == 0 {
+		t.Errorf("-json reported no prefix changes for Transfers+NewDelegations churn (kinds %v)", kinds)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote (run streams -json output straight to stdout).
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = saved }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = saved
+	return <-done
 }

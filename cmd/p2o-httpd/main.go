@@ -34,6 +34,14 @@
 // /reload endpoint reloads synchronously. A failed rebuild leaves the
 // current snapshot serving. Every swap invalidates the response cache.
 //
+// -reload-delta makes those reloads incremental: each one re-parses
+// only the input files whose content hash changed and re-resolves only
+// the prefixes those files can affect, splicing everything else from
+// the served snapshot. An unchanged directory becomes a no-op reload
+// (no swap, the cache survives untouched), a delta swap invalidates
+// only the cached responses its changeset reaches, and any delta
+// failure falls back to a full rebuild.
+//
 // With -metrics-listen, an admin HTTP listener exposes /metrics (text
 // or ?format=json), /healthz, /reload, /debug/queries, and
 // /debug/pprof/.
@@ -62,6 +70,7 @@ type config struct {
 	listen         string
 	metricsListen  string
 	reloadInterval time.Duration
+	reloadDelta    bool
 	sloTarget      time.Duration
 	slowThreshold  time.Duration
 	querySample    int
@@ -81,6 +90,7 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8080", "address to serve HTTP/JSON queries on")
 	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, /reload, /debug/queries, pprof); empty disables it")
 	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0, "rebuild and swap the dataset periodically (e.g. 1h); 0 reloads only on SIGHUP or /reload")
+	flag.BoolVar(&cfg.reloadDelta, "reload-delta", false, "rebuild incrementally on reload: re-resolve only prefixes affected by changed input files, invalidate only the cached responses they reach (requires -data)")
 	flag.DurationVar(&cfg.sloTarget, "slo-target", 0, "latency SLO per query (e.g. 5ms); queries over it count in httpd_slo_violations_total; 0 disables")
 	flag.DurationVar(&cfg.slowThreshold, "slow-query-threshold", 250*time.Millisecond, "capture and log queries slower than this; 0 disables")
 	flag.IntVar(&cfg.querySample, "query-sample", 16, "record a detailed span for 1 in N queries on /debug/queries; 0 disables sampling")
@@ -92,6 +102,10 @@ func main() {
 	flag.Parse()
 	if (cfg.dataDir == "") == (cfg.snapshot == "") {
 		fmt.Fprintln(os.Stderr, "p2o-httpd: exactly one of -data or -snapshot is required")
+		os.Exit(2)
+	}
+	if cfg.reloadDelta && cfg.dataDir == "" {
+		fmt.Fprintln(os.Stderr, "p2o-httpd: -reload-delta requires -data (snapshots are rebuilt externally)")
 		os.Exit(2)
 	}
 	if err := run(cfg); err != nil {
@@ -121,12 +135,17 @@ func start(cfg config) (*app, error) {
 	logger := obs.Logger("p2o-httpd")
 
 	var build store.BuildFunc
+	var delta store.DeltaBuildFunc
 	source := cfg.dataDir
 	if cfg.snapshot != "" {
 		build = store.ViewFileBuilder(cfg.snapshot, cfg.snapshotMmap)
 		source = cfg.snapshot
 	} else {
-		build = store.DirBuilder(cfg.dataDir, prefix2org.Options{})
+		opts := prefix2org.Options{Incremental: cfg.reloadDelta}
+		build = store.DirBuilder(cfg.dataDir, opts)
+		if cfg.reloadDelta {
+			delta = store.DeltaDirBuilder(cfg.dataDir, opts)
+		}
 	}
 	// The store starts pending (version 0, not ready) so the admin
 	// listener — and its /healthz readiness probe — is up before the
@@ -134,7 +153,7 @@ func start(cfg config) (*app, error) {
 	// connection refused. The query listener answers 503 not_ready for
 	// the same window.
 	st := store.NewPending(source)
-	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval})
+	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval, Delta: delta})
 
 	tel := httpd.Telemetry()
 	tel.SetSLOTarget(cfg.sloTarget)

@@ -5,13 +5,19 @@
 //
 // Usage:
 //
-//	p2o-rtrd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-reload-interval D] [-log-level LEVEL] [-log-json]
+//	p2o-rtrd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-reload-interval D] [-reload-delta] [-log-level LEVEL] [-log-json]
 //
 // The daemon serves immutable repository snapshots from a hot-swappable
 // store: SIGHUP reloads the repository and bumps the RTR serial (routers
 // polling with Serial Queries resynchronize), -reload-interval does the
 // same on a timer, and the admin listener's /reload endpoint reloads
 // synchronously. A failed reload leaves the current VRP set serving.
+//
+// -reload-delta hashes the rpki/ inputs on each reload and skips the
+// reload outright when they are unchanged — the serial stays put and
+// polling routers are not forced through a resync for nothing
+// (rtr_serial_skips_total counts swaps whose changeset proved the VRP
+// set untouched).
 //
 // Unlike p2o-whoisd and p2o-httpd there is no -snapshot/-snapshot-mmap
 // mode: serialized dataset snapshots carry the prefix-to-organization
@@ -42,6 +48,7 @@ type config struct {
 	listen         string
 	metricsListen  string
 	reloadInterval time.Duration
+	reloadDelta    bool
 	sloTarget      time.Duration
 	slowThreshold  time.Duration
 	querySample    int
@@ -55,6 +62,7 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8282", "address to serve RTR on")
 	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, /reload, pprof); empty disables it")
 	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0, "reload the RPKI repository periodically (e.g. 10m); 0 reloads only on SIGHUP or /reload")
+	flag.BoolVar(&cfg.reloadDelta, "reload-delta", false, "skip reloads when the rpki/ inputs are unchanged (content-hash manifest check); the RTR serial stays put")
 	flag.DurationVar(&cfg.sloTarget, "slo-target", 0, "latency SLO per PDU exchange (e.g. 50ms); exchanges over it count in rtr_slo_violations_total; 0 disables")
 	flag.DurationVar(&cfg.slowThreshold, "slow-query-threshold", 250*time.Millisecond, "capture and log PDU exchanges slower than this; 0 disables")
 	flag.IntVar(&cfg.querySample, "query-sample", 16, "record a detailed span for 1 in N PDU exchanges on /debug/queries; 0 disables sampling")
@@ -93,12 +101,16 @@ func start(cfg config) (*app, error) {
 	logger := obs.Logger("p2o-rtrd")
 
 	build := store.RepoBuilder(cfg.dataDir)
+	var delta store.DeltaBuildFunc
+	if cfg.reloadDelta {
+		delta = store.DeltaRepoBuilder(cfg.dataDir)
+	}
 	// The store starts pending (version 0, not ready) so the admin
 	// listener — and its /healthz readiness probe — is up before the
 	// first build: probes see 503 while the repository loads, not
 	// connection refused.
 	st := store.NewPending(cfg.dataDir)
-	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval})
+	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval, Delta: delta})
 
 	tel := rtr.Telemetry()
 	tel.SetSLOTarget(cfg.sloTarget)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	p2o-whoisd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-reload-interval D] [-log-level LEVEL] [-log-json]
+//	p2o-whoisd -data DIR [-listen ADDR] [-metrics-listen ADDR] [-reload-interval D] [-reload-delta] [-log-level LEVEL] [-log-json]
 //	p2o-whoisd -snapshot FILE [-snapshot-mmap] [-listen ADDR]
 //
 // Then:  whois -h 127.0.0.1 -p 4343 63.80.52.0/24
@@ -26,6 +26,12 @@
 // keep their old snapshot), -reload-interval does the same on a timer,
 // and the admin listener's /reload endpoint reloads synchronously. A
 // failed rebuild leaves the current snapshot serving.
+//
+// -reload-delta makes those reloads incremental: each one re-parses
+// only the input files whose content hash changed and re-resolves only
+// the prefixes those files can affect, splicing everything else from
+// the served snapshot. An unchanged directory becomes a no-op reload
+// (no swap at all), and any delta failure falls back to a full rebuild.
 //
 // With -metrics-listen, an admin HTTP listener exposes /metrics (text or
 // ?format=json), /healthz, /reload, and /debug/pprof/.
@@ -54,6 +60,7 @@ type config struct {
 	listen         string
 	metricsListen  string
 	reloadInterval time.Duration
+	reloadDelta    bool
 	sloTarget      time.Duration
 	slowThreshold  time.Duration
 	querySample    int
@@ -69,6 +76,7 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:4343", "address to serve WHOIS on")
 	flag.StringVar(&cfg.metricsListen, "metrics-listen", "", "address for the admin HTTP listener (/metrics, /healthz, /reload, pprof); empty disables it")
 	flag.DurationVar(&cfg.reloadInterval, "reload-interval", 0, "rebuild and swap the dataset periodically (e.g. 1h); 0 reloads only on SIGHUP or /reload")
+	flag.BoolVar(&cfg.reloadDelta, "reload-delta", false, "rebuild incrementally on reload: re-resolve only prefixes affected by changed input files (requires -data)")
 	flag.DurationVar(&cfg.sloTarget, "slo-target", 0, "latency SLO per query (e.g. 5ms); queries over it count in whoisd_slo_violations_total; 0 disables")
 	flag.DurationVar(&cfg.slowThreshold, "slow-query-threshold", 250*time.Millisecond, "capture and log queries slower than this; 0 disables")
 	flag.IntVar(&cfg.querySample, "query-sample", 16, "record a detailed span for 1 in N queries on /debug/queries; 0 disables sampling")
@@ -77,6 +85,10 @@ func main() {
 	flag.Parse()
 	if (cfg.dataDir == "") == (cfg.snapshot == "") {
 		fmt.Fprintln(os.Stderr, "p2o-whoisd: exactly one of -data or -snapshot is required")
+		os.Exit(2)
+	}
+	if cfg.reloadDelta && cfg.dataDir == "" {
+		fmt.Fprintln(os.Stderr, "p2o-whoisd: -reload-delta requires -data (snapshots are rebuilt externally)")
 		os.Exit(2)
 	}
 	if err := run(cfg); err != nil {
@@ -106,19 +118,24 @@ func start(cfg config) (*app, error) {
 	logger := obs.Logger("p2o-whoisd")
 
 	var build store.BuildFunc
+	var delta store.DeltaBuildFunc
 	source := cfg.dataDir
 	if cfg.snapshot != "" {
 		build = store.ViewFileBuilder(cfg.snapshot, cfg.snapshotMmap)
 		source = cfg.snapshot
 	} else {
-		build = store.DirBuilder(cfg.dataDir, prefix2org.Options{})
+		opts := prefix2org.Options{Incremental: cfg.reloadDelta}
+		build = store.DirBuilder(cfg.dataDir, opts)
+		if cfg.reloadDelta {
+			delta = store.DeltaDirBuilder(cfg.dataDir, opts)
+		}
 	}
 	// The store starts pending (version 0, not ready) so the admin
 	// listener — and its /healthz readiness probe — is up before the
 	// first build: probes see 503 while the dataset builds, not
 	// connection refused.
 	st := store.NewPending(source)
-	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval})
+	rel := store.NewReloader(st, build, store.ReloaderConfig{Interval: cfg.reloadInterval, Delta: delta})
 
 	tel := whoisd.Telemetry()
 	tel.SetSLOTarget(cfg.sloTarget)

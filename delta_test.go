@@ -1,0 +1,189 @@
+package prefix2org
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/prefix2org/prefix2org/internal/synth"
+)
+
+// snapshotBytes serializes ds as a v2 binary snapshot — the
+// byte-identity yardstick of the delta ≡ full invariant.
+func snapshotBytes(t *testing.T, ds *Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.SaveBinary(&buf); err != nil {
+		t.Fatalf("SaveBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestDeltaEquivalence is the tentpole invariant: after every synth
+// evolution step, an incremental BuildDelta must produce a snapshot
+// byte-for-byte identical to a full BuildFromDir over the same
+// directory. Deltas chain (each step splices against the previous
+// delta's state), and the step mix exercises every source: BGP-only
+// churn (OriginShifts), RPKI-only churn (Revocations), WHOIS-heavy
+// churn (Transfers, NewDelegations), and cross-source churn
+// (Acquisitions + NewAdopters + a date shift).
+func TestDeltaEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-snapshot pipeline runs")
+	}
+	ctx := context.Background()
+	w, err := synth.Generate(synth.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	opts := Options{Incremental: true}
+	prev, err := BuildFromDir(ctx, dir, opts)
+	if err != nil {
+		t.Fatalf("BuildFromDir: %v", err)
+	}
+
+	steps := []struct {
+		opts synth.EvolveOptions
+		// wantAffected: the step must force some re-resolution.
+		// Revocations are ROA-only (synth keeps the certificates), so
+		// no Record changes — the delta legitimately re-resolves
+		// nothing and only flags RPKIChanged.
+		wantAffected bool
+		// wantReused: most slots splice. A date shift (MonthsLater)
+		// touches every WHOIS record's Updated field, so the whole
+		// world is legitimately dirty.
+		wantReused bool
+	}{
+		{synth.EvolveOptions{Seed: 101, OriginShifts: 6}, true, true},
+		{synth.EvolveOptions{Seed: 102, Revocations: 2}, false, true},
+		{synth.EvolveOptions{Seed: 103, Transfers: 4}, true, true},
+		{synth.EvolveOptions{Seed: 104, NewDelegations: 3}, true, true},
+		{synth.EvolveOptions{Seed: 105, Acquisitions: 2, NewAdopters: 1}, true, true},
+		{synth.EvolveOptions{Seed: 106, MonthsLater: 1}, true, false},
+	}
+	for i, tc := range steps {
+		step := tc.opts
+		w, err = w.Evolve(step)
+		if err != nil {
+			t.Fatalf("step %d: Evolve: %v", i, err)
+		}
+		if err := w.WriteDir(dir); err != nil {
+			t.Fatalf("step %d: WriteDir: %v", i, err)
+		}
+		res, err := BuildDelta(ctx, prev, dir, opts)
+		if err != nil {
+			t.Fatalf("step %d (%+v): BuildDelta: %v", i, step, err)
+		}
+		full, err := BuildFromDir(ctx, dir, opts)
+		if err != nil {
+			t.Fatalf("step %d: BuildFromDir: %v", i, err)
+		}
+		if got, want := snapshotBytes(t, res.Dataset), snapshotBytes(t, full); !bytes.Equal(got, want) {
+			t.Fatalf("step %d (%+v): delta snapshot differs from full rebuild (%d vs %d bytes)", i, step, len(got), len(want))
+		}
+		if tc.wantAffected && res.Affected == 0 {
+			t.Errorf("step %d (%+v): delta re-resolved nothing; the step should have produced churn", i, step)
+		}
+		if tc.wantReused && res.Reused == 0 {
+			t.Errorf("step %d (%+v): delta reused nothing; expected most slots to splice", i, step)
+		}
+		t.Logf("step %d: changed=%d affected=%d reused=%d removed=%d rpki=%v",
+			i, len(res.ChangedFiles), res.Affected, res.Reused, res.Removed, res.RPKIChanged)
+		prev = res.Dataset
+	}
+
+	// A rebuild over an untouched directory is a no-op.
+	if _, err := BuildDelta(ctx, prev, dir, opts); !errors.Is(err, ErrNoChange) {
+		t.Fatalf("BuildDelta over unchanged dir: err = %v, want ErrNoChange", err)
+	}
+}
+
+// TestDeltaSourceScoping checks that single-source churn re-parses and
+// re-resolves narrowly: a BGP-only evolution step must not mark RPKI
+// changed, and must touch only the bgp/ file.
+func TestDeltaSourceScoping(t *testing.T) {
+	ctx := context.Background()
+	w, err := synth.Generate(synth.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	opts := Options{Incremental: true}
+	prev, err := BuildFromDir(ctx, dir, opts)
+	if err != nil {
+		t.Fatalf("BuildFromDir: %v", err)
+	}
+	if w, err = w.Evolve(synth.EvolveOptions{Seed: 7, OriginShifts: 5}); err != nil {
+		t.Fatalf("Evolve: %v", err)
+	}
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	res, err := BuildDelta(ctx, prev, dir, opts)
+	if err != nil {
+		t.Fatalf("BuildDelta: %v", err)
+	}
+	if len(res.ChangedFiles) != 1 || res.ChangedFiles[0] != "bgp/rib.mrt" {
+		t.Errorf("ChangedFiles = %v, want [bgp/rib.mrt]", res.ChangedFiles)
+	}
+	if res.RPKIChanged {
+		t.Errorf("RPKIChanged = true for BGP-only churn")
+	}
+	if res.Repo != prev.state.env.repo {
+		t.Errorf("Repo was reloaded despite rpki/ being untouched")
+	}
+	total := len(res.Dataset.state.routed)
+	if res.Affected >= total/2 {
+		t.Errorf("Affected = %d of %d routed; BGP-only churn should re-resolve a small subset", res.Affected, total)
+	}
+}
+
+func TestDeltaNoState(t *testing.T) {
+	ctx := context.Background()
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	ds, err := BuildFromDir(ctx, dir, Options{}) // no Incremental
+	if err != nil {
+		t.Fatalf("BuildFromDir: %v", err)
+	}
+	if _, err := BuildDelta(ctx, ds, dir, Options{}); !errors.Is(err, ErrNoDeltaState) {
+		t.Fatalf("BuildDelta without state: err = %v, want ErrNoDeltaState", err)
+	}
+	if _, err := BuildDelta(ctx, nil, dir, Options{}); !errors.Is(err, ErrNoDeltaState) {
+		t.Fatalf("BuildDelta(nil): err = %v, want ErrNoDeltaState", err)
+	}
+}
+
+func TestDeltaOptsMismatch(t *testing.T) {
+	ctx := context.Background()
+	w, err := synth.Generate(synth.SmallConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	dir := t.TempDir()
+	if err := w.WriteDir(dir); err != nil {
+		t.Fatalf("WriteDir: %v", err)
+	}
+	ds, err := BuildFromDir(ctx, dir, Options{Incremental: true})
+	if err != nil {
+		t.Fatalf("BuildFromDir: %v", err)
+	}
+	_, err = BuildDelta(ctx, ds, dir, Options{Incremental: true, DisableNameCleaning: true})
+	if err == nil || errors.Is(err, ErrNoChange) || errors.Is(err, ErrNoDeltaState) {
+		t.Fatalf("BuildDelta with mismatched options: err = %v, want option-compatibility error", err)
+	}
+}

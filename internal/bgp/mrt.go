@@ -100,38 +100,86 @@ func WriteMRT(w io.Writer, entries []Entry) error {
 
 // ReadMRT parses a snapshot written by WriteMRT.
 func ReadMRT(r io.Reader) ([]Entry, error) {
+	var entries []Entry
+	// AS paths are carved out of a shared arena: one allocation per
+	// growth step instead of one per entry. A grown arena leaves earlier
+	// paths pointing at the old backing array, which stays valid.
+	var arena []uint32
+	err := StreamMRT(r, func(total int, e Entry) error {
+		if entries == nil {
+			// Cap the preallocation: a corrupt count must not trigger a
+			// gigabyte-scale make; bogus counts fail naturally at EOF.
+			capHint := total
+			if capHint > 1<<20 {
+				capHint = 1 << 20
+			}
+			entries = make([]Entry, 0, capHint)
+		}
+		start := len(arena)
+		arena = append(arena, e.ASPath...)
+		e.ASPath = arena[start:len(arena):len(arena)]
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if entries == nil {
+		entries = []Entry{}
+	}
+	return entries, nil
+}
+
+// StreamMRT parses a snapshot written by WriteMRT, invoking yield once
+// per RIB entry without materializing the entry slice — the path
+// consumers like LoadDir use to aggregate straight into a Table. total
+// is the header's entry count (passed on every call so consumers can
+// presize). The yielded Entry's ASPath aliases a buffer reused for the
+// next entry; consumers that retain it must copy.
+func StreamMRT(r io.Reader, yield func(total int, e Entry) error) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(mrtMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("bgp: mrt: read magic: %w", err)
+		return fmt.Errorf("bgp: mrt: read magic: %w", err)
 	}
 	if string(magic) != string(mrtMagic) {
-		return nil, fmt.Errorf("bgp: mrt: bad magic %q", magic)
+		return fmt.Errorf("bgp: mrt: bad magic %q", magic)
 	}
+	// One scratch buffer for every fixed-width read: binary.Read
+	// allocates per call, which dominated parsing profiles at a few
+	// reads per RIB entry.
+	var scratch [16]byte
 	readU16 := func() (int, error) {
-		var v uint16
-		err := binary.Read(br, binary.BigEndian, &v)
-		return int(v), err
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return 0, err
+		}
+		return int(binary.BigEndian.Uint16(scratch[:2])), nil
+	}
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint32(scratch[:4]), nil
 	}
 	nColls, err := readU16()
 	if err != nil {
-		return nil, fmt.Errorf("bgp: mrt: collector count: %w", err)
+		return fmt.Errorf("bgp: mrt: collector count: %w", err)
 	}
 	colls := make([]string, nColls)
 	for i := range colls {
 		l, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("bgp: mrt: collector name length: %w", err)
+			return fmt.Errorf("bgp: mrt: collector name length: %w", err)
 		}
 		name := make([]byte, l)
 		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, fmt.Errorf("bgp: mrt: collector name: %w", err)
+			return fmt.Errorf("bgp: mrt: collector name: %w", err)
 		}
 		colls[i] = string(name)
 	}
 	nPeers, err := readU16()
 	if err != nil {
-		return nil, fmt.Errorf("bgp: mrt: peer count: %w", err)
+		return fmt.Errorf("bgp: mrt: peer count: %w", err)
 	}
 	type peerKey struct {
 		asn  uint32
@@ -139,88 +187,91 @@ func ReadMRT(r io.Reader) ([]Entry, error) {
 	}
 	peers := make([]peerKey, nPeers)
 	for i := range peers {
-		var asn uint32
-		if err := binary.Read(br, binary.BigEndian, &asn); err != nil {
-			return nil, fmt.Errorf("bgp: mrt: peer asn: %w", err)
+		asn, err := readU32()
+		if err != nil {
+			return fmt.Errorf("bgp: mrt: peer asn: %w", err)
 		}
 		ci, err := readU16()
 		if err != nil {
-			return nil, fmt.Errorf("bgp: mrt: peer collector: %w", err)
+			return fmt.Errorf("bgp: mrt: peer collector: %w", err)
 		}
 		if ci >= len(colls) {
-			return nil, fmt.Errorf("bgp: mrt: peer references collector %d of %d", ci, len(colls))
+			return fmt.Errorf("bgp: mrt: peer references collector %d of %d", ci, len(colls))
 		}
 		peers[i] = peerKey{asn, colls[ci]}
 	}
-	var nEntries uint32
-	if err := binary.Read(br, binary.BigEndian, &nEntries); err != nil {
-		return nil, fmt.Errorf("bgp: mrt: entry count: %w", err)
+	nEntries, err := readU32()
+	if err != nil {
+		return fmt.Errorf("bgp: mrt: entry count: %w", err)
 	}
-	// Cap the preallocation: a corrupt count must not trigger a
-	// gigabyte-scale make; bogus counts fail naturally at EOF.
-	capHint := int(nEntries)
-	if capHint > 1<<20 {
-		capHint = 1 << 20
-	}
-	entries := make([]Entry, 0, capHint)
+	total := int(nEntries)
+	var pathBuf []uint32
 	for i := uint32(0); i < nEntries; i++ {
 		pi, err := readU16()
 		if err != nil {
-			return nil, fmt.Errorf("bgp: mrt: entry %d peer: %w", i, err)
+			return fmt.Errorf("bgp: mrt: entry %d peer: %w", i, err)
 		}
 		if pi >= len(peers) {
-			return nil, fmt.Errorf("bgp: mrt: entry %d references peer %d of %d", i, pi, len(peers))
+			return fmt.Errorf("bgp: mrt: entry %d references peer %d of %d", i, pi, len(peers))
 		}
 		fam, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("bgp: mrt: entry %d family: %w", i, err)
+			return fmt.Errorf("bgp: mrt: entry %d family: %w", i, err)
 		}
 		bits, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("bgp: mrt: entry %d bits: %w", i, err)
+			return fmt.Errorf("bgp: mrt: entry %d bits: %w", i, err)
 		}
 		nbytes := (int(bits) + 7) / 8
-		buf := make([]byte, nbytes)
+		if nbytes > len(scratch) {
+			return fmt.Errorf("bgp: mrt: entry %d: prefix length %d bits", i, bits)
+		}
+		buf := scratch[:nbytes]
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("bgp: mrt: entry %d prefix: %w", i, err)
+			return fmt.Errorf("bgp: mrt: entry %d prefix: %w", i, err)
 		}
 		var prefix netip.Prefix
 		switch fam {
 		case 4:
 			if bits > 32 {
-				return nil, fmt.Errorf("bgp: mrt: entry %d: IPv4 bits %d", i, bits)
+				return fmt.Errorf("bgp: mrt: entry %d: IPv4 bits %d", i, bits)
 			}
 			var a [4]byte
 			copy(a[:], buf)
 			prefix = netip.PrefixFrom(netip.AddrFrom4(a), int(bits)).Masked()
 		case 6:
 			if bits > 128 {
-				return nil, fmt.Errorf("bgp: mrt: entry %d: IPv6 bits %d", i, bits)
+				return fmt.Errorf("bgp: mrt: entry %d: IPv6 bits %d", i, bits)
 			}
 			var a [16]byte
 			copy(a[:], buf)
 			prefix = netip.PrefixFrom(netip.AddrFrom16(a), int(bits)).Masked()
 		default:
-			return nil, fmt.Errorf("bgp: mrt: entry %d: unknown family %d", i, fam)
+			return fmt.Errorf("bgp: mrt: entry %d: unknown family %d", i, fam)
 		}
 		plen, err := br.ReadByte()
 		if err != nil {
-			return nil, fmt.Errorf("bgp: mrt: entry %d path length: %w", i, err)
+			return fmt.Errorf("bgp: mrt: entry %d path length: %w", i, err)
 		}
-		path := make([]uint32, plen)
-		for j := range path {
-			if err := binary.Read(br, binary.BigEndian, &path[j]); err != nil {
-				return nil, fmt.Errorf("bgp: mrt: entry %d path: %w", i, err)
+		pathBuf = pathBuf[:0]
+		for j := 0; j < int(plen); j++ {
+			v, err := readU32()
+			if err != nil {
+				return fmt.Errorf("bgp: mrt: entry %d path: %w", i, err)
 			}
+			pathBuf = append(pathBuf, v)
 		}
-		entries = append(entries, Entry{
+		err = yield(total, Entry{
 			Collector: peers[pi].coll,
 			PeerASN:   peers[pi].asn,
 			Prefix:    prefix,
-			ASPath:    path,
+			ASPath:    pathBuf,
 		})
+		if err != nil {
+			return err
+		}
 	}
-	return entries, nil
+	return nil
 }
 
 // SnapshotFile is the RIB dump's location inside a data directory.
@@ -246,7 +297,10 @@ func WriteDir(dir string, entries []Entry) error {
 
 // LoadDir reads the RIB snapshot under dir and aggregates it into a
 // Table. The context is honored before the read starts: a canceled
-// build never opens the file.
+// build never opens the file. The snapshot is streamed straight into
+// the table — no entry slice or AS-path arena is materialized, which
+// matters on the delta-rebuild path where a changed RIB is re-read on
+// every reload.
 func LoadDir(ctx context.Context, dir string) (*Table, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -257,17 +311,36 @@ func LoadDir(ctx context.Context, dir string) (*Table, error) {
 		return nil, fmt.Errorf("bgp: open %s: %w", path, err)
 	}
 	defer f.Close()
-	entries, err := ReadMRT(f)
+	t := NewTable()
+	n := 0
+	err = StreamMRT(f, func(total int, e Entry) error {
+		if n == 0 {
+			// Presize for the common ~4 RIB entries per distinct
+			// prefix, capped so a corrupt count cannot force a
+			// gigabyte-scale make.
+			hint := total / 4
+			if hint > 1<<20 {
+				hint = 1 << 20
+			}
+			t.origins = make(map[netip.Prefix][]uint32, hint)
+		}
+		n++
+		if origin, ok := e.Origin(); ok {
+			// StreamMRT yields masked prefixes, so the canonicalizing
+			// Add wrapper is skipped.
+			t.add(e.Prefix, origin)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	t := NewTable()
-	t.AddEntries(entries)
+	t.entries = n
 	reg := obs.Default()
-	reg.Counter("bgp_mrt_entries_total").Add(int64(len(entries)))
+	reg.Counter("bgp_mrt_entries_total").Add(int64(n))
 	reg.Counter("bgp_prefixes_filtered_total").Add(int64(t.FilteredCount()))
 	obs.Logger("bgp").Info("rib loaded",
-		"path", path, "entries", len(entries),
+		"path", path, "entries", n,
 		"prefixes", t.Len(), "specificity_filtered", t.FilteredCount())
 	return t, nil
 }

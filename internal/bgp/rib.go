@@ -3,6 +3,7 @@ package bgp
 import (
 	"fmt"
 	"net/netip"
+	"slices"
 	"sort"
 
 	"github.com/prefix2org/prefix2org/internal/netx"
@@ -93,30 +94,65 @@ func (c *Collector) Dump() []Entry {
 // every prefix, the set of origin ASNs observed across all collectors
 // (several origins = MOAS).
 type Table struct {
-	origins map[netip.Prefix]map[uint32]bool
+	// origins holds each prefix's origin set as a sorted, deduplicated
+	// slice: almost every prefix has exactly one origin (MOAS is rare),
+	// so a slice beats a per-prefix set both on load (no inner map
+	// allocation per prefix) and on lookup (Origin reads element 0).
+	origins map[netip.Prefix][]uint32
+	// spare is a chunk allocator for the single-origin sets that
+	// dominate the table: carving them out of shared blocks replaces one
+	// tiny allocation per routed prefix. A set that grows past its carve
+	// is copied out by slices.Insert; the chunk slot it leaves behind is
+	// simply dead.
+	spare []uint32
 	// entries counts the RIB entries merged via AddEntries, for the
 	// pipeline's load accounting.
 	entries int
+	// filtered counts the distinct prefixes the specificity filter
+	// excludes, maintained on first insert so FilteredCount never scans
+	// the map.
+	filtered int
 }
 
 // NewTable returns an empty table.
 func NewTable() *Table {
-	return &Table{origins: map[netip.Prefix]map[uint32]bool{}}
+	return &Table{origins: map[netip.Prefix][]uint32{}}
 }
 
 // Add records that prefix was originated by origin.
 func (t *Table) Add(prefix netip.Prefix, origin uint32) {
-	p := prefix.Masked()
-	m := t.origins[p]
-	if m == nil {
-		m = map[uint32]bool{}
-		t.origins[p] = m
+	t.add(prefix.Masked(), origin)
+}
+
+// add is Add for a prefix the caller guarantees is already masked.
+func (t *Table) add(p netip.Prefix, origin uint32) {
+	s := t.origins[p]
+	if s == nil {
+		if tooCoarse(p) {
+			t.filtered++
+		}
+		if len(t.spare) == cap(t.spare) {
+			t.spare = make([]uint32, 0, 1024)
+		}
+		n := len(t.spare)
+		t.spare = append(t.spare, origin)
+		t.origins[p] = t.spare[n : n+1 : n+1]
+		return
 	}
-	m[origin] = true
+	i, found := slices.BinarySearch(s, origin)
+	if found {
+		return
+	}
+	t.origins[p] = slices.Insert(s, i, origin)
 }
 
 // AddEntries merges RIB entries into the table, skipping pathless entries.
 func (t *Table) AddEntries(entries []Entry) {
+	if len(t.origins) == 0 && len(entries) > 0 {
+		// A fresh table being bulk-loaded: presize for the common ~4
+		// RIB entries per distinct prefix.
+		t.origins = make(map[netip.Prefix][]uint32, len(entries)/4)
+	}
 	t.entries += len(entries)
 	for i := range entries {
 		if origin, ok := entries[i].Origin(); ok {
@@ -130,36 +166,22 @@ func (t *Table) EntryCount() int { return t.entries }
 
 // FilteredCount returns how many routed prefixes the specificity filter
 // (IPv4 coarser than /8, IPv6 coarser than /16) excludes from Prefixes.
-func (t *Table) FilteredCount() int {
-	n := 0
-	for p := range t.origins {
-		if tooCoarse(p) {
-			n++
-		}
-	}
-	return n
-}
+func (t *Table) FilteredCount() int { return t.filtered }
 
 // Origins returns the origin set for prefix in ascending order.
 func (t *Table) Origins(prefix netip.Prefix) []uint32 {
-	m := t.origins[prefix.Masked()]
-	out := make([]uint32, 0, len(m))
-	for a := range m {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return slices.Clone(t.origins[prefix.Masked()])
 }
 
 // Origin returns the canonical (lowest) origin for prefix — the pipeline
 // keys ASN clustering on a single origin per prefix, and MOAS prefixes
 // are rare enough that the deterministic choice suffices.
 func (t *Table) Origin(prefix netip.Prefix) (uint32, bool) {
-	o := t.Origins(prefix)
-	if len(o) == 0 {
+	s := t.origins[prefix.Masked()]
+	if len(s) == 0 {
 		return 0, false
 	}
-	return o[0], true
+	return s[0], true
 }
 
 // Len returns the number of routed prefixes in the table.
@@ -192,11 +214,11 @@ func tooCoarse(p netip.Prefix) bool {
 // from 84.3k ASes" accounting.
 func (t *Table) OriginCount() int {
 	seen := map[uint32]bool{}
-	for p, m := range t.origins {
+	for p, s := range t.origins {
 		if tooCoarse(p) {
 			continue
 		}
-		for a := range m {
+		for _, a := range s {
 			seen[a] = true
 		}
 	}

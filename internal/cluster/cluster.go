@@ -4,9 +4,9 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
+	"strings"
 
-	"github.com/prefix2org/prefix2org/internal/dsu"
 	"github.com/prefix2org/prefix2org/internal/netx"
 )
 
@@ -75,89 +75,128 @@ func (r *Result) ClusterOfPrefix(p netip.Prefix) (*Cluster, bool) {
 }
 
 // Build runs the full W/R/A construction and the Figure 3 merge.
+//
+// Owner names are interned to dense integer IDs up front and the
+// union-find runs over plain int slices: the merge is on the snapshot
+// rebuild path (full and delta alike), where the map-of-strings DSU it
+// replaced dominated the pass. The output — grouping, member order,
+// per-cluster base name, IDs — is identical to the string-keyed
+// construction, since union-find components do not depend on
+// representative choice.
 func Build(infos []PrefixInfo) *Result {
-	u := dsu.New()
-	// W clusters: one DSU element per exact owner name.
-	owners := map[string]bool{}
-	for _, in := range infos {
-		if in.OwnerName == "" {
+	// W clusters: one DSU element per exact owner name, interned in
+	// first-appearance order.
+	ownerID := make(map[string]int32, len(infos)/4)
+	var ownerNames []string
+	intern := func(name string) int32 {
+		id, ok := ownerID[name]
+		if !ok {
+			id = int32(len(ownerNames))
+			ownerID[name] = id
+			ownerNames = append(ownerNames, name)
+		}
+		return id
+	}
+	ids := make([]int32, len(infos)) // per-info owner ID; -1 when unowned
+	for i := range infos {
+		if infos[i].OwnerName == "" {
+			ids[i] = -1
 			continue
 		}
-		owners[in.OwnerName] = true
-		u.Add(in.OwnerName)
+		ids[i] = intern(infos[i].OwnerName)
 	}
+	u := newIntDSU(len(ownerNames))
 
 	// R and A groups: base name × shared certificate / ASN cluster. Each
-	// group unions the W clusters of its members.
-	type groupKey struct{ base, id string }
-	rGroups := map[groupKey][]string{} // owner names per group
-	aGroups := map[groupKey][]string{}
-	for _, in := range infos {
-		if in.OwnerName == "" || in.BaseName == "" {
+	// group unions the W clusters of its members. Groups are gathered in
+	// a slice indexed through a key map, so the concatenated key string
+	// is materialized only on a group's first appearance: a lookup on
+	// string(keyBuf) never copies the bytes, and assignments (which do)
+	// happen once per distinct group instead of once per prefix.
+	type grouper struct {
+		idx     map[string]int32
+		members [][]int32 // member owner IDs per group
+	}
+	newGrouper := func() *grouper {
+		return &grouper{idx: make(map[string]int32, len(infos)/4)}
+	}
+	var keyBuf []byte
+	add := func(g *grouper, base, disc string, id int32) {
+		keyBuf = append(append(append(keyBuf[:0], base...), 0), disc...)
+		gi, ok := g.idx[string(keyBuf)]
+		if !ok {
+			gi = int32(len(g.members))
+			g.idx[string(keyBuf)] = gi
+			g.members = append(g.members, nil)
+		}
+		g.members[gi] = append(g.members[gi], id)
+	}
+	rGroups, aGroups := newGrouper(), newGrouper()
+	for i := range infos {
+		in := &infos[i]
+		if ids[i] < 0 || in.BaseName == "" {
 			continue
 		}
 		if in.CertSKI != "" {
-			k := groupKey{in.BaseName, in.CertSKI}
-			rGroups[k] = append(rGroups[k], in.OwnerName)
+			add(rGroups, in.BaseName, in.CertSKI, ids[i])
 		}
 		if in.ASNCluster != "" {
-			k := groupKey{in.BaseName, in.ASNCluster}
-			aGroups[k] = append(aGroups[k], in.OwnerName)
+			add(aGroups, in.BaseName, in.ASNCluster, ids[i])
 		}
 	}
-	countMulti := func(groups map[groupKey][]string) int {
+	countMulti := func(g *grouper) int {
 		n := 0
-		for _, members := range groups {
-			distinct := map[string]bool{}
-			for _, o := range members {
-				distinct[o] = true
-			}
-			if len(distinct) > 1 {
-				n++
+		for _, members := range g.members {
+			first := members[0]
+			for _, o := range members[1:] {
+				if o != first {
+					n++
+					break
+				}
 			}
 		}
 		return n
 	}
 	res := &Result{
-		WCount:     len(owners),
-		RGroups:    len(rGroups),
-		AGroups:    len(aGroups),
+		WCount:     len(ownerNames),
+		RGroups:    len(rGroups.members),
+		AGroups:    len(aGroups.members),
 		RMultiName: countMulti(rGroups),
 		AMultiName: countMulti(aGroups),
-		byOwner:    map[string]*Cluster{},
-		byPrefix:   map[netip.Prefix]*Cluster{},
+		byOwner:    make(map[string]*Cluster, len(ownerNames)),
+		byPrefix:   make(map[netip.Prefix]*Cluster, len(infos)),
 	}
-	for _, members := range rGroups {
+	for _, members := range rGroups.members {
 		for i := 1; i < len(members); i++ {
-			u.Union(members[0], members[i])
+			u.union(members[0], members[i])
 		}
 	}
-	for _, members := range aGroups {
+	for _, members := range aGroups.members {
 		for i := 1; i < len(members); i++ {
-			u.Union(members[0], members[i])
+			u.union(members[0], members[i])
 		}
 	}
 
 	// Materialize final clusters from the DSU components.
-	compOwners := map[string][]string{}
-	for owner := range owners {
-		rep := u.Find(owner)
-		compOwners[rep] = append(compOwners[rep], owner)
+	compOwners := make(map[int32][]string, len(ownerNames))
+	for id, name := range ownerNames {
+		rep := u.find(int32(id))
+		compOwners[rep] = append(compOwners[rep], name)
 	}
-	baseOf := map[string]string{}
-	prefixesOf := map[string][]netip.Prefix{}
-	for _, in := range infos {
-		if in.OwnerName == "" {
+	baseOf := make(map[int32]string, len(compOwners))
+	prefixesOf := make(map[int32][]netip.Prefix, len(compOwners))
+	for i := range infos {
+		if ids[i] < 0 {
 			continue
 		}
-		rep := u.Find(in.OwnerName)
-		prefixesOf[rep] = append(prefixesOf[rep], in.Prefix.Masked())
-		if baseOf[rep] == "" && in.BaseName != "" {
-			baseOf[rep] = in.BaseName
+		rep := u.find(ids[i])
+		prefixesOf[rep] = append(prefixesOf[rep], infos[i].Prefix.Masked())
+		if baseOf[rep] == "" && infos[i].BaseName != "" {
+			baseOf[rep] = infos[i].BaseName
 		}
 	}
 	for rep, members := range compOwners {
-		sort.Strings(members)
+		slices.Sort(members)
 		c := &Cluster{
 			BaseName:   baseOf[rep],
 			OwnerNames: members,
@@ -172,8 +211,47 @@ func Build(infos []PrefixInfo) *Result {
 			res.byPrefix[p] = c
 		}
 	}
-	sort.Slice(res.Final, func(i, j int) bool { return res.Final[i].ID < res.Final[j].ID })
+	slices.SortFunc(res.Final, func(a, b *Cluster) int { return strings.Compare(a.ID, b.ID) })
 	return res
+}
+
+// intDSU is a slice-backed union-find over the interned owner IDs, with
+// path compression and union by size.
+type intDSU struct {
+	parent []int32
+	size   []int32
+}
+
+func newIntDSU(n int) *intDSU {
+	d := &intDSU{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+func (d *intDSU) find(x int32) int32 {
+	root := x
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	for d.parent[x] != root {
+		d.parent[x], x = root, d.parent[x]
+	}
+	return root
+}
+
+func (d *intDSU) union(a, b int32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra == rb {
+		return
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
 }
 
 // clusterID derives the stable "<basename>-<hash>" identifier from the

@@ -1,0 +1,200 @@
+package diff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/netx"
+)
+
+// PrefixChange is one routed prefix whose record differs between two
+// snapshots. Kind is always "prefix" (the NDJSON discriminator).
+type PrefixChange struct {
+	Kind   string       `json:"kind"`
+	Change string       `json:"change"` // "added" | "removed" | "changed"
+	Prefix netip.Prefix `json:"prefix"`
+
+	OldOwner   string `json:"old_owner,omitempty"`
+	NewOwner   string `json:"new_owner,omitempty"`
+	OldOrigin  uint32 `json:"old_origin,omitempty"`
+	NewOrigin  uint32 `json:"new_origin,omitempty"`
+	OldCluster string `json:"old_cluster,omitempty"`
+	NewCluster string `json:"new_cluster,omitempty"`
+}
+
+// OrgChange is one final cluster that appeared, vanished, or changed
+// content between two snapshots. Kind is always "org".
+type OrgChange struct {
+	Kind   string `json:"kind"`
+	Change string `json:"change"` // "added" | "removed" | "changed"
+	ID     string `json:"id"`
+}
+
+// Changeset is the exact delta between two snapshots, published on the
+// store alongside each swap so downstream consumers — the RTR serial
+// bump, the httpd response cache — can react to what actually changed
+// instead of recomputing or flushing wholesale.
+type Changeset struct {
+	Prefixes []PrefixChange
+	Orgs     []OrgChange
+	// VRPsChanged reports whether the RPKI repository (and hence the
+	// RTR VRP set) may differ; false lets p2o-rtrd keep its serial.
+	// It is set by the snapshot builder from the input manifest, not
+	// derived from the datasets (ROAs are invisible to Records).
+	VRPsChanged bool
+}
+
+// Empty reports a changeset with no record- or org-level differences.
+func (c *Changeset) Empty() bool {
+	return len(c.Prefixes) == 0 && len(c.Orgs) == 0
+}
+
+// Summary renders a one-line overview for reload logs.
+func (c *Changeset) Summary() string {
+	var added, removed, changed int
+	for _, p := range c.Prefixes {
+		switch p.Change {
+		case "added":
+			added++
+		case "removed":
+			removed++
+		default:
+			changed++
+		}
+	}
+	vrps := "vrps unchanged"
+	if c.VRPsChanged {
+		vrps = "vrps changed"
+	}
+	return fmt.Sprintf("+%d ~%d -%d prefixes, %d org changes, %s",
+		added, changed, removed, len(c.Orgs), vrps)
+}
+
+// recordsEqual compares every field a snapshot serializes for one
+// record — the byte-identity the delta pipeline guarantees makes this
+// the exact "did this prefix's answer change" predicate.
+func recordsEqual(a, b *prefix2org.Record) bool {
+	if a.Prefix != b.Prefix || a.RIR != b.RIR || a.DirectOwner != b.DirectOwner ||
+		a.DOPrefix != b.DOPrefix || a.DOType != b.DOType || a.BaseName != b.BaseName ||
+		a.RPKICert != b.RPKICert || a.OriginASN != b.OriginASN ||
+		a.ASNCluster != b.ASNCluster || a.FinalCluster != b.FinalCluster {
+		return false
+	}
+	if len(a.DelegatedCustomers) != len(b.DelegatedCustomers) {
+		return false
+	}
+	for i := range a.DelegatedCustomers {
+		if a.DelegatedCustomers[i] != b.DelegatedCustomers[i] ||
+			a.DCPrefixes[i] != b.DCPrefixes[i] || a.DCTypes[i] != b.DCTypes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Changes computes the exact changeset old → new. Both record slices
+// are sorted by prefix, so a single merge walk finds every added,
+// removed, and changed record; org changes come from comparing the
+// final clusters by ID (an ID derives from the member names, so a
+// cluster whose prefix list shifted keeps its ID but reports
+// "changed"). View-backed datasets are materialized first; callers
+// diffing a mmap-backed dataset must keep it pinned for the duration.
+func Changes(oldDS, newDS *prefix2org.Dataset) (*Changeset, error) {
+	if oldDS == nil || newDS == nil {
+		return nil, fmt.Errorf("diff: nil dataset")
+	}
+	oldDS.MaterializeAll()
+	newDS.MaterializeAll()
+	cs := &Changeset{}
+	or, nr := oldDS.Records, newDS.Records
+	i, j := 0, 0
+	for i < len(or) || j < len(nr) {
+		switch {
+		case j >= len(nr) || (i < len(or) && netx.Compare(or[i].Prefix, nr[j].Prefix) < 0):
+			cs.Prefixes = append(cs.Prefixes, PrefixChange{
+				Kind: "prefix", Change: "removed", Prefix: or[i].Prefix,
+				OldOwner: or[i].DirectOwner, OldOrigin: or[i].OriginASN, OldCluster: or[i].FinalCluster,
+			})
+			i++
+		case i >= len(or) || netx.Compare(nr[j].Prefix, or[i].Prefix) < 0:
+			cs.Prefixes = append(cs.Prefixes, PrefixChange{
+				Kind: "prefix", Change: "added", Prefix: nr[j].Prefix,
+				NewOwner: nr[j].DirectOwner, NewOrigin: nr[j].OriginASN, NewCluster: nr[j].FinalCluster,
+			})
+			j++
+		default:
+			if !recordsEqual(&or[i], &nr[j]) {
+				cs.Prefixes = append(cs.Prefixes, PrefixChange{
+					Kind: "prefix", Change: "changed", Prefix: nr[j].Prefix,
+					OldOwner: or[i].DirectOwner, NewOwner: nr[j].DirectOwner,
+					OldOrigin: or[i].OriginASN, NewOrigin: nr[j].OriginASN,
+					OldCluster: or[i].FinalCluster, NewCluster: nr[j].FinalCluster,
+				})
+			}
+			i++
+			j++
+		}
+	}
+	oldC := map[string]*prefix2org.Cluster{}
+	for _, c := range oldDS.Clusters {
+		oldC[c.ID] = c
+	}
+	for _, c := range newDS.Clusters {
+		o, existed := oldC[c.ID]
+		if !existed {
+			cs.Orgs = append(cs.Orgs, OrgChange{Kind: "org", Change: "added", ID: c.ID})
+			continue
+		}
+		delete(oldC, c.ID)
+		if !clustersEqual(o, c) {
+			cs.Orgs = append(cs.Orgs, OrgChange{Kind: "org", Change: "changed", ID: c.ID})
+		}
+	}
+	for id := range oldC {
+		cs.Orgs = append(cs.Orgs, OrgChange{Kind: "org", Change: "removed", ID: id})
+	}
+	sort.Slice(cs.Orgs, func(a, b int) bool { return cs.Orgs[a].ID < cs.Orgs[b].ID })
+	return cs, nil
+}
+
+func clustersEqual(a, b *prefix2org.Cluster) bool {
+	if a.BaseName != b.BaseName || len(a.OwnerNames) != len(b.OwnerNames) || len(a.Prefixes) != len(b.Prefixes) {
+		return false
+	}
+	for i := range a.OwnerNames {
+		if a.OwnerNames[i] != b.OwnerNames[i] {
+			return false
+		}
+	}
+	for i := range a.Prefixes {
+		if a.Prefixes[i] != b.Prefixes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON streams the changeset as NDJSON: one object per changed
+// prefix, then one per changed org, each carrying the "kind"
+// discriminator. This is the one serializer shared by the published
+// store changeset and the p2o-diff -json CLI output.
+func (c *Changeset) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range c.Prefixes {
+		if err := enc.Encode(&c.Prefixes[i]); err != nil {
+			return err
+		}
+	}
+	for i := range c.Orgs {
+		if err := enc.Encode(&c.Orgs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,232 @@
+package httpd
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/prefix2org/prefix2org/internal/diff"
+	"github.com/prefix2org/prefix2org/internal/store"
+)
+
+// TestApplyChangesReachability pins the entry-level drop rules of a
+// partial invalidation: only a changed prefix at least as specific as
+// the answering prefix can alter a longest-prefix-match answer,
+// no-match answers fall to any covering change, org answers follow
+// their cluster ID, and dataset-independent (zero-tag) answers survive
+// everything.
+func TestApplyChangesReachability(t *testing.T) {
+	put := func(c *responseCache, key string, tag cacheTag) {
+		c.put(key, &cacheEntry{version: 1, status: 200, body: []byte("{}"), tag: tag})
+	}
+	alive := func(c *responseCache, key string) bool {
+		_, ok := c.get(key, 2)
+		return ok
+	}
+	pfx := netip.MustParsePrefix
+	addr := netip.MustParseAddr
+
+	c := newResponseCache(64)
+	put(c, "shadowed", cacheTag{addr: addr("10.0.0.1"), apfx: pfx("10.0.0.0/24")})
+	put(c, "covered-loosely", cacheTag{addr: addr("10.0.1.1"), apfx: pfx("10.0.1.0/24")})
+	put(c, "untouched", cacheTag{addr: addr("172.16.0.1"), apfx: pfx("172.16.0.0/24")})
+	put(c, "no-match-hit", cacheTag{addr: addr("192.0.2.1")})
+	put(c, "no-match-miss", cacheTag{addr: addr("198.51.100.1")})
+	put(c, "prefix-q", cacheTag{qpfx: pfx("10.0.0.0/26"), apfx: pfx("10.0.0.0/24")})
+	put(c, "org-hit", cacheTag{org: true, cluster: "C1"})
+	put(c, "org-other", cacheTag{org: true, cluster: "C2"})
+	put(c, "org-no-match", cacheTag{org: true})
+	put(c, "bad-input", cacheTag{})
+
+	cs := &diff.Changeset{
+		Prefixes: []diff.PrefixChange{
+			// As specific as the /24 answering 10.0.0.1: can shadow it.
+			{Kind: "prefix", Change: "changed", Prefix: pfx("10.0.0.0/25")},
+			// Less specific than the /24 answering 10.0.1.1: cannot
+			// alter that LPM answer.
+			{Kind: "prefix", Change: "changed", Prefix: pfx("10.0.0.0/8")},
+			// Covers a cached no-match: an added route may now answer.
+			{Kind: "prefix", Change: "added", Prefix: pfx("192.0.2.0/24")},
+		},
+		Orgs: []diff.OrgChange{{Kind: "org", Change: "changed", ID: "C1"}},
+	}
+	dropped, kept := c.applyChanges(cs, 1, 2)
+	if dropped != 5 || kept != 5 {
+		t.Errorf("applyChanges = (%d dropped, %d kept), want (5, 5)", dropped, kept)
+	}
+	for key, want := range map[string]bool{
+		"shadowed":        false, // /25 change can shadow the /24 answer
+		"covered-loosely": true,  // /8 change cannot alter a /24 answer
+		"untouched":       true,
+		"no-match-hit":    false, // 192.0.2.0/24 added over it
+		"no-match-miss":   true,
+		"prefix-q":        false, // /25 covers the /26 query and shadows the /24
+		"org-hit":         false,
+		"org-other":       true,
+		"org-no-match":    false, // any org churn may create its match
+		"bad-input":       true,
+	} {
+		if got := alive(c, key); got != want {
+			t.Errorf("entry %q survived=%v, want %v", key, got, want)
+		}
+	}
+
+	// Entries from a version other than prevVersion were never validated
+	// against the intervening changesets: always dropped.
+	c2 := newResponseCache(16)
+	c2.put("stale", &cacheEntry{version: 7, status: 200, body: []byte("{}")})
+	if d, k := c2.applyChanges(&diff.Changeset{}, 1, 2); d != 1 || k != 0 {
+		t.Errorf("stale-version entry: applyChanges = (%d, %d), want (1, 0)", d, k)
+	}
+}
+
+// TestCachePartialInvalidation drives the partial path end to end: a
+// delta swap drops only the cached responses its changeset reaches,
+// re-stamps the survivors to the new version (they keep serving without
+// a refill, reporting the snapshot_version they were rendered from),
+// and moves the {kind="partial"} invalidation counter.
+func TestCachePartialInvalidation(t *testing.T) {
+	ds := dataset(t)
+	st := store.New(&store.Snapshot{Dataset: ds})
+	s := New(st, Config{CacheSize: 64})
+	defer s.Close()
+	h := s.Handler()
+
+	// Two addresses answered by different records, so a change to one
+	// answering prefix leaves the other entry untouched.
+	a0 := ds.Records[0].Prefix.Addr()
+	hit0, _ := ds.LookupAddr(a0)
+	var a1 netip.Addr
+	for i := 1; i < len(ds.Records); i++ {
+		cand := ds.Records[i].Prefix.Addr()
+		if rec, ok := ds.LookupAddr(cand); ok && rec.Prefix != hit0.Prefix {
+			a1 = cand
+			break
+		}
+	}
+	if !a1.IsValid() {
+		t.Skip("synthetic world has a single answering record")
+	}
+	get(t, h, "/v1/addr/"+a0.String())
+	get(t, h, "/v1/addr/"+a1.String())
+	get(t, h, "/v1/addr/not-an-ip") // dataset-independent: survives any partial
+	if s.cache.len() != 3 {
+		t.Fatalf("cache len = %d, want 3", s.cache.len())
+	}
+
+	partialBefore := mCacheInvPartial.Value()
+	fullBefore := mCacheInvFull.Value()
+	dropsBefore := mCachePartialDrops.Value()
+	keepsBefore := mCachePartialKeeps.Value()
+	st.Swap(&store.Snapshot{Dataset: ds, Changes: &diff.Changeset{
+		Prefixes: []diff.PrefixChange{{Kind: "prefix", Change: "changed", Prefix: hit0.Prefix}},
+	}})
+
+	if d := mCacheInvPartial.Value() - partialBefore; d != 1 {
+		t.Errorf("partial invalidations moved by %d, want 1", d)
+	}
+	if d := mCacheInvFull.Value() - fullBefore; d != 0 {
+		t.Errorf("full invalidations moved by %d, want 0", d)
+	}
+	if d := mCachePartialDrops.Value() - dropsBefore; d != 1 {
+		t.Errorf("partial drops moved by %d, want 1", d)
+	}
+	if d := mCachePartialKeeps.Value() - keepsBefore; d != 2 {
+		t.Errorf("partial keeps moved by %d, want 2", d)
+	}
+	if s.cache.len() != 2 {
+		t.Errorf("cache len after partial = %d, want 2", s.cache.len())
+	}
+
+	// The survivor serves from cache at the new pinned version — its body
+	// still reports the snapshot version it was rendered from (see
+	// API.md on provenance).
+	_, body := get(t, h, "/v1/addr/"+a1.String())
+	if body["snapshot_version"] != float64(1) {
+		t.Errorf("survivor snapshot_version = %v, want 1 (cached body, no refill)", body["snapshot_version"])
+	}
+	// The dropped entry refills from the new snapshot.
+	_, body = get(t, h, "/v1/addr/"+a0.String())
+	if body["snapshot_version"] != float64(2) {
+		t.Errorf("dropped entry refilled with snapshot_version = %v, want 2", body["snapshot_version"])
+	}
+}
+
+// TestCacheOrgPartialInvalidation checks the org dimension of a partial
+// invalidation: only the changed cluster's cached answer drops.
+func TestCacheOrgPartialInvalidation(t *testing.T) {
+	ds := dataset(t)
+	ids := map[string]bool{}
+	for i := range ds.Records {
+		if c := ds.Records[i].FinalCluster; c != "" {
+			ids[c] = true
+		}
+	}
+	var id1, id2 string
+	for id := range ids {
+		if id1 == "" {
+			id1 = id
+		} else if id2 == "" {
+			id2 = id
+			break
+		}
+	}
+	if id2 == "" {
+		t.Skip("synthetic world has fewer than two clusters")
+	}
+	st := store.New(&store.Snapshot{Dataset: ds})
+	s := New(st, Config{CacheSize: 64})
+	defer s.Close()
+	h := s.Handler()
+	get(t, h, "/v1/org/"+id1)
+	get(t, h, "/v1/org/"+id2)
+
+	st.Swap(&store.Snapshot{Dataset: ds, Changes: &diff.Changeset{
+		Orgs: []diff.OrgChange{{Kind: "org", Change: "changed", ID: id1}},
+	}})
+	if s.cache.len() != 1 {
+		t.Errorf("cache len after org partial = %d, want 1", s.cache.len())
+	}
+	_, body := get(t, h, "/v1/org/"+id2)
+	if body["snapshot_version"] != float64(1) {
+		t.Errorf("unchanged org refilled (snapshot_version %v), want cached body", body["snapshot_version"])
+	}
+	_, body = get(t, h, "/v1/org/"+id1)
+	if body["snapshot_version"] != float64(2) {
+		t.Errorf("changed org served stale (snapshot_version %v), want 2", body["snapshot_version"])
+	}
+}
+
+// TestCacheNoopSwap pins the no-op fix: a swap notification that did
+// not advance the version must leave every shard intact instead of
+// flushing the whole cache.
+func TestCacheNoopSwap(t *testing.T) {
+	ds := dataset(t)
+	st := store.New(&store.Snapshot{Dataset: ds})
+	s := New(st, Config{CacheSize: 64})
+	defer s.Close()
+	get(t, s.Handler(), "/v1/addr/"+ds.Records[0].Prefix.Addr().String())
+	if s.cache.len() != 1 {
+		t.Fatalf("cache len = %d, want 1", s.cache.len())
+	}
+
+	noopBefore := mCacheInvNoop.Value()
+	// store.Swap always advances the version, so drive the subscription
+	// callback directly with a same-version re-announcement.
+	s.onSwap(st.Current())
+	if d := mCacheInvNoop.Value() - noopBefore; d != 1 {
+		t.Errorf("noop invalidations moved by %d, want 1", d)
+	}
+	if s.cache.len() != 1 {
+		t.Errorf("same-version swap flushed the cache (len %d, want 1)", s.cache.len())
+	}
+
+	// A changeset-less swap (full rebuild) still flushes wholesale.
+	fullBefore := mCacheInvFull.Value()
+	st.Swap(&store.Snapshot{Dataset: ds})
+	if d := mCacheInvFull.Value() - fullBefore; d != 1 {
+		t.Errorf("full invalidations moved by %d, want 1", d)
+	}
+	if s.cache.len() != 0 {
+		t.Errorf("cache len after full invalidation = %d, want 0", s.cache.len())
+	}
+}

@@ -35,10 +35,18 @@ var (
 	mBulkLinesBad     = obs.Default().Counter(obs.Label("httpd_bulk_lines_total", "outcome", "bad_input"))
 	mBulkTruncated    = obs.Default().Counter("httpd_bulk_truncated_total")
 
-	mCacheHits          = obs.Default().Counter("httpd_cache_hits_total")
-	mCacheMisses        = obs.Default().Counter("httpd_cache_misses_total")
-	mCacheEvictions     = obs.Default().Counter("httpd_cache_evictions_total")
-	mCacheInvalidations = obs.Default().Counter("httpd_cache_invalidations_total")
+	mCacheHits      = obs.Default().Counter("httpd_cache_hits_total")
+	mCacheMisses    = obs.Default().Counter("httpd_cache_misses_total")
+	mCacheEvictions = obs.Default().Counter("httpd_cache_evictions_total")
+	// Invalidation outcomes per snapshot swap: "full" flushes every
+	// shard (no changeset on the snapshot), "partial" drops only the
+	// entries a delta changeset reaches, "noop" skips the cache entirely
+	// (a swap re-announcing the version already seen).
+	mCacheInvFull      = obs.Default().Counter(obs.Label("httpd_cache_invalidations_total", "kind", "full"))
+	mCacheInvPartial   = obs.Default().Counter(obs.Label("httpd_cache_invalidations_total", "kind", "partial"))
+	mCacheInvNoop      = obs.Default().Counter(obs.Label("httpd_cache_invalidations_total", "kind", "noop"))
+	mCachePartialDrops = obs.Default().Counter("httpd_cache_partial_drops_total")
+	mCachePartialKeeps = obs.Default().Counter("httpd_cache_partial_keeps_total")
 
 	logger = obs.Logger("httpd")
 
@@ -119,6 +127,10 @@ type Server struct {
 	cache *responseCache
 
 	snapCount atomic.Pointer[snapshotCounter]
+	// lastSwap is the snapshot version the cache's contents were last
+	// validated against; the swap subscription compares it to decide
+	// between partial, full, and no-op invalidation.
+	lastSwap atomic.Uint64
 
 	lis   net.Listener
 	srv   *http.Server
@@ -138,12 +150,33 @@ func New(st *store.Store, cfg Config) *Server {
 	}
 	s := &Server{store: st, cfg: cfg, cache: newResponseCache(cfg.CacheSize)}
 	if s.cache != nil {
-		s.unsub = st.Subscribe(func(*store.Snapshot) {
-			s.cache.invalidate()
-			mCacheInvalidations.Inc()
-		})
+		s.lastSwap.Store(st.Current().Version)
+		s.unsub = st.Subscribe(s.onSwap)
 	}
 	return s
+}
+
+// onSwap is the store-subscription callback deciding how a snapshot
+// swap invalidates the response cache: not at all for a swap that did
+// not advance the version (a snapshot re-announcement proves nothing
+// changed — flushing all shards would throw the cache away for
+// nothing), entry-by-entry when the swap carries the exact changeset
+// from the version the cache was validated against, and wholesale
+// otherwise.
+func (s *Server) onSwap(snap *store.Snapshot) {
+	last := s.lastSwap.Swap(snap.Version)
+	switch {
+	case snap.Version == last:
+		mCacheInvNoop.Inc()
+	case snap.Changes != nil && snap.Version == last+1:
+		dropped, kept := s.cache.applyChanges(snap.Changes, last, snap.Version)
+		mCacheInvPartial.Inc()
+		mCachePartialDrops.Add(int64(dropped))
+		mCachePartialKeeps.Add(int64(kept))
+	default:
+		s.cache.invalidate()
+		mCacheInvFull.Inc()
+	}
 }
 
 // NewStatic builds a server over one fixed dataset — a single-snapshot
@@ -203,9 +236,10 @@ func (s *Server) Close() error {
 
 // answerFunc resolves one parsed query against the pinned dataset and
 // returns the ready-to-cache response: HTTP status, rendered JSON body,
-// the resolved query type (it may degrade to "bad"), and the outcome
-// class for telemetry.
-type answerFunc func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (status int, body []byte, qtype, outcome string)
+// the resolved query type (it may degrade to "bad"), the outcome class
+// for telemetry, and the cache tag recording what dataset state the
+// answer depends on (the handle partial invalidation drops by).
+type answerFunc func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (status int, body []byte, qtype, outcome string, tag cacheTag)
 
 // serve is the shared single-query skeleton: method check, snapshot
 // pin, cache lookup, answer, cache fill, write, telemetry. The snapshot
@@ -248,12 +282,12 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, qtype, q string, 
 		}
 		mCacheMisses.Inc()
 	}
-	status, body, rtype, outcome := answer(snap.Dataset, snap.Version, sp)
+	status, body, rtype, outcome, tag := answer(snap.Dataset, snap.Version, sp)
 	sp.Mark(obs.PhaseEncode)
 	info.Type, info.Outcome = rtype, outcome
 	// Negative answers (bad input, no match) are cached too: a hot
 	// mistyped query is still hot. Only not_ready is transient.
-	s.cache.put(key, &cacheEntry{version: snap.Version, status: status, body: body, qtype: rtype, outcome: outcome})
+	s.cache.put(key, &cacheEntry{version: snap.Version, status: status, body: body, qtype: rtype, outcome: outcome, tag: tag})
 	if !writeBody(w, status, body) {
 		info.Outcome = outcomeWriteError
 		mServeErrors.Inc()
@@ -264,57 +298,57 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, qtype, q string, 
 
 func (s *Server) handleAddr(w http.ResponseWriter, r *http.Request) {
 	q := r.PathValue("ip")
-	s.serve(w, r, "addr", q, func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (int, []byte, string, string) {
+	s.serve(w, r, "addr", q, func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (int, []byte, string, string, cacheTag) {
 		a, err := netip.ParseAddr(q)
 		sp.Mark(obs.PhaseParse)
 		if err != nil {
 			mQueriesBad.Inc()
-			return http.StatusBadRequest, marshalError(http.StatusBadRequest, "bad_request", "bad address "+strconv.Quote(q)), "bad", outcomeError
+			return http.StatusBadRequest, marshalError(http.StatusBadRequest, "bad_request", "bad address "+strconv.Quote(q)), "bad", outcomeError, cacheTag{}
 		}
 		mQueriesAddr.Inc()
 		rec, ok := ds.LookupAddr(a)
 		sp.Mark(obs.PhaseLookup)
 		if !ok {
 			mNoMatch.Inc()
-			return http.StatusNotFound, marshalError(http.StatusNotFound, "no_match", "no record covers "+q), "addr", outcomeNoMatch
+			return http.StatusNotFound, marshalError(http.StatusNotFound, "no_match", "no record covers "+q), "addr", outcomeNoMatch, cacheTag{addr: a}
 		}
-		return http.StatusOK, marshalQuery(q, "addr", outcomeMatch, version, rec, nil), "addr", outcomeMatch
+		return http.StatusOK, marshalQuery(q, "addr", outcomeMatch, version, rec, nil), "addr", outcomeMatch, cacheTag{addr: a, apfx: rec.Prefix}
 	})
 }
 
 func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 	q := r.PathValue("cidr")
-	s.serve(w, r, "prefix", q, func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (int, []byte, string, string) {
+	s.serve(w, r, "prefix", q, func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (int, []byte, string, string, cacheTag) {
 		p, err := netip.ParsePrefix(q)
 		sp.Mark(obs.PhaseParse)
 		if err != nil {
 			mQueriesBad.Inc()
-			return http.StatusBadRequest, marshalError(http.StatusBadRequest, "bad_request", "bad prefix "+strconv.Quote(q)), "bad", outcomeError
+			return http.StatusBadRequest, marshalError(http.StatusBadRequest, "bad_request", "bad prefix "+strconv.Quote(q)), "bad", outcomeError, cacheTag{}
 		}
 		mQueriesPrefix.Inc()
 		if rec, ok := ds.Lookup(p); ok {
 			sp.Mark(obs.PhaseLookup)
-			return http.StatusOK, marshalQuery(q, "prefix", outcomeMatch, version, rec, nil), "prefix", outcomeMatch
+			return http.StatusOK, marshalQuery(q, "prefix", outcomeMatch, version, rec, nil), "prefix", outcomeMatch, cacheTag{qpfx: p.Masked(), apfx: rec.Prefix}
 		}
 		// Fall back to the most specific covering routed prefix, the
 		// same degradation the whois surface answers with a note.
 		if rec, ok := ds.LookupCovering(p); ok {
 			sp.Mark(obs.PhaseLookup)
-			return http.StatusOK, marshalQuery(q, "prefix", outcomeCovering, version, rec, nil), "prefix", outcomeCovering
+			return http.StatusOK, marshalQuery(q, "prefix", outcomeCovering, version, rec, nil), "prefix", outcomeCovering, cacheTag{qpfx: p.Masked(), apfx: rec.Prefix}
 		}
 		sp.Mark(obs.PhaseLookup)
 		mNoMatch.Inc()
-		return http.StatusNotFound, marshalError(http.StatusNotFound, "no_match", "no record covers "+q), "prefix", outcomeNoMatch
+		return http.StatusNotFound, marshalError(http.StatusNotFound, "no_match", "no record covers "+q), "prefix", outcomeNoMatch, cacheTag{qpfx: p.Masked()}
 	})
 }
 
 func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
 	q := r.PathValue("id")
-	s.serve(w, r, "org", q, func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (int, []byte, string, string) {
+	s.serve(w, r, "org", q, func(ds *prefix2org.Dataset, version uint64, sp *obs.QuerySpan) (int, []byte, string, string, cacheTag) {
 		sp.Mark(obs.PhaseParse)
 		if q == "" {
 			mQueriesBad.Inc()
-			return http.StatusBadRequest, marshalError(http.StatusBadRequest, "bad_request", "empty organization query"), "bad", outcomeError
+			return http.StatusBadRequest, marshalError(http.StatusBadRequest, "bad_request", "empty organization query"), "bad", outcomeError, cacheTag{}
 		}
 		mQueriesOrg.Inc()
 		// Final-cluster ID first, then any exact WHOIS owner name.
@@ -325,9 +359,9 @@ func (s *Server) handleOrg(w http.ResponseWriter, r *http.Request) {
 		sp.Mark(obs.PhaseLookup)
 		if !ok {
 			mNoMatch.Inc()
-			return http.StatusNotFound, marshalError(http.StatusNotFound, "no_match", "no cluster with ID or owner name "+strconv.Quote(q)), "org", outcomeNoMatch
+			return http.StatusNotFound, marshalError(http.StatusNotFound, "no_match", "no cluster with ID or owner name "+strconv.Quote(q)), "org", outcomeNoMatch, cacheTag{org: true}
 		}
-		return http.StatusOK, marshalQuery(q, "org", outcomeMatch, version, nil, c), "org", outcomeMatch
+		return http.StatusOK, marshalQuery(q, "org", outcomeMatch, version, nil, c), "org", outcomeMatch, cacheTag{org: true, cluster: c.ID}
 	})
 }
 

@@ -27,9 +27,11 @@
 package lpm
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"net/netip"
+	"slices"
 	"sort"
 )
 
@@ -119,18 +121,20 @@ func (f *family) freeze(items []Item) {
 		hi, lo := split(p.Addr())
 		keys[i] = key{hi, lo, uint8(p.Bits()), it.Val}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
+	// slices.SortFunc rather than sort.Slice: the callers' item lists
+	// are usually already in canonical order (Records are sorted by
+	// prefix), which pdqsort detects and finishes in linear time.
+	slices.SortFunc(keys, func(a, b key) int {
 		if a.hi != b.hi {
-			return a.hi < b.hi
+			return cmp.Compare(a.hi, b.hi)
 		}
 		if a.lo != b.lo {
-			return a.lo < b.lo
+			return cmp.Compare(a.lo, b.lo)
 		}
 		if a.bits != b.bits {
-			return a.bits < b.bits
+			return cmp.Compare(a.bits, b.bits)
 		}
-		return a.val < b.val
+		return cmp.Compare(a.val, b.val)
 	})
 	// Collapse duplicate prefixes: the largest Val (last after the
 	// sort) wins.

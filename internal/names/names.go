@@ -237,21 +237,26 @@ type StepCounts struct {
 	Refilled   int
 }
 
-// CountSteps computes Table 2 over a corpus of Direct Owner names.
+// CountSteps computes Table 2 over a corpus of Direct Owner names. The
+// pipeline runs once per distinct name: a step count is the number of
+// distinct values after that step, so duplicate corpus entries cannot
+// change it.
 func (c *Cleaner) CountSteps(corpus []string) StepCounts {
+	traced := make(map[string]Steps, len(corpus))
+	for _, n := range corpus {
+		if _, ok := traced[n]; !ok {
+			traced[n] = c.Trace(n)
+		}
+	}
 	uniq := func(get func(Steps) string) int {
 		seen := map[string]bool{}
-		for _, name := range corpus {
-			seen[get(c.Trace(name))] = true
+		for _, s := range traced {
+			seen[get(s)] = true
 		}
 		return len(seen)
 	}
-	orig := map[string]bool{}
-	for _, n := range corpus {
-		orig[n] = true
-	}
 	return StepCounts{
-		Original:   len(orig),
+		Original:   len(traced),
 		Basic:      uniq(func(s Steps) string { return s.Basic }),
 		Regex:      uniq(func(s Steps) string { return s.Regex }),
 		Corporate:  uniq(func(s Steps) string { return s.Corporate }),

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
-	"sort"
+	"slices"
 )
 
 // Canonical returns p with its host bits zeroed. Prefixes read from WHOIS
@@ -185,7 +185,7 @@ func Compare(a, b netip.Prefix) int {
 
 // Sort sorts prefixes in place using Compare.
 func Sort(ps []netip.Prefix) {
-	sort.Slice(ps, func(i, j int) bool { return Compare(ps[i], ps[j]) < 0 })
+	slices.SortFunc(ps, Compare)
 }
 
 // Dedup sorts ps and removes duplicates in place, returning the shortened

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"github.com/prefix2org/prefix2org/internal/alloc"
+	"github.com/prefix2org/prefix2org/internal/diff"
 	"github.com/prefix2org/prefix2org/internal/rpki"
+	"github.com/prefix2org/prefix2org/internal/store"
 )
 
 func metricsRepo(t *testing.T) *rpki.Repository {
@@ -127,5 +129,45 @@ func TestSessionMetrics(t *testing.T) {
 			t.Fatalf("rtr_sessions_active = %v, want 0 after sessions end", mSessionsActive.Value())
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTrackSerialSkip pins the delta-aware serial policy: a tracked
+// swap whose changeset proves the VRP set untouched keeps the current
+// serial (so polling routers are not forced through a resync), a
+// VRPsChanged changeset bumps it, and a changeset-less swap (full
+// rebuild, nothing proven) bumps it conservatively.
+func TestTrackSerialSkip(t *testing.T) {
+	repo := metricsRepo(t)
+	srv := NewServer(repo)
+	st := store.New(&store.Snapshot{Repo: repo})
+	cancel := srv.Track(st)
+	defer cancel()
+
+	base := srv.Serial()
+	skipsBefore := mSerialSkips.Value()
+
+	st.Swap(&store.Snapshot{Repo: repo, Changes: &diff.Changeset{}})
+	if got := srv.Serial(); got != base {
+		t.Errorf("serial after vrps-unchanged delta swap = %d, want %d (kept)", got, base)
+	}
+	if d := mSerialSkips.Value() - skipsBefore; d != 1 {
+		t.Errorf("serial skip counter moved by %d, want 1", d)
+	}
+
+	st.Swap(&store.Snapshot{Repo: repo, Changes: &diff.Changeset{VRPsChanged: true}})
+	if got := srv.Serial(); got != base+1 {
+		t.Errorf("serial after vrps-changed delta swap = %d, want %d", got, base+1)
+	}
+
+	st.Swap(&store.Snapshot{Repo: repo})
+	if got := srv.Serial(); got != base+2 {
+		t.Errorf("serial after changeset-less swap = %d, want %d", got, base+2)
+	}
+
+	// A repo-less swap (dataset-only snapshot) never touches the serial.
+	st.Swap(&store.Snapshot{})
+	if got := srv.Serial(); got != base+2 {
+		t.Errorf("serial after repo-less swap = %d, want %d", got, base+2)
 	}
 }

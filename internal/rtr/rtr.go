@@ -33,6 +33,7 @@ var (
 	mSerialQueries = obs.Default().Counter(obs.Label("rtr_pdus_total", "type", "serial_query"))
 	mUnsupported   = obs.Default().Counter(obs.Label("rtr_pdus_total", "type", "unsupported"))
 	mSnapshots     = obs.Default().Counter("rtr_snapshots_sent_total")
+	mSerialSkips   = obs.Default().Counter("rtr_serial_skips_total")
 	mAcceptErrors  = obs.Default().Counter("rtr_accept_errors_total")
 	mServeErrors   = obs.Default().Counter("rtr_serve_errors_total")
 	mSnapshotTime  = obs.Default().Histogram("rtr_snapshot_seconds", obs.DefBuckets)
@@ -250,13 +251,22 @@ func (s *Server) Serial() uint32 {
 // Track subscribes the server to a snapshot store: every swap that
 // carries an RPKI repository re-derives the VRP set and bumps the
 // serial, so routers polling with Serial Queries learn to resync — the
-// hot-reload path replacing manual Update calls. The returned cancel
-// detaches the server from the store.
+// hot-reload path replacing manual Update calls. A delta-built swap
+// whose changeset proves the VRP set untouched keeps the current serial
+// (rtr_serial_skips_total), so routers are not forced through a full
+// resync for a WHOIS-only change. The returned cancel detaches the
+// server from the store.
 func (s *Server) Track(st *store.Store) (cancel func()) {
 	return st.Subscribe(func(snap *store.Snapshot) {
-		if snap.Repo != nil {
-			s.Update(snap.Repo)
+		if snap.Repo == nil {
+			return
 		}
+		if snap.Changes != nil && !snap.Changes.VRPsChanged {
+			mSerialSkips.Inc()
+			logger.Debug("vrp set unchanged by delta swap; serial kept", "serial", s.Serial())
+			return
+		}
+		s.Update(snap.Repo)
 	})
 }
 

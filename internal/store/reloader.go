@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -15,6 +16,15 @@ var (
 	mReloads        = obs.Default().Counter("store_reloads_total")
 	mReloadFailures = obs.Default().Counter("store_reload_failures_total")
 	mReloadSeconds  = obs.Default().Histogram("store_reload_seconds", reloadBuckets)
+	// Delta-path accounting: reloads served by the incremental builder,
+	// reloads where the delta errored and the full build ran instead,
+	// reloads skipped outright because no input changed, and the size of
+	// the last delta's changeset (record-level changes, the number the
+	// httpd cache invalidates by).
+	mDeltaReloads   = obs.Default().Counter("store_delta_reloads_total")
+	mDeltaFallbacks = obs.Default().Counter("store_delta_fallbacks_total")
+	mReloadsNoop    = obs.Default().Counter("store_reloads_noop_total")
+	mDeltaAffected  = obs.Default().Gauge("store_delta_affected_prefixes")
 )
 
 // reloadBuckets span the rebuild durations this repo sees: from a
@@ -33,6 +43,11 @@ type ReloaderConfig struct {
 	MinBackoff time.Duration
 	// MaxBackoff caps the retry delay growth (default 2m).
 	MaxBackoff time.Duration
+	// Delta, when set, is tried before the full build on every reload:
+	// (nil, nil) means no input changed and the current snapshot keeps
+	// serving (no swap, no subscriber churn); an error falls back to the
+	// full build — the previous snapshot is never disturbed either way.
+	Delta DeltaBuildFunc
 }
 
 // Reloader rebuilds snapshots and swaps them into a Store. All builds
@@ -151,14 +166,41 @@ func (r *Reloader) Handler() http.Handler {
 // reloadOnce builds one snapshot and swaps it in, publishing the reload
 // metrics and — when both the outgoing and incoming snapshots carry
 // datasets — the internal/diff change summary of what the swap changed.
+//
+// With cfg.Delta set, the incremental builder runs first against the
+// currently served snapshot: an unchanged manifest turns the reload
+// into a no-op (the subscribers never fire, so the RTR serial and the
+// response cache are untouched), and any delta error downgrades to the
+// full build. Serve-stale applies only when the full build fails too.
 func (r *Reloader) reloadOnce(ctx context.Context) error {
 	start := time.Now()
-	next, err := r.build(ctx)
-	if err != nil {
-		mReloadFailures.Inc()
-		logger.Error("rebuild failed; serving stale snapshot",
-			"version", r.store.Current().Version, "err", err)
-		return err
+	next, err := r.tryDelta(ctx)
+	switch {
+	case err == nil && next == nil:
+		mReloadsNoop.Inc()
+		logger.Info("reload no-op: inputs unchanged",
+			"version", r.store.Current().Version, "duration", time.Since(start))
+		return nil
+	case err == nil:
+		mDeltaReloads.Inc()
+		if next.Changes != nil {
+			mDeltaAffected.Set(float64(len(next.Changes.Prefixes)))
+		}
+	default:
+		if ctx.Err() != nil {
+			return err
+		}
+		if !errors.Is(err, errNoDelta) {
+			mDeltaFallbacks.Inc()
+			logger.Warn("delta rebuild unavailable; running full rebuild", "err", err)
+		}
+		next, err = r.build(ctx)
+		if err != nil {
+			mReloadFailures.Inc()
+			logger.Error("rebuild failed; serving stale snapshot",
+				"version", r.store.Current().Version, "err", err)
+			return err
+		}
 	}
 	// Pin the outgoing snapshot before the swap so its backing buffer
 	// (a view-backed dataset's mmap) survives long enough to diff
@@ -170,6 +212,13 @@ func (r *Reloader) reloadOnce(ctx context.Context) error {
 	dur := time.Since(start)
 	mReloads.Inc()
 	mReloadSeconds.Observe(dur.Seconds())
+	// A delta-built snapshot already carries its exact changeset; log
+	// that instead of recomputing a diff.
+	if next.Changes != nil {
+		logger.Info("snapshot swapped",
+			"snapshot", describe(next), "duration", dur, "changes", next.Changes.Summary())
+		return nil
+	}
 	// Diffing walks both datasets in full, which would force a lazy
 	// (view-backed) snapshot to materialize every record on the reload
 	// path — the opposite of what serving in place is for. Skip the
@@ -183,4 +232,24 @@ func (r *Reloader) reloadOnce(ctx context.Context) error {
 	}
 	logger.Info("snapshot swapped", "snapshot", describe(next), "duration", dur)
 	return nil
+}
+
+// errNoDelta signals the delta path was not attempted at all — not
+// configured, or no real previous snapshot to splice against. The full
+// build then runs without counting a delta fallback.
+var errNoDelta = errors.New("store: delta not attempted")
+
+// tryDelta runs the configured incremental builder against the
+// currently served snapshot, holding a pin on it for the duration so a
+// view-backed previous snapshot cannot be unmapped mid-splice.
+func (r *Reloader) tryDelta(ctx context.Context) (*Snapshot, error) {
+	if r.cfg.Delta == nil {
+		return nil, errNoDelta
+	}
+	prev, release := r.store.Acquire()
+	defer release()
+	if prev.Dataset == nil && prev.Repo == nil {
+		return nil, errNoDelta // pending placeholder: nothing to delta against
+	}
+	return r.cfg.Delta(ctx, prev)
 }

@@ -18,12 +18,14 @@ package store
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	prefix2org "github.com/prefix2org/prefix2org"
+	"github.com/prefix2org/prefix2org/internal/diff"
 	"github.com/prefix2org/prefix2org/internal/obs"
 	"github.com/prefix2org/prefix2org/internal/rpki"
 )
@@ -58,6 +60,18 @@ type Snapshot struct {
 	// snapshot was loaded from a serialized dataset file, which carries
 	// no repository.
 	Repo *rpki.Repository
+	// Changes is the exact changeset from the previously served snapshot
+	// to this one, published by the delta builders so subscribers react
+	// to what actually changed: p2o-rtrd keeps its serial when
+	// VRPsChanged is false, and the httpd response cache invalidates
+	// only affected entries. Nil when unknown (full rebuilds, startup
+	// snapshots) — subscribers must then assume everything changed.
+	Changes *diff.Changeset
+	// Manifest is the per-source input manifest of the data directory
+	// the snapshot was built from, when the builder captured one. The
+	// repo-only delta builder compares manifests across reloads to skip
+	// RPKI reloads whose inputs are untouched.
+	Manifest *prefix2org.Manifest
 	// Closer releases resources the snapshot's data aliases — the mmap
 	// of a view-backed dataset. It runs exactly once, when the last
 	// reference is dropped: the Store holds one reference for as long
@@ -330,6 +344,83 @@ func RepoBuilder(dir string) BuildFunc {
 			return nil, err
 		}
 		return &Snapshot{BuiltAt: time.Now(), Source: "dir:" + dir, Repo: repo}, nil
+	}
+}
+
+// DeltaBuildFunc produces the next Snapshot incrementally from the one
+// currently served. Returning (nil, nil) means the inputs are unchanged
+// and the current snapshot stays; any error makes the Reloader fall
+// back to its full BuildFunc (serve-stale semantics apply only if the
+// full rebuild then fails too).
+type DeltaBuildFunc func(ctx context.Context, prev *Snapshot) (*Snapshot, error)
+
+// DeltaDirBuilder incrementally rebuilds a data-directory snapshot: it
+// re-parses only the source files whose manifest hash changed,
+// re-resolves only the affected prefixes, and publishes the exact
+// changeset on the resulting snapshot. Incremental is forced on opts so
+// the produced datasets retain the state the next delta splices
+// against; pair it with a DirBuilder carrying the same (Incremental)
+// options so the full-rebuild fallback also yields delta-capable
+// snapshots.
+func DeltaDirBuilder(dir string, opts prefix2org.Options) DeltaBuildFunc {
+	opts.Incremental = true
+	return func(ctx context.Context, prev *Snapshot) (*Snapshot, error) {
+		if prev == nil || prev.Dataset == nil {
+			return nil, prefix2org.ErrNoDeltaState
+		}
+		res, err := prefix2org.BuildDelta(ctx, prev.Dataset, dir, opts)
+		if errors.Is(err, prefix2org.ErrNoChange) {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		cs, err := diff.Changes(prev.Dataset, res.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		cs.VRPsChanged = res.RPKIChanged
+		return &Snapshot{
+			BuiltAt:  time.Now(),
+			Source:   "dir:" + dir,
+			Dataset:  res.Dataset,
+			Repo:     res.Repo,
+			Changes:  cs,
+			Manifest: res.Dataset.InputManifest(),
+		}, nil
+	}
+}
+
+// DeltaRepoBuilder incrementally reloads a repository-only snapshot
+// (the p2o-rtrd shape): when no rpki/ input changed since the previous
+// snapshot's manifest, the reload is a no-op and the RTR serial keeps
+// still; otherwise the repository is re-read and the snapshot carries a
+// VRPsChanged changeset. The first delta after a manifest-less snapshot
+// (daemon startup through RepoBuilder) self-primes: it reloads fully,
+// captures the manifest, and conservatively flags VRPs as changed.
+func DeltaRepoBuilder(dir string) DeltaBuildFunc {
+	return func(ctx context.Context, prev *Snapshot) (*Snapshot, error) {
+		if prev == nil || prev.Repo == nil {
+			return nil, fmt.Errorf("store: no previous repository snapshot")
+		}
+		m, err := prefix2org.BuildManifest(ctx, dir)
+		if err != nil {
+			return nil, err
+		}
+		if prev.Manifest != nil && prev.Manifest.Filter("rpki/").Equal(m.Filter("rpki/")) {
+			return nil, nil
+		}
+		repo, err := rpki.LoadDir(ctx, dir)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{
+			BuiltAt:  time.Now(),
+			Source:   "dir:" + dir,
+			Repo:     repo,
+			Changes:  &diff.Changeset{VRPsChanged: true},
+			Manifest: m,
+		}, nil
 	}
 }
 

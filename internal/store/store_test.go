@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/prefix2org/prefix2org/internal/diff"
 	"github.com/prefix2org/prefix2org/internal/obs"
 	"github.com/prefix2org/prefix2org/internal/rpki"
 )
@@ -306,5 +307,120 @@ func TestReloadHandler(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 500 || !strings.Contains(string(body[:n]), "still serving snapshot v2") {
 		t.Errorf("failed reload = %d %q, want 500 naming the stale version", resp.StatusCode, body[:n])
+	}
+}
+
+// TestReloaderDeltaPaths covers the three delta outcomes of a reload:
+// a no-op (unchanged inputs keep the current snapshot serving, no swap,
+// no subscriber churn), a successful delta swap (the full builder never
+// runs), and a delta failure falling back to the full build.
+func TestReloaderDeltaPaths(t *testing.T) {
+	st := New(&Snapshot{Source: "initial", Repo: rpki.NewRepository()})
+	var notifies atomic.Int64
+	st.Subscribe(func(*Snapshot) { notifies.Add(1) })
+	var fullBuilds atomic.Int64
+	var mode atomic.Value // "noop" | "delta" | "error"
+	mode.Store("noop")
+	rel := NewReloader(st, func(ctx context.Context) (*Snapshot, error) {
+		fullBuilds.Add(1)
+		return &Snapshot{Source: "full", Repo: rpki.NewRepository()}, nil
+	}, ReloaderConfig{Delta: func(ctx context.Context, prev *Snapshot) (*Snapshot, error) {
+		switch mode.Load() {
+		case "noop":
+			return nil, nil
+		case "delta":
+			return &Snapshot{Source: "delta", Repo: rpki.NewRepository(), Changes: &diff.Changeset{}}, nil
+		default:
+			return nil, errors.New("splice failed")
+		}
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rel.Run(ctx)
+
+	// No-op: inputs unchanged, the reload succeeds without swapping.
+	noopBefore := mReloadsNoop.Value()
+	if err := rel.Reload(ctx); err != nil {
+		t.Fatalf("no-op reload: %v", err)
+	}
+	if got := st.Current().Version; got != 1 {
+		t.Errorf("version after no-op reload = %d, want 1 (no swap)", got)
+	}
+	if n := notifies.Load(); n != 0 {
+		t.Errorf("no-op reload notified %d subscribers, want 0", n)
+	}
+	if d := mReloadsNoop.Value() - noopBefore; d != 1 {
+		t.Errorf("noop reload counter moved by %d, want 1", d)
+	}
+
+	// Delta: the incremental snapshot swaps in; the full builder stays cold.
+	mode.Store("delta")
+	deltaBefore := mDeltaReloads.Value()
+	if err := rel.Reload(ctx); err != nil {
+		t.Fatalf("delta reload: %v", err)
+	}
+	if got := st.Current().Source; got != "delta" {
+		t.Errorf("serving %q after delta reload, want delta snapshot", got)
+	}
+	if fullBuilds.Load() != 0 {
+		t.Errorf("full builder ran %d times during delta reloads, want 0", fullBuilds.Load())
+	}
+	if d := mDeltaReloads.Value() - deltaBefore; d != 1 {
+		t.Errorf("delta reload counter moved by %d, want 1", d)
+	}
+
+	// Failure: the delta error downgrades to the full build.
+	mode.Store("error")
+	fallbackBefore := mDeltaFallbacks.Value()
+	if err := rel.Reload(ctx); err != nil {
+		t.Fatalf("fallback reload: %v", err)
+	}
+	if got := st.Current().Source; got != "full" {
+		t.Errorf("serving %q after delta failure, want full rebuild", got)
+	}
+	if fullBuilds.Load() != 1 {
+		t.Errorf("full builder ran %d times, want 1", fullBuilds.Load())
+	}
+	if d := mDeltaFallbacks.Value() - fallbackBefore; d != 1 {
+		t.Errorf("delta fallback counter moved by %d, want 1", d)
+	}
+}
+
+// TestReloaderDeltaSkipsPlaceholder pins that the delta builder is not
+// consulted while the store still serves the pending placeholder: the
+// first build of a daemon's lifetime is always the full one, and it is
+// not a "fallback".
+func TestReloaderDeltaSkipsPlaceholder(t *testing.T) {
+	st := NewPending("dir:data")
+	var deltaCalls atomic.Int64
+	rel := NewReloader(st, func(ctx context.Context) (*Snapshot, error) {
+		return &Snapshot{Source: "full", Repo: rpki.NewRepository()}, nil
+	}, ReloaderConfig{Delta: func(ctx context.Context, prev *Snapshot) (*Snapshot, error) {
+		deltaCalls.Add(1)
+		return nil, nil
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rel.Run(ctx)
+
+	fallbackBefore := mDeltaFallbacks.Value()
+	if err := rel.Reload(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if deltaCalls.Load() != 0 {
+		t.Errorf("delta builder ran %d times against the placeholder, want 0", deltaCalls.Load())
+	}
+	if got := st.Current().Source; got != "full" {
+		t.Errorf("serving %q, want the full build", got)
+	}
+	if d := mDeltaFallbacks.Value() - fallbackBefore; d != 0 {
+		t.Errorf("placeholder reload counted %d delta fallbacks, want 0", d)
+	}
+	// With a real snapshot installed, the delta path engages.
+	if err := rel.Reload(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if deltaCalls.Load() != 1 {
+		t.Errorf("delta builder ran %d times after the first snapshot, want 1", deltaCalls.Load())
 	}
 }

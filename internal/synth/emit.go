@@ -1,7 +1,9 @@
 package synth
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"net/netip"
 	"strings"
@@ -47,8 +49,15 @@ func (g *generator) db(reg alloc.Registry) *whois.Database {
 	return db
 }
 
-func (g *generator) when() time.Time {
-	return g.baseTime.AddDate(0, 0, -g.rng.Intn(600))
+// recDate derives a stable last-updated date for the registry record
+// covering p. Like blockDate it is a pure function of the block, so
+// re-emitting an evolved world leaves every untouched registry's file
+// byte-identical — the property the delta rebuild's manifest diff
+// depends on.
+func (g *generator) recDate(p netip.Prefix) time.Time {
+	b := p.Addr().As16()
+	days := int(b[9])*7 + int(b[12])*5 + int(b[14])*3 + p.Bits()
+	return g.baseTime.AddDate(0, 0, -(days%600 + 1))
 }
 
 func slug(s string) string {
@@ -96,7 +105,7 @@ func (g *generator) emitWHOIS() {
 				Status:   status,
 				NetName:  netName(acc.org.Canonical, acc.org.ID*100+i),
 				Country:  acc.org.Country,
-				Updated:  g.when(),
+				Updated:  g.recDate(p),
 			}
 			if orgID != "" {
 				rec.OrgID = orgID
@@ -138,7 +147,7 @@ func (g *generator) emitWHOIS() {
 				NetName:  netName(org.Canonical, org.ID*100+i),
 				Country:  org.Country,
 				OrgName:  org.LegalNames[0],
-				Updated:  g.when(),
+				Updated:  g.recDate(sd.prefix),
 			}
 			if target == alloc.JPNIC {
 				rec.Status = ""
@@ -423,9 +432,23 @@ func (g *generator) buildRIB() {
 		coll := bgp.NewCollector(collectorNames[ci])
 		peer := g.transitAS[ci%len(g.transitAS)]
 		apply := func(viaPeer uint32, prefix netip.Prefix, origin uint32) {
+			// Transit hops derive from the announcement itself (prefix,
+			// origin, peer, collector), not the shared generator stream:
+			// re-emitting an evolved world must rewrite the RIB only for
+			// announcements that actually changed.
+			b := prefix.Addr().As16()
+			hv := fnv.New64a()
+			hv.Write(b[:])
+			var meta [13]byte
+			meta[0] = byte(prefix.Bits())
+			binary.BigEndian.PutUint32(meta[1:], origin)
+			binary.BigEndian.PutUint32(meta[5:], viaPeer)
+			binary.BigEndian.PutUint32(meta[9:], uint32(ci))
+			hv.Write(meta[:])
+			hrng := rand.New(rand.NewSource(int64(hv.Sum64())))
 			path := []uint32{viaPeer}
-			for h := g.rng.Intn(3); h > 0; h-- {
-				t := g.transitAS[g.rng.Intn(len(g.transitAS))]
+			for h := hrng.Intn(3); h > 0; h-- {
+				t := g.transitAS[hrng.Intn(len(g.transitAS))]
 				if t != path[len(path)-1] && t != origin {
 					path = append(path, t)
 				}

@@ -32,6 +32,15 @@ type EvolveOptions struct {
 	// acquiring large organization (the WHOIS names persist — exactly the
 	// merger/acquisition blind spot §9 discusses).
 	Acquisitions int
+	// OriginShifts re-homes that many announcements onto a different ASN
+	// of the same organization. Only non-adopter organizations are
+	// eligible, so the churn is routing-only: the next snapshot differs
+	// solely in the BGP RIB, never in WHOIS or RPKI.
+	OriginShifts int
+	// Revocations flips that many RPKI-adopter organizations back to
+	// non-adopters; their ROAs disappear from the next snapshot. The
+	// churn is RPKI-only (announcements and WHOIS are untouched).
+	Revocations int
 	// MonthsLater advances the snapshot date.
 	MonthsLater int
 }
@@ -79,8 +88,51 @@ func (w *World) Evolve(opts EvolveOptions) (*World, error) {
 	for i := 0; i < opts.Acquisitions; i++ {
 		g.acquireOrg(rng)
 	}
+	// 5. Origin shifts: routing-only churn (MOAS resolution, traffic
+	// engineering). Skips RPKI adopters — an adopter's shift would also
+	// re-sign ROAs, and this mutation models pure BGP churn.
+	shifted := 0
+	for i := range g.anns {
+		if shifted >= opts.OriginShifts {
+			break
+		}
+		ann := &g.anns[i]
+		if ann.do.RPKIAdopter || len(ann.do.ASNs) < 2 {
+			continue
+		}
+		alt := ann.do.ASNs[rng.Intn(len(ann.do.ASNs))]
+		if alt == ann.origin {
+			alt = ann.do.ASNs[(indexOfASN(ann.do.ASNs, alt)+1)%len(ann.do.ASNs)]
+		}
+		if alt == ann.origin {
+			continue
+		}
+		ann.origin = alt
+		shifted++
+	}
+	// 6. Revocations: adopters drop out of RPKI; their certificates and
+	// ROAs vanish while WHOIS and routing stay put.
+	revoked := 0
+	for _, o := range g.w.Orgs {
+		if revoked >= opts.Revocations {
+			break
+		}
+		if o.RPKIAdopter {
+			o.RPKIAdopter = false
+			revoked++
+		}
+	}
 
 	return g.reemit()
+}
+
+func indexOfASN(asns []uint32, a uint32) int {
+	for i, x := range asns {
+		if x == a {
+			return i
+		}
+	}
+	return 0
 }
 
 // transferBlock moves one random direct v4 block to another organization.

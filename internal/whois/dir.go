@@ -60,6 +60,18 @@ func (o LoadOptions) workerCount() int {
 	return o.Workers
 }
 
+// Sources retains the per-registry parse results of one LoadDir run so
+// an incremental reload can re-parse only the files that actually
+// changed and re-merge the rest from memory. The retained databases are
+// never mutated after parsing: Merge copies record values and
+// ResolveOrgs/ApplyJPNICTypes touch only the merged copies, so slots
+// can be shared freely across reloads.
+type Sources struct {
+	parsed   []*Database // one slot per registryFiles entry; nil = file absent
+	types    map[netip.Prefix]string
+	hasTypes bool
+}
+
 // LoadDir reads every registry bulk file present under dir/whois and
 // returns the merged database. Missing files are skipped (a data
 // directory need not contain all registries); malformed files are errors.
@@ -68,17 +80,38 @@ func (o LoadOptions) workerCount() int {
 // JPNIC records are enriched with allocation types from the cache file
 // and, if provided, the live client.
 func LoadDir(ctx context.Context, dir string, opts LoadOptions) (*Database, error) {
+	db, _, err := LoadDirSources(ctx, dir, opts, nil, nil)
+	return db, err
+}
+
+// LoadDirSources is LoadDir at re-parse granularity. When prev is
+// non-nil, a registry file whose slash-relative path ("whois/ripe.db")
+// changed reports false for is re-used from prev instead of being read
+// from disk; only changed files re-parse. The de-duplicating merge runs
+// over all slots either way, so the merged database is identical to a
+// cold LoadDir of the same directory. The returned Sources snapshot
+// feeds the next incremental call.
+func LoadDirSources(ctx context.Context, dir string, opts LoadOptions, prev *Sources, changed func(relPath string) bool) (*Database, *Sources, error) {
 	wdir := filepath.Join(dir, "whois")
 	logger := obs.Logger("whois")
 	reg := obs.Default()
+	reuse := func(relPath string) bool {
+		return prev != nil && changed != nil && !changed(relPath)
+	}
 
 	// Fan out: each registry file parses into its own slot; sem bounds
 	// the parallelism. Missing files leave a nil slot.
 	parsed := make([]*Database, len(registryFiles))
+	fresh := make([]bool, len(registryFiles))
 	errs := make([]error, len(registryFiles))
 	sem := make(chan struct{}, opts.workerCount())
 	var wg sync.WaitGroup
 	for i, rf := range registryFiles {
+		if reuse("whois/" + rf.File) {
+			parsed[i] = prev.parsed[i]
+			continue
+		}
+		fresh[i] = true
 		wg.Add(1)
 		go func(i int, registry alloc.Registry, file string) {
 			defer wg.Done()
@@ -113,12 +146,13 @@ func LoadDir(ctx context.Context, dir string, opts LoadOptions) (*Database, erro
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	// Merge single-threaded, in fixed registry order: the last-updated
 	// de-duplication inside Merge is order-sensitive bookkeeping that
-	// must stay deterministic.
+	// must stay deterministic. Parse counters cover only freshly parsed
+	// files, so reloads account for work actually done.
 	merged := NewDatabase()
 	registries := 0
 	for i, rf := range registryFiles {
@@ -127,27 +161,37 @@ func LoadDir(ctx context.Context, dir string, opts LoadOptions) (*Database, erro
 			continue
 		}
 		registries++
-		reg.Counter(obs.Label("whois_records_parsed_total", "registry", string(rf.Registry))).Add(int64(len(db.Records)))
-		logger.Debug("registry file parsed",
-			"registry", string(rf.Registry), "path", filepath.Join(wdir, rf.File),
-			"records", len(db.Records), "orgs", len(db.Orgs))
+		if fresh[i] {
+			reg.Counter(obs.Label("whois_records_parsed_total", "registry", string(rf.Registry))).Add(int64(len(db.Records)))
+			logger.Debug("registry file parsed",
+				"registry", string(rf.Registry), "path", filepath.Join(wdir, rf.File),
+				"records", len(db.Records), "orgs", len(db.Orgs))
+		}
 		merged.Merge(db)
 	}
+	src := &Sources{parsed: parsed}
 	// Enrich JPNIC allocation types: cache file first, then live queries.
-	typesPath := filepath.Join(wdir, JPNICTypesFile)
-	if f, err := os.Open(typesPath); err == nil {
-		cache, perr := ParseJPNICTypes(f)
-		f.Close()
-		if perr != nil {
-			return nil, fmt.Errorf("whois: parse %s: %w", typesPath, perr)
+	if reuse("whois/" + JPNICTypesFile) {
+		src.types, src.hasTypes = prev.types, prev.hasTypes
+	} else {
+		typesPath := filepath.Join(wdir, JPNICTypesFile)
+		if f, err := os.Open(typesPath); err == nil {
+			cache, perr := ParseJPNICTypes(f)
+			f.Close()
+			if perr != nil {
+				return nil, nil, fmt.Errorf("whois: parse %s: %w", typesPath, perr)
+			}
+			src.types, src.hasTypes = cache, true
+		} else if !os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("whois: open %s: %w", typesPath, err)
 		}
-		ApplyJPNICTypes(merged, cache)
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("whois: open %s: %w", typesPath, err)
+	}
+	if src.hasTypes {
+		ApplyJPNICTypes(merged, src.types)
 	}
 	if opts.JPNICClient != nil {
 		if err := EnrichJPNIC(ctx, merged, opts.JPNICClient); err != nil {
-			return nil, fmt.Errorf("whois: jpnic enrichment: %w", err)
+			return nil, nil, fmt.Errorf("whois: jpnic enrichment: %w", err)
 		}
 	}
 	merged.ResolveOrgs()
@@ -167,7 +211,7 @@ func LoadDir(ctx context.Context, dir string, opts LoadOptions) (*Database, erro
 	logger.Info("whois databases loaded",
 		"registries", registries, "records", len(merged.Records),
 		"orgs", len(merged.Orgs), "unresolvable_type", totalSkipped)
-	return merged, nil
+	return merged, src, nil
 }
 
 func parseRegistryFile(r io.Reader, reg alloc.Registry) (*Database, error) {

@@ -1,0 +1,223 @@
+package prefix2org
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// manifestDirs are the input subdirectories the manifest covers — the
+// sources the build pipeline actually reads. Anything else in the data
+// directory (ground truth, scratch files) is invisible to the manifest
+// and therefore never triggers a delta rebuild.
+var manifestDirs = []string{"whois", "bgp", "rpki", "as2org", "delegated"}
+
+// ManifestEntry is one hashed input file.
+type ManifestEntry struct {
+	// Path is the file's path relative to the data directory, always
+	// with forward slashes (e.g. "whois/ripe.db").
+	Path string
+	// Size is the file's length in bytes.
+	Size int64
+	// SHA256 is the hash of the file's content.
+	SHA256 [32]byte
+}
+
+// Manifest records the content hash of every per-source input file a
+// build consumed, sorted by path. It is captured at build time, carried
+// on the Dataset, and diffed by BuildDelta to decide which sources to
+// re-parse.
+type Manifest struct {
+	Entries []ManifestEntry
+}
+
+// BuildManifest hashes every regular file under the covered input
+// subdirectories of dir. Missing subdirectories are fine (an input a
+// deployment does not use simply contributes no entries).
+func BuildManifest(ctx context.Context, dir string) (*Manifest, error) {
+	m := &Manifest{}
+	// One digest and one copy buffer for the whole walk: io.Copy with a
+	// plain hash.Hash allocates a fresh 32KB buffer per file, which shows
+	// up on every delta rebuild's no-op floor.
+	h := sha256.New()
+	buf := make([]byte, 128*1024)
+	for _, sub := range manifestDirs {
+		root := filepath.Join(dir, sub)
+		if _, err := os.Stat(root); os.IsNotExist(err) {
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if !d.Type().IsRegular() {
+				return nil
+			}
+			rel, err := filepath.Rel(dir, p)
+			if err != nil {
+				return err
+			}
+			e, err := hashFile(p, h, buf)
+			if err != nil {
+				return err
+			}
+			e.Path = filepath.ToSlash(rel)
+			m.Entries = append(m.Entries, e)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("manifest: %w", err)
+		}
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Path < m.Entries[j].Path })
+	return m, nil
+}
+
+func hashFile(p string, h hash.Hash, buf []byte) (ManifestEntry, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return ManifestEntry{}, err
+	}
+	defer f.Close()
+	h.Reset()
+	// The wrapper hides *os.File's WriterTo so CopyBuffer actually uses
+	// buf instead of delegating to a path that allocates its own.
+	n, err := io.CopyBuffer(h, struct{ io.Reader }{f}, buf)
+	if err != nil {
+		return ManifestEntry{}, err
+	}
+	var e ManifestEntry
+	e.Size = n
+	h.Sum(e.SHA256[:0])
+	return e, nil
+}
+
+// manifestMagic is the first line of the text encoding.
+const manifestMagic = "p2o-manifest v1"
+
+// Encode renders the manifest in its canonical text form: the magic
+// line, then one "<sha256-hex> <size> <path>" line per entry in path
+// order. The encoding is canonical — Equal manifests encode to
+// identical bytes.
+func (m *Manifest) Encode() []byte {
+	var b bytes.Buffer
+	b.WriteString(manifestMagic)
+	b.WriteByte('\n')
+	for _, e := range m.Entries {
+		b.WriteString(hex.EncodeToString(e.SHA256[:]))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(e.Size, 10))
+		b.WriteByte(' ')
+		b.WriteString(e.Path)
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// ParseManifest decodes the canonical text form. It rejects anything
+// Encode would not produce: wrong magic, malformed lines, unsorted or
+// duplicate paths.
+func ParseManifest(data []byte) (*Manifest, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[0] != manifestMagic {
+		return nil, fmt.Errorf("manifest: bad magic")
+	}
+	if lines[len(lines)-1] != "" {
+		return nil, fmt.Errorf("manifest: missing trailing newline")
+	}
+	m := &Manifest{}
+	for i, ln := range lines[1 : len(lines)-1] {
+		parts := strings.SplitN(ln, " ", 3)
+		if len(parts) != 3 || parts[2] == "" {
+			return nil, fmt.Errorf("manifest: line %d: want \"<hash> <size> <path>\"", i+2)
+		}
+		raw, err := hex.DecodeString(parts[0])
+		if err != nil || len(raw) != sha256.Size {
+			return nil, fmt.Errorf("manifest: line %d: bad hash", i+2)
+		}
+		size, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || size < 0 || parts[1] != strconv.FormatInt(size, 10) {
+			return nil, fmt.Errorf("manifest: line %d: bad size", i+2)
+		}
+		var e ManifestEntry
+		copy(e.SHA256[:], raw)
+		e.Size = size
+		e.Path = parts[2]
+		if n := len(m.Entries); n > 0 && m.Entries[n-1].Path >= e.Path {
+			return nil, fmt.Errorf("manifest: line %d: paths not strictly sorted", i+2)
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m, nil
+}
+
+// Equal reports whether both manifests list the same files with the
+// same sizes and hashes.
+func (m *Manifest) Equal(other *Manifest) bool {
+	if m == nil || other == nil {
+		return m == other
+	}
+	if len(m.Entries) != len(other.Entries) {
+		return false
+	}
+	for i := range m.Entries {
+		if m.Entries[i] != other.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the paths that differ from old — content-changed, added,
+// and removed alike — in sorted order. A nil old means everything
+// changed.
+func (m *Manifest) Diff(old *Manifest) []string {
+	var out []string
+	var oe []ManifestEntry
+	if old != nil {
+		oe = old.Entries
+	}
+	i, j := 0, 0
+	for i < len(m.Entries) || j < len(oe) {
+		switch {
+		case j >= len(oe) || (i < len(m.Entries) && m.Entries[i].Path < oe[j].Path):
+			out = append(out, m.Entries[i].Path) // added
+			i++
+		case i >= len(m.Entries) || oe[j].Path < m.Entries[i].Path:
+			out = append(out, oe[j].Path) // removed
+			j++
+		default:
+			if m.Entries[i] != oe[j] {
+				out = append(out, m.Entries[i].Path)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Filter returns the sub-manifest of entries whose path starts with
+// prefix (e.g. "rpki/").
+func (m *Manifest) Filter(prefix string) *Manifest {
+	out := &Manifest{}
+	for _, e := range m.Entries {
+		if strings.HasPrefix(e.Path, prefix) {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out
+}

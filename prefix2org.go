@@ -44,12 +44,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"github.com/prefix2org/prefix2org/internal/alloc"
 	"github.com/prefix2org/prefix2org/internal/as2org"
 	"github.com/prefix2org/prefix2org/internal/bgp"
-	"github.com/prefix2org/prefix2org/internal/cluster"
 	"github.com/prefix2org/prefix2org/internal/delegated"
 	"github.com/prefix2org/prefix2org/internal/lpm"
 	"github.com/prefix2org/prefix2org/internal/names"
@@ -99,6 +97,28 @@ type Options struct {
 	DisableRPKIClusters bool
 	DisableASNClusters  bool
 	DisableNameCleaning bool
+
+	// Incremental makes BuildFromDir capture the per-source input
+	// manifest plus the parsed inputs and pass-1 state on the Dataset,
+	// so a later BuildDelta over the same directory can re-parse only
+	// the files that changed and re-resolve only the affected prefixes.
+	// It costs memory (the retained inputs) and one manifest hashing
+	// pass; the produced Dataset is byte-identical either way.
+	Incremental bool
+}
+
+// deltaCompatible reports whether a delta rebuild under next can splice
+// into state built under o: every option that shapes the pipeline's
+// output must match, and live JPNIC enrichment is rejected outright
+// (its answers depend on a remote server, not on the input files the
+// manifest covers). Workers is exempt — any worker count produces
+// identical output.
+func (o Options) deltaCompatible(next Options) bool {
+	return o.NameFreqThreshold == next.NameFreqThreshold &&
+		o.DisableRPKIClusters == next.DisableRPKIClusters &&
+		o.DisableASNClusters == next.DisableASNClusters &&
+		o.DisableNameCleaning == next.DisableNameCleaning &&
+		o.JPNICWhoisAddr == "" && next.JPNICWhoisAddr == ""
 }
 
 // Record is the Prefix2Org data for one routed prefix (Listing 1 of the
@@ -210,6 +230,10 @@ type Dataset struct {
 	// nil on an eagerly built or loaded Dataset. See snapview.go.
 	view *snapView
 	lazy *lazyTables
+	// state is the retained delta-rebuild state (Options.Incremental
+	// builds only): the input manifest, parsed sources, and pass-1
+	// slots BuildDelta splices against. Nil otherwise; never persisted.
+	state *buildState
 }
 
 // Lookup returns the record for a routed prefix.
@@ -322,7 +346,51 @@ func (d *Dataset) ClusterOfOwner(name string) (*Cluster, bool) {
 }
 
 func basicClean(s string) string {
+	if basicCleaned(s) {
+		return s
+	}
 	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// basicCleaned reports whether s is already in basic-cleaned form —
+// ASCII with no uppercase letters, no whitespace other than single
+// interior spaces — so basicClean can return it without allocating.
+// Any non-ASCII byte disqualifies the fast path: Unicode case folding
+// and space classes are left to the slow path.
+func basicCleaned(s string) bool {
+	prevSpace := true // a leading space is not clean
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b >= 0x80 || ('A' <= b && b <= 'Z'):
+			return false
+		case b == ' ':
+			if prevSpace {
+				return false
+			}
+			prevSpace = true
+		case b == '\t' || b == '\n' || b == '\v' || b == '\f' || b == '\r':
+			return false
+		default:
+			prevSpace = false
+		}
+	}
+	return !prevSpace || s == ""
+}
+
+// basicCleaner memoizes basicClean for the per-record build loops,
+// where the same owner names repeat across thousands of records. The
+// memo is a pure-function cache, so sharing one across passes (or
+// builds) can never change an output.
+type basicCleaner map[string]string
+
+func (c basicCleaner) clean(s string) string {
+	if v, ok := c[s]; ok {
+		return v
+	}
+	v := basicClean(s)
+	c[s] = v
+	return v
 }
 
 // Build runs the full pipeline over in-memory inputs. Most callers use
@@ -376,13 +444,7 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 	span := tr.Start("flatten-whois")
 	entries, fstats := db.FlattenWithStats()
 	markARINLegacy(entries, arinLegacyNonSigned)
-
-	// Delegation trees: per prefix, all WHOIS entries (§5.2).
-	tree := radix.New[[]whois.Entry]()
-	for _, e := range entries {
-		cur, _ := tree.Get(e.Prefix)
-		tree.Insert(e.Prefix, append(cur, e))
-	}
+	tree := entryTree(entries)
 	span.Add("records", int64(fstats.Records))
 	span.Add("entries", int64(fstats.Entries))
 	span.Add("deduped", int64(fstats.Deduped()))
@@ -403,187 +465,37 @@ func build(ctx context.Context, tr *obs.Trace, db *whois.Database, table *bgp.Ta
 	span = tr.Start("resolve").SetWorkers(workers)
 	obs.Default().Gauge("pipeline_workers").Set(float64(workers))
 	routed := table.Prefixes()
-	asClusters := asData.BuildClusters()
-	type resolved struct {
-		rec    Record
-		haveDO bool
+	env := &resolveEnv{tree: tree, table: table, repo: repo, asClusters: asData.BuildClusters()}
+	slots := make([]resolvedRec, len(routed))
+	if err := resolveIndices(ctx, env, routed, nil, slots, workers); err != nil {
+		return nil, err
 	}
-	slots := make([]resolved, len(routed))
-	// Each worker owns one covering-chain buffer, re-sliced per prefix,
-	// so the hottest tree walk of the pass allocates only when a chain
-	// outgrows every chain seen before it.
-	type chainBuf = []radix.Entry[[]whois.Entry]
-	resolveOne := func(i int, buf chainBuf) chainBuf {
-		p := routed[i]
-		buf = tree.CoveringChainInto(p, buf[:0])
-		rec, ok := resolveOwnership(buf, repo, p)
-		if !ok {
-			return buf
-		}
-		if origin, has := table.Origin(p); has {
-			rec.OriginASN = origin
-			rec.ASNCluster = asClusters.ClusterID(origin)
-		}
-		if c, ok := repo.ChildMostRC(p); ok {
-			rec.RPKICert = c.SKI
-		}
-		slots[i] = resolved{rec: rec, haveDO: true}
-		return buf
-	}
-	if workers == 1 {
-		var buf chainBuf
-		for i := range routed {
-			if i%cancelCheckEvery == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			buf = resolveOne(i, buf)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		spawn := workers
-		if chunks := (len(routed) + resolveChunk - 1) / resolveChunk; spawn > chunks {
-			spawn = chunks // never spawn workers with nothing to claim
-		}
-		for w := 0; w < spawn; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var buf chainBuf
-				for {
-					start := int(next.Add(resolveChunk)) - resolveChunk
-					if start >= len(routed) || ctx.Err() != nil {
-						return
-					}
-					end := min(start+resolveChunk, len(routed))
-					for i := start; i < end; i++ {
-						buf = resolveOne(i, buf)
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-	}
-	// Deterministic merge: compact the slots in routed order. Counts are
-	// added by this single goroutine after the pool has drained.
-	results := make([]resolved, 0, len(routed))
-	unmapped := 0
-	for i := range slots {
-		if !slots[i].haveDO {
-			unmapped++
-			continue
-		}
-		results = append(results, slots[i])
-	}
+	// Counts are tallied by this single goroutine after the pool has
+	// drained; finish consumes the slots in routed order.
+	unmapped := countUnmapped(slots)
 	span.Add("routed", int64(len(routed)))
 	span.Add("specificity-filtered", int64(table.FilteredCount()))
-	span.Add("mapped", int64(len(results)))
+	span.Add("mapped", int64(len(slots)-unmapped))
 	span.Add("unmapped", int64(unmapped))
 	span.End()
 
-	if err := ctx.Err(); err != nil {
+	ds, clean, err := finish(ctx, tr, slots, unmapped, repo, opts, nil)
+	if err != nil {
 		return nil, err
 	}
-	// Pass 2: base names over the Direct Owner corpus.
-	span = tr.Start("clean-names")
-	corpus := make([]string, 0, len(results))
-	for i := range results {
-		corpus = append(corpus, results[i].rec.DirectOwner)
-	}
-	threshold := opts.NameFreqThreshold
-	if threshold == 0 {
-		threshold = adaptiveThreshold(corpus)
-	}
-	cleaner := names.NewCleaner(corpus, threshold)
-	baseNames := map[string]bool{}
-	for i := range results {
-		if opts.DisableNameCleaning {
-			// Ablation: the base name degenerates to the exact
-			// (basic-cleaned) WHOIS name, so only identical names can
-			// ever share an R or A group.
-			results[i].rec.BaseName = basicClean(results[i].rec.DirectOwner)
-		} else {
-			results[i].rec.BaseName = cleaner.BaseName(results[i].rec.DirectOwner)
-		}
-		baseNames[results[i].rec.BaseName] = true
-	}
-	span.Add("names", int64(len(corpus)))
-	span.Add("base-names", int64(len(baseNames)))
-	span.End()
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	// Pass 3: clustering (§5.3).
-	span = tr.Start("cluster")
-	infos := make([]cluster.PrefixInfo, 0, len(results))
-	for i := range results {
-		r := &results[i].rec
-		info := cluster.PrefixInfo{
-			Prefix:     r.Prefix,
-			OwnerName:  basicClean(r.DirectOwner),
-			BaseName:   r.BaseName,
-			CertSKI:    r.RPKICert,
-			ASNCluster: r.ASNCluster,
-		}
-		if opts.DisableRPKIClusters {
-			info.CertSKI = ""
-		}
-		if opts.DisableASNClusters {
-			info.ASNCluster = ""
-		}
-		infos = append(infos, info)
-	}
-	cres := cluster.Build(infos)
-
-	ds := &Dataset{
-		Trace:     tr,
-		byCluster: map[string]*Cluster{},
-		byOwner:   map[string]*Cluster{},
-	}
-	for _, c := range cres.Final {
-		pc := &Cluster{ID: c.ID, BaseName: c.BaseName, OwnerNames: c.OwnerNames, Prefixes: c.Prefixes}
-		ds.Clusters = append(ds.Clusters, pc)
-		ds.byCluster[c.ID] = pc
-		for _, o := range c.OwnerNames {
-			ds.byOwner[o] = pc
+	if opts.Incremental {
+		ds.state = &buildState{
+			opts:       opts,
+			entries:    entries,
+			arinLegacy: arinLegacyNonSigned,
+			env:        env,
+			asData:     asData,
+			routed:     routed,
+			slots:      slots,
+			routedIdx:  makeRoutedIdx(routed),
+			clean:      clean,
 		}
 	}
-	for i := range results {
-		r := results[i].rec
-		if c, ok := cres.ClusterOfPrefix(r.Prefix); ok {
-			r.FinalCluster = c.ID
-		}
-		ds.Records = append(ds.Records, r)
-	}
-	sort.Slice(ds.Records, func(i, j int) bool {
-		return comparePrefix(ds.Records[i].Prefix, ds.Records[j].Prefix) < 0
-	})
-	span.Add("prefixes", int64(len(infos)))
-	span.Add("clusters", int64(len(cres.Final)))
-	span.End()
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	// Compile the serve-path read indexes, including the frozen LPM
-	// index whoisd answers from.
-	span = tr.Start("freeze-index")
-	ds.buildPrefixIndexes()
-	span.Add("prefixes", int64(len(ds.Records)))
-	span.End()
-
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	span = tr.Start("stats")
-	ds.computeStats(cres, cleaner, corpus, repo, unmapped)
-	span.End()
 	return ds, nil
 }
 
@@ -755,6 +667,49 @@ func comparePrefix(a, b netip.Prefix) int {
 	return a.Bits() - b.Bits()
 }
 
+// verifyDelegated runs the footnote-2 verification: when
+// delegated-extended statistics files are present, confirm that no RIR
+// delegation is coarser than /8 (IPv4) or /16 (IPv6) — the
+// justification for the BGP specificity filter. Shared by BuildFromDir
+// and the delta rebuild (which re-runs it only when a delegated/ file
+// changed).
+func verifyDelegated(ctx context.Context, dir string, span *obs.Span) error {
+	delFiles, err := delegated.LoadDir(ctx, dir)
+	if err != nil {
+		return fmt.Errorf("prefix2org: load delegated files: %w", err)
+	}
+	span.Add("files", int64(len(delFiles)))
+	for rir, f := range delFiles {
+		v4, v6, err := f.MinPrefixLens()
+		if err != nil {
+			return fmt.Errorf("prefix2org: delegated file for %s: %w", rir, err)
+		}
+		if v4 < 8 || v6 < 16 {
+			return fmt.Errorf("prefix2org: %s delegated a block coarser than /8 (v4 min /%d) or /16 (v6 min /%d); the BGP specificity filter would drop real delegations", rir, v4, v6)
+		}
+	}
+	return nil
+}
+
+// loadARINLegacy reads the optional ARIN legacy non-signer list from the
+// data directory; a missing file is an empty list.
+func loadARINLegacy(dir string) ([]netip.Prefix, error) {
+	legacyPath := filepath.Join(dir, "whois", whois.ARINLegacyFile)
+	f, err := os.Open(legacyPath)
+	if os.IsNotExist(err) {
+		return nil, nil // the list is optional
+	}
+	if err != nil {
+		return nil, fmt.Errorf("prefix2org: open %s: %w", legacyPath, err)
+	}
+	legacy, err := whois.ParsePrefixList(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("prefix2org: parse %s: %w", legacyPath, err)
+	}
+	return legacy, nil
+}
+
 // BuildFromDir loads a data directory and runs the pipeline. The
 // returned Dataset carries a BuildTrace covering both the load stages
 // and the build passes.
@@ -770,10 +725,12 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 	tr := obs.NewTrace("build")
 	var (
 		db         *whois.Database
+		src        *whois.Sources
 		table      *bgp.Table
 		repo       *rpki.Repository
 		asData     *as2org.Dataset
 		arinLegacy []netip.Prefix
+		manifest   *Manifest
 	)
 	loaders := []struct {
 		name string
@@ -785,7 +742,7 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 				lopts.JPNICClient = &whois.Client{Addr: opts.JPNICWhoisAddr}
 			}
 			var err error
-			db, err = whois.LoadDir(ctx, dir, lopts)
+			db, src, err = whois.LoadDirSources(ctx, dir, lopts, nil, nil)
 			if err != nil {
 				return fmt.Errorf("prefix2org: load whois: %w", err)
 			}
@@ -824,43 +781,31 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 			return nil
 		}},
 		{"verify-delegated", func(ctx context.Context, span *obs.Span) error {
-			// Footnote-2 verification: when delegated-extended statistics
-			// files are present, confirm that no RIR delegation is coarser
-			// than /8 (IPv4) or /16 (IPv6) — the justification for the BGP
-			// specificity filter.
-			delFiles, err := delegated.LoadDir(ctx, dir)
-			if err != nil {
-				return fmt.Errorf("prefix2org: load delegated files: %w", err)
-			}
-			span.Add("files", int64(len(delFiles)))
-			for rir, f := range delFiles {
-				v4, v6, err := f.MinPrefixLens()
-				if err != nil {
-					return fmt.Errorf("prefix2org: delegated file for %s: %w", rir, err)
-				}
-				if v4 < 8 || v6 < 16 {
-					return fmt.Errorf("prefix2org: %s delegated a block coarser than /8 (v4 min /%d) or /16 (v6 min /%d); the BGP specificity filter would drop real delegations", rir, v4, v6)
-				}
-			}
-			return nil
+			return verifyDelegated(ctx, dir, span)
 		}},
 		{"load-arin-legacy", func(ctx context.Context, span *obs.Span) error {
-			legacyPath := filepath.Join(dir, "whois", whois.ARINLegacyFile)
-			f, err := os.Open(legacyPath)
-			if os.IsNotExist(err) {
-				return nil // the list is optional
-			}
+			var err error
+			arinLegacy, err = loadARINLegacy(dir)
 			if err != nil {
-				return fmt.Errorf("prefix2org: open %s: %w", legacyPath, err)
-			}
-			arinLegacy, err = whois.ParsePrefixList(f)
-			f.Close()
-			if err != nil {
-				return fmt.Errorf("prefix2org: parse %s: %w", legacyPath, err)
+				return err
 			}
 			span.Add("prefixes", int64(len(arinLegacy)))
 			return nil
 		}},
+	}
+	if opts.Incremental {
+		loaders = append(loaders, struct {
+			name string
+			run  func(ctx context.Context, span *obs.Span) error
+		}{"manifest", func(ctx context.Context, span *obs.Span) error {
+			var err error
+			manifest, err = BuildManifest(ctx, dir)
+			if err != nil {
+				return fmt.Errorf("prefix2org: manifest: %w", err)
+			}
+			span.Add("files", int64(len(manifest.Entries)))
+			return nil
+		}})
 	}
 	if opts.workerCount() == 1 {
 		for _, l := range loaders {
@@ -932,6 +877,10 @@ func BuildFromDir(ctx context.Context, dir string, opts Options) (*Dataset, erro
 	ds, err := build(ctx, tr, db, table, repo, asData, arinLegacy, opts)
 	if err != nil {
 		return nil, err
+	}
+	if ds.state != nil {
+		ds.state.manifest = manifest
+		ds.state.src = src
 	}
 	logTrace(ds)
 	return ds, nil

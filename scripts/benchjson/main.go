@@ -20,6 +20,15 @@
 // Benchmarks whose name matches -strict-match are held to the tighter
 // -strict-threshold (default 1.2x) instead: the hot lookup path is
 // stable enough on one machine that a >20% slowdown is signal.
+//
+// -ratio asserts a relationship WITHIN the current run, immune to
+// machine speed: 'NUM:DEN<=F' fails when ns/op(NUM) / ns/op(DEN)
+// exceeds F. It guards invariants like "the delta rebuild is at least
+// 5x faster than the full rebuild". -ratio may run standalone (neither
+// -out nor -against) or combined with either mode. When the input
+// holds several lines per benchmark (a `go test -count=N` run), each
+// side reduces via min — the robust per-op estimate under machine
+// noise, since interference only ever adds time.
 package main
 
 import (
@@ -60,6 +69,7 @@ func main() {
 	threshold := flag.Float64("threshold", 2.5, "max allowed ns/op slowdown factor in compare mode")
 	strictMatch := flag.String("strict-match", "", "regexp of benchmark names held to -strict-threshold instead")
 	strictThreshold := flag.Float64("strict-threshold", 1.2, "max allowed slowdown factor for -strict-match benchmarks")
+	ratio := flag.String("ratio", "", "assert 'NUM:DEN<=F' on the current run's ns/op (e.g. 'BenchmarkDeltaRebuild/delta:BenchmarkDeltaRebuild/full<=0.2')")
 	flag.Parse()
 	var strictRe *regexp.Regexp
 	if *strictMatch != "" {
@@ -69,8 +79,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if (*out == "") == (*against == "") {
-		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -against is required")
+	if *out != "" && *against != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out and -against are mutually exclusive")
+		os.Exit(2)
+	}
+	if *out == "" && *against == "" && *ratio == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: one of -out, -against, or -ratio is required")
 		os.Exit(2)
 	}
 	cur, err := parse(os.Stdin)
@@ -81,6 +95,19 @@ func main() {
 	if len(cur.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(2)
+	}
+	if *ratio != "" {
+		ok, err := checkRatio(os.Stdout, cur, *ratio)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		if *out == "" && *against == "" {
+			return
+		}
 	}
 	if *out != "" {
 		if err := save(*out, cur); err != nil {
@@ -177,6 +204,51 @@ func parseLine(line string) (Result, error) {
 		return Result{}, fmt.Errorf("no ns/op in %q", line)
 	}
 	return res, nil
+}
+
+// checkRatio enforces a 'NUM:DEN<=F' spec against the current run. Both
+// benchmarks must be present; a missing side is an error (exit 2), not
+// a pass, so a renamed benchmark cannot silently disable the guard.
+// Several lines per name (a -count=N run) reduce via min ns/op.
+func checkRatio(w io.Writer, cur *File, spec string) (bool, error) {
+	names, limStr, ok := strings.Cut(spec, "<=")
+	if !ok {
+		return false, fmt.Errorf("bad -ratio %q: want 'NUM:DEN<=F'", spec)
+	}
+	num, den, ok := strings.Cut(names, ":")
+	if !ok {
+		return false, fmt.Errorf("bad -ratio %q: want 'NUM:DEN<=F'", spec)
+	}
+	num, den = strings.TrimSpace(num), strings.TrimSpace(den)
+	limit, err := strconv.ParseFloat(strings.TrimSpace(limStr), 64)
+	if err != nil || limit <= 0 {
+		return false, fmt.Errorf("bad -ratio limit %q", limStr)
+	}
+	minNs := func(name string) (float64, bool) {
+		best, found := 0.0, false
+		for _, r := range cur.Results {
+			if r.Name == name && r.NsPerOp > 0 && (!found || r.NsPerOp < best) {
+				best, found = r.NsPerOp, true
+			}
+		}
+		return best, found
+	}
+	nv, found := minNs(num)
+	if !found {
+		return false, fmt.Errorf("-ratio: benchmark %q not in this run", num)
+	}
+	dv, found := minNs(den)
+	if !found {
+		return false, fmt.Errorf("-ratio: benchmark %q not in this run", den)
+	}
+	got := nv / dv
+	verdict := "ok"
+	pass := got <= limit
+	if !pass {
+		verdict = "RATIO-VIOLATION"
+	}
+	fmt.Fprintf(w, "  %-8s %s / %s = %.3f (limit %.3f)\n", verdict, num, den, got, limit)
+	return pass, nil
 }
 
 func save(path string, f *File) error {

@@ -10,20 +10,20 @@ import (
 	"github.com/prefix2org/prefix2org/internal/rpki"
 )
 
-func (d *Dataset) computeStats(cres *cluster.Result, cleaner *names.Cleaner, corpus []string, repo *rpki.Repository, unmapped int) {
+func (d *Dataset) computeStats(cres *cluster.Result, nameSteps names.StepCounts, repo *rpki.Repository, unmapped int, bc basicCleaner) {
 	s := &d.Stats
 	s.Unmapped = unmapped
 
-	doNames := map[string]bool{}
-	dcNames := map[string]bool{}
-	baseNames := map[string]bool{}
-	origins := map[uint32]bool{}
+	doNames := make(map[string]bool, len(d.Records)/4)
+	dcNames := make(map[string]bool, len(d.Records)/4)
+	baseNames := make(map[string]bool, len(d.Records)/4)
+	origins := make(map[uint32]bool, len(d.Records)/4)
 	var v4, v6, v4DC, v6DC, v4RPKI, v6RPKI int
 	for i := range d.Records {
 		r := &d.Records[i]
-		doNames[basicClean(r.DirectOwner)] = true
+		doNames[bc.clean(r.DirectOwner)] = true
 		for _, dc := range r.DelegatedCustomers {
-			dcNames[basicClean(dc)] = true
+			dcNames[bc.clean(dc)] = true
 		}
 		baseNames[r.BaseName] = true
 		if r.OriginASN != 0 {
@@ -95,7 +95,7 @@ func (d *Dataset) computeStats(cres *cluster.Result, cleaner *names.Cleaner, cor
 	s.PctV6DistinctDC = pct(v6DC, v6)
 	s.PctV4InRPKI = pct(v4RPKI, v4)
 	s.PctV6InRPKI = pct(v6RPKI, v6)
-	s.NameCleaning = cleaner.CountSteps(corpus)
+	s.NameCleaning = nameSteps
 }
 
 func pct(n, total int) float64 {
